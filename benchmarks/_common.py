@@ -1,0 +1,71 @@
+"""Shared machinery for the figure/table benchmarks.
+
+Each ``bench_*.py`` module contains (a) pytest-benchmark tests exercising
+the figure's key operation at a size that keeps ``pytest benchmarks/
+--benchmark-only`` fast, and (b) a ``main()`` that sweeps the full scaled
+configuration and prints the same rows/series the paper's figure shows.
+Run any module directly (``python benchmarks/bench_fig9_tradeoff.py``) to
+regenerate its figure data; EXPERIMENTS.md records one captured run.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+
+from repro.core.cvd import CVD
+from repro.storage.engine import Database
+from repro.workloads import dataset, load_workload
+from repro.workloads.benchmark_graph import VersionedWorkload
+
+
+@lru_cache(maxsize=None)
+def workload_for(name: str) -> VersionedWorkload:
+    """Generated workloads are deterministic; cache per process."""
+    return dataset(name).generate()
+
+
+def fresh_cvd(name: str, model: str = "split_by_rlist") -> CVD:
+    """A new database holding one CVD loaded from the named dataset."""
+    return load_workload(Database(), name.lower(), workload_for(name), model)
+
+
+def sample_versions(cvd: CVD, count: int = 20, seed: int = 5) -> list[int]:
+    """A deterministic sample of version ids (the paper samples 100)."""
+    import random
+
+    vids = sorted(cvd.graph.version_ids())
+    rng = random.Random(seed)
+    if len(vids) <= count:
+        return vids
+    return sorted(rng.sample(vids, count))
+
+
+def time_checkouts(cvd: CVD, vids: list[int]) -> float:
+    """Average seconds per checkout-into-table over the sample."""
+    db = cvd.db
+    total = 0.0
+    for vid in vids:
+        db.drop_table("bench_work", if_exists=True)
+        started = time.perf_counter()
+        cvd.model.checkout_into(vid, "bench_work")
+        total += time.perf_counter() - started
+    db.drop_table("bench_work", if_exists=True)
+    return total / len(vids)
+
+
+def gb(num_bytes: int) -> float:
+    return num_bytes / (1024**3)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def print_series(name: str, pairs) -> None:
+    print(f"\n{name}:")
+    for x, y in pairs:
+        print(f"  {x:>14}  {y}")

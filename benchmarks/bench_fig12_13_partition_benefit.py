@@ -1,0 +1,148 @@
+"""Figures 12/13: checkout time and storage, with vs without partitioning.
+
+The paper's experiment: for each SCI_* / CUR_* dataset, measure the average
+checkout time and total storage (a) unpartitioned split-by-rlist, (b) after
+LyreSplit with gamma = 1.5|R|, and (c) gamma = 2|R|.
+
+Shapes to match: a <= 2x storage increase buys multi-x checkout reductions
+that GROW with dataset size (3x -> 21x across the SCI sweep in the paper);
+CUR reductions are somewhat smaller because |E|/|V| — the post-partitioning
+floor — is higher.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+if __package__ in (None, ""):
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import (
+    fresh_cvd,
+    print_header,
+    sample_versions,
+    time_checkouts,
+)
+from repro.partition import PartitionOptimizer
+
+SWEEP_DATASETS = ["SCI_10K", "SCI_50K", "SCI_100K", "CUR_10K", "CUR_50K"]
+GAMMAS = [1.5, 2.0]
+
+
+def measure(dataset_name: str) -> dict:
+    out: dict = {}
+    cvd = fresh_cvd(dataset_name)
+    vids = sample_versions(cvd)
+    out["unpartitioned"] = {
+        "checkout_s": time_checkouts(cvd, vids),
+        "storage_bytes": cvd.storage_bytes(),
+        "storage_records": cvd.record_count,
+    }
+    for gamma in GAMMAS:
+        cvd = fresh_cvd(dataset_name)
+        optimizer = PartitionOptimizer(cvd, storage_multiple=gamma)
+        optimizer.run_full_partitioning()
+        out[f"gamma={gamma}"] = {
+            "checkout_s": time_checkouts(cvd, vids),
+            "storage_bytes": cvd.storage_bytes(),
+            "storage_records": optimizer.current_storage_cost,
+            "partitions": optimizer.num_partitions,
+        }
+    return out
+
+
+# ---------------------------------------------------------------- pytest
+
+
+def test_benchmark_checkout_unpartitioned(benchmark):
+    cvd = fresh_cvd("SCI_10K")
+    vids = sample_versions(cvd, count=5)
+    benchmark.pedantic(
+        lambda: time_checkouts(cvd, vids), rounds=3, iterations=1
+    )
+
+
+def test_benchmark_checkout_partitioned(benchmark):
+    cvd = fresh_cvd("SCI_10K")
+    PartitionOptimizer(cvd, storage_multiple=2.0).run_full_partitioning()
+    vids = sample_versions(cvd, count=5)
+    benchmark.pedantic(
+        lambda: time_checkouts(cvd, vids), rounds=3, iterations=1
+    )
+
+
+class TestFigure12Shape:
+    @pytest.fixture(scope="class")
+    def sci(self):
+        return measure("SCI_10K")
+
+    def test_partitioning_speeds_up_checkout(self, sci):
+        for gamma in GAMMAS:
+            assert (
+                sci[f"gamma={gamma}"]["checkout_s"]
+                < sci["unpartitioned"]["checkout_s"]
+            )
+
+    def test_storage_within_budget(self, sci):
+        base = sci["unpartitioned"]["storage_records"]
+        for gamma in GAMMAS:
+            assert sci[f"gamma={gamma}"]["storage_records"] <= gamma * base
+
+    def test_budgets_converge_near_the_floor(self, sci):
+        """Past the knee of the trade-off curve both budgets sit near the
+        per-version floor (Fig. 9's flattening): allow 2x jitter, since at
+        this point per-checkout constant overhead dominates."""
+        assert (
+            sci["gamma=2.0"]["checkout_s"]
+            <= sci["gamma=1.5"]["checkout_s"] * 2.0
+        )
+
+
+def test_speedup_grows_with_scale():
+    """Fig. 12's headline: the reduction factor grows with dataset size."""
+    small = measure("SCI_10K")
+    large = measure("SCI_50K")
+
+    def speedup(result):
+        return (
+            result["unpartitioned"]["checkout_s"]
+            / result["gamma=2.0"]["checkout_s"]
+        )
+
+    assert speedup(large) > speedup(small)
+
+
+# ------------------------------------------------------------------ main
+
+
+def main(datasets=None) -> None:
+    print_header(
+        "Figures 12/13: checkout time and storage, with/without partitioning"
+    )
+    print(
+        f"{'dataset':>10} {'scheme':>12} {'checkout (ms)':>14} "
+        f"{'storage (MB)':>13} {'S (records)':>12} {'parts':>6} {'speedup':>8}"
+    )
+    for dataset_name in datasets or SWEEP_DATASETS:
+        results = measure(dataset_name)
+        base = results["unpartitioned"]["checkout_s"]
+        for scheme, row in results.items():
+            speedup = base / row["checkout_s"] if row["checkout_s"] else 0
+            print(
+                f"{dataset_name:>10} {scheme:>12} "
+                f"{row['checkout_s'] * 1000:>14.1f} "
+                f"{row['storage_bytes'] / 1e6:>13.1f} "
+                f"{row['storage_records']:>12} "
+                f"{row.get('partitions', 1):>6} {speedup:>8.1f}x"
+            )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--datasets", nargs="*", default=None)
+    main(parser.parse_args().datasets)

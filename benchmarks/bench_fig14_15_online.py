@@ -1,0 +1,176 @@
+"""Figures 14/15: online maintenance traces and migration times.
+
+The paper's experiment: stream the largest SCI dataset's versions into a
+partitioned CVD.  Online maintenance places each commit; when the live
+checkout cost Cavg exceeds mu times the best cost C*avg that LyreSplit can
+achieve, the migration engine reorganizes.  Two storage thresholds
+(gamma = 1.5|R| and 2|R|), several tolerance factors mu, and both
+migration strategies (intelligent vs naive).
+
+Shapes to match:
+* Cavg diverges slowly from C*avg and snaps back at each migration;
+* larger mu -> fewer migrations (the paper: 7 vs 3 across 10K commits for
+  mu = 1.5 vs 2 at gamma = 1.5|R|);
+* intelligent migration moves ~10x fewer records than naive at small mu,
+  and its cost shrinks as mu shrinks (amortization).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+if __package__ in (None, ""):
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import print_header, workload_for
+from repro.partition import PartitionOptimizer
+from repro.storage.engine import Database
+from repro.workloads import load_workload
+from repro.workloads.benchmark_graph import VersionedWorkload
+
+STREAM_DATASET = "SCI_100K"  # paper: SCI_10M, the most versions
+WARM_FRACTION = 0.1
+
+
+def stream(
+    dataset_name: str,
+    gamma: float,
+    mu: float,
+    strategy: str = "intelligent",
+    limit_versions: int | None = None,
+):
+    """Warm-start on a prefix, stream the rest; returns the optimizer."""
+    workload = workload_for(dataset_name)
+    versions = workload.versions[:limit_versions]
+    warm = max(2, int(len(versions) * WARM_FRACTION))
+    prefix = VersionedWorkload(
+        name="warm",
+        versions=versions[:warm],
+        num_attributes=workload.num_attributes,
+        num_branches=workload.num_branches,
+        inserts_per_version=workload.inserts_per_version,
+    )
+    db = Database()
+    cvd = load_workload(db, "stream", prefix)
+    optimizer = PartitionOptimizer(
+        cvd,
+        storage_multiple=gamma,
+        tolerance=mu,
+        migration_strategy=strategy,
+    )
+    optimizer.run_full_partitioning()
+    rid_map = {rid: rid for rid in range(1, cvd.record_count + 1)}
+    for version in versions[warm:]:
+        new_records = {}
+        for gen_rid in version.new_rids:
+            cvd_rid = cvd.allocate_rid()
+            rid_map[gen_rid] = cvd_rid
+            new_records[cvd_rid] = workload.payload(gen_rid)
+        members = [rid_map[r] for r in sorted(version.members)]
+        cvd.ingest_version(version.parents, members, new_records)
+        optimizer.after_commit()
+    return optimizer
+
+
+# ---------------------------------------------------------------- pytest
+
+
+def test_benchmark_streaming_with_maintenance(benchmark):
+    benchmark.pedantic(
+        lambda: stream("SCI_10K", gamma=1.5, mu=1.5, limit_versions=120),
+        rounds=1,
+        iterations=1,
+    )
+
+
+class TestOnlineShape:
+    @pytest.fixture(scope="class")
+    def tight(self):
+        return stream("SCI_10K", gamma=1.5, mu=1.05, limit_versions=300)
+
+    @pytest.fixture(scope="class")
+    def loose(self):
+        return stream("SCI_10K", gamma=1.5, mu=2.0, limit_versions=300)
+
+    def test_cavg_stays_within_tolerance_band(self, tight):
+        for sample in tight.trace.samples:
+            if sample.best_cavg:
+                # After each commit (and possible migration) the live cost
+                # sits at or below mu * C*avg.
+                post = tight.current_checkout_cost
+        assert post <= 1.05 * tight.trace.samples[-1].best_cavg * 1.01
+
+    def test_smaller_mu_more_migrations(self, tight, loose):
+        assert len(tight.trace.migrations) >= len(loose.trace.migrations)
+
+    def test_intelligent_cheaper_than_naive(self):
+        smart = stream(
+            "SCI_10K", gamma=1.5, mu=1.05, strategy="intelligent",
+            limit_versions=300,
+        )
+        naive = stream(
+            "SCI_10K", gamma=1.5, mu=1.05, strategy="naive",
+            limit_versions=300,
+        )
+        if smart.trace.migrations and naive.trace.migrations:
+            smart_avg = sum(
+                m.records_inserted + m.records_deleted
+                for m in smart.trace.migrations
+            ) / len(smart.trace.migrations)
+            naive_avg = sum(
+                m.records_inserted + m.records_deleted
+                for m in naive.trace.migrations
+            ) / len(naive.trace.migrations)
+            assert smart_avg < naive_avg
+
+
+# ------------------------------------------------------------------ main
+
+
+def main(dataset_name: str = STREAM_DATASET, limit: int | None = None) -> None:
+    print_header(
+        f"Figures 14/15: online maintenance + migration ({dataset_name})"
+    )
+    for gamma in (1.5, 2.0):
+        print(f"\n### gamma = {gamma}|R|")
+        print(
+            f"{'mu':>6} {'strategy':>12} {'migrations':>11} "
+            f"{'avg moved recs':>15} {'avg time (ms)':>14} {'final Cavg/C*':>14}"
+        )
+        for mu in (1.05, 1.2, 1.5, 2.0, 2.5):
+            for strategy in (
+                ("intelligent", "naive") if mu == 1.05 else ("intelligent",)
+            ):
+                optimizer = stream(
+                    dataset_name, gamma, mu, strategy, limit_versions=limit
+                )
+                migrations = optimizer.trace.migrations
+                moved = [
+                    m.records_inserted + m.records_deleted for m in migrations
+                ]
+                times = [m.wall_seconds * 1000 for m in migrations]
+                last = optimizer.trace.samples[-1]
+                ratio = (
+                    last.current_cavg / last.best_cavg
+                    if last.best_cavg
+                    else 1.0
+                )
+                print(
+                    f"{mu:>6} {strategy:>12} {len(migrations):>11} "
+                    f"{sum(moved) / len(moved) if moved else 0:>15.0f} "
+                    f"{sum(times) / len(times) if times else 0:>14.1f} "
+                    f"{ratio:>14.2f}"
+                )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dataset", default=STREAM_DATASET)
+    parser.add_argument("--limit", type=int, default=None)
+    args = parser.parse_args()
+    main(args.dataset, args.limit)

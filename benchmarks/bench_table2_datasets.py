@@ -1,0 +1,109 @@
+"""Table 2: versioning-benchmark dataset statistics.
+
+Regenerates the paper's dataset-description table (|V|, |R|, |E|, |B|,
+|I|, |R-hat|) for the scaled SCI_* and CUR_* configurations.  The paper's
+shape to match: |R| ~= |V| x |I| (minus deletes), |E| roughly 10x |R|
+(each record lives in ~10 versions), and |R-hat| at 7-10% of |R| for the
+CUR (DAG) datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_....py` run
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import print_header, workload_for
+from repro.partition import BipartiteGraph, reduce_to_tree
+from repro.storage.engine import Database
+from repro.workloads import DATASETS, load_workload
+
+TABLE_DATASETS = [
+    "SCI_10K",
+    "SCI_20K",
+    "SCI_50K",
+    "SCI_80K",
+    "SCI_100K",
+    "CUR_10K",
+    "CUR_50K",
+    "CUR_100K",
+]
+
+
+def dataset_row(name: str) -> dict:
+    config = DATASETS[name]
+    workload = workload_for(name)
+    row = {
+        "name": name,
+        "paper": config.paper_name,
+        "V": workload.num_versions,
+        "R": workload.num_records,
+        "E": workload.num_edges,
+        "B": config.num_branches,
+        "I": config.inserts_per_version,
+        "R_hat": None,
+    }
+    if workload.has_merges:
+        cvd = load_workload(Database(), "t2", workload)
+        bip = BipartiteGraph.from_cvd(cvd)
+        tree = reduce_to_tree(cvd.graph, bip.num_records)
+        row["R_hat"] = tree.duplicated_records
+    return row
+
+
+# ---------------------------------------------------------------- pytest
+
+
+class TestTable2Shape:
+    """Cheap assertions that the scaled datasets keep the paper's ratios."""
+
+    @pytest.mark.parametrize("name", ["SCI_10K", "SCI_50K"])
+    def test_record_count_tracks_v_times_i(self, name):
+        row = dataset_row(name)
+        assert 0.5 * row["V"] * row["I"] <= row["R"] <= 1.5 * row["V"] * row["I"]
+
+    @pytest.mark.parametrize("name", ["CUR_10K"])
+    def test_r_hat_ratio_in_paper_band(self, name):
+        row = dataset_row(name)
+        assert 0.03 <= row["R_hat"] / row["R"] <= 0.20
+
+    def test_edges_mean_versions_per_record(self):
+        row = dataset_row("SCI_10K")
+        # Each record lives in several versions (paper: ~10 on average).
+        assert row["E"] / row["R"] >= 3
+
+
+def test_benchmark_sci_generation(benchmark):
+    benchmark(lambda: DATASETS["SCI_10K"].generate())
+
+
+def test_benchmark_cur_generation(benchmark):
+    benchmark(lambda: DATASETS["CUR_10K"].generate())
+
+
+# ------------------------------------------------------------------ main
+
+
+def main() -> None:
+    print_header("Table 2: dataset description (scaled ~1/100 of the paper)")
+    header = (
+        f"{'dataset':>10} {'paper':>8} {'|V|':>6} {'|R|':>9} {'|E|':>11} "
+        f"{'|B|':>5} {'|I|':>6} {'|R^|':>8}"
+    )
+    print(header)
+    for name in TABLE_DATASETS:
+        row = dataset_row(name)
+        r_hat = row["R_hat"] if row["R_hat"] is not None else "-"
+        print(
+            f"{row['name']:>10} {row['paper']:>8} {row['V']:>6} "
+            f"{row['R']:>9} {row['E']:>11} {row['B']:>5} {row['I']:>6} "
+            f"{r_hat!s:>8}"
+        )
+
+
+if __name__ == "__main__":
+    main()

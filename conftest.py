@@ -1,0 +1,5 @@
+"""Repo-root conftest so `benchmarks` resolves as a package from anywhere."""
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

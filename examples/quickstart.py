@@ -1,0 +1,67 @@
+"""Quickstart: init -> checkout -> edit -> commit -> query versions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import OrpheusDB
+
+orpheus = OrpheusDB()
+
+# 1. Initialize a CVD from protein-protein interaction rows (Figure 1's
+#    schema, with the composite primary key <protein1, protein2>).
+orpheus.init(
+    "proteins",
+    [
+        ("protein1", "text"),
+        ("protein2", "text"),
+        ("neighborhood", "int"),
+        ("cooccurrence", "int"),
+        ("coexpression", "int"),
+    ],
+    rows=[
+        ("ENSP273047", "ENSP261890", 0, 53, 0),
+        ("ENSP273047", "ENSP235932", 0, 87, 0),
+        ("ENSP300413", "ENSP274242", 426, 0, 164),
+    ],
+    primary_key=("protein1", "protein2"),
+)
+print("initialized CVD 'proteins' as version 1")
+
+# 2. Check out version 1 into a private working table and edit it with SQL.
+orpheus.checkout("proteins", 1, table_name="my_work")
+orpheus.db.execute(
+    "UPDATE my_work SET coexpression = 83 "
+    "WHERE protein1 = 'ENSP273047' AND protein2 = 'ENSP261890'"
+)
+orpheus.db.execute(
+    "INSERT INTO my_work VALUES (NULL, 'ENSP309334', 'ENSP346022', 0, 227, 975)"
+)
+
+# 3. Commit: unchanged records keep their ids, edits become new records.
+v2 = orpheus.commit("my_work", message="rescored one pair, added one")
+print(f"committed version {v2}")
+
+# 4. Query any version directly, without materializing it.
+result = orpheus.run(
+    "SELECT protein1, protein2, coexpression "
+    "FROM VERSION 2 OF CVD proteins WHERE coexpression > 50 "
+    "ORDER BY coexpression DESC"
+)
+print("\nhigh-coexpression pairs in version 2:")
+for row in result:
+    print(" ", row)
+
+# 5. Aggregate across every version at once.
+result = orpheus.run(
+    "SELECT vid, count(*) AS records, max(coexpression) AS best "
+    "FROM ALL VERSIONS OF CVD proteins AS av GROUP BY vid ORDER BY vid"
+)
+print("\nper-version summary:")
+for vid, records, best in result:
+    print(f"  v{vid}: {records} records, max coexpression {best}")
+
+# 6. Diff two versions.
+added, removed = orpheus.diff("proteins", v2, 1)
+print(f"\nv{v2} vs v1: {len(added)} added/changed, {len(removed)} removed")
+for row in added:
+    print("  +", row[1:])

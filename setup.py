@@ -1,0 +1,5 @@
+"""Thin setup.py so legacy editable installs work in offline environments
+that lack the `wheel` package (pip falls back to `setup.py develop`)."""
+from setuptools import setup
+
+setup()

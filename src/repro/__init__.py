@@ -1,0 +1,32 @@
+"""OrpheusDB reproduction: bolt-on versioning for relational databases.
+
+Quickstart::
+
+    from repro import OrpheusDB
+
+    orpheus = OrpheusDB()
+    cvd = orpheus.init("proteins", [("p1", "text"), ("p2", "text"),
+                                    ("score", "int")],
+                       rows=[("a", "b", 10)])
+    orpheus.checkout("proteins", 1, table_name="work")
+    orpheus.db.execute("UPDATE work SET score = 20 WHERE p1 = 'a'")
+    v2 = orpheus.commit("work", message="rescored")
+    print(orpheus.run("SELECT * FROM VERSION 2 OF CVD proteins").rows)
+"""
+
+from repro.core import CVD, OrpheusDB, Version, VersionGraph
+from repro.storage import Column, Database, DataType, TableSchema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OrpheusDB",
+    "CVD",
+    "Version",
+    "VersionGraph",
+    "Database",
+    "Column",
+    "TableSchema",
+    "DataType",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Command-line interface for OrpheusDB."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,261 @@
+"""Git-style command line for OrpheusDB (paper Section 2.2).
+
+Because the embedded engine is in-process, the CLI persists the whole
+OrpheusDB state between invocations by pickling it to a store file
+(``--store``, default ``.orpheusdb``).  Commands mirror the paper's:
+
+    orpheus init -n proteins -f data.csv -s protein1:text,protein2:text,...
+    orpheus checkout proteins -v 3 -t my_table
+    orpheus commit -t my_table -m "cleaned up"
+    orpheus run "SELECT count(*) FROM VERSION 3 OF CVD proteins"
+    orpheus diff proteins 2 3
+    orpheus ls / drop / log / optimize / create_user / config / whoami
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+
+from repro.core.orpheus import OrpheusDB
+from repro.errors import ReproError
+
+
+def _load(store: Path) -> OrpheusDB:
+    if store.exists():
+        with store.open("rb") as handle:
+            return pickle.load(handle)
+    return OrpheusDB()
+
+
+def _save(orpheus: OrpheusDB, store: Path) -> None:
+    with store.open("wb") as handle:
+        pickle.dump(orpheus, handle)
+
+
+def _parse_schema(text: str) -> list[tuple[str, str]]:
+    """``name:type,name:type`` -> [(name, type), ...]."""
+    out = []
+    for part in text.split(","):
+        name, _, type_name = part.partition(":")
+        if not name or not type_name:
+            raise ReproError(
+                f"bad schema entry {part!r}; expected name:type"
+            )
+        out.append((name.strip(), type_name.strip()))
+    return out
+
+
+def _format_table(columns: list[str], rows: list[tuple]) -> str:
+    widths = [len(c) for c in columns]
+    rendered = [[str(v) for v in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        " | ".join(c.ljust(w) for c, w in zip(columns, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in rendered
+    )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="orpheus",
+        description="OrpheusDB: bolt-on versioning for relational data",
+    )
+    parser.add_argument(
+        "--store",
+        default=".orpheusdb",
+        help="path of the persisted database state (default: .orpheusdb)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create a CVD from a CSV file")
+    p.add_argument("-n", "--name", required=True)
+    p.add_argument("-f", "--file", required=True, help="CSV input file")
+    p.add_argument(
+        "-s", "--schema", required=True, help="name:type,name:type,..."
+    )
+    p.add_argument("--primary-key", default="", help="comma-separated columns")
+    p.add_argument("--model", default="split_by_rlist")
+
+    p = sub.add_parser("checkout", help="materialize version(s)")
+    p.add_argument("cvd")
+    p.add_argument(
+        "-v", "--version", required=True, nargs="+", type=int,
+        help="version id(s); first listed wins primary-key conflicts",
+    )
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("-t", "--table", help="materialize as a table")
+    group.add_argument("-f", "--file", help="materialize as a CSV file")
+
+    p = sub.add_parser("commit", help="commit a staged table or CSV file")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("-t", "--table")
+    group.add_argument("-f", "--file")
+    p.add_argument("-m", "--message", default="")
+    p.add_argument("-s", "--schema", help="schema for CSV commits")
+
+    p = sub.add_parser("run", help="run SQL (VERSION ... OF CVD supported)")
+    p.add_argument("sql", help="SQL text, or @path to a SQL script file")
+
+    p = sub.add_parser("diff", help="records in one version but not another")
+    p.add_argument("cvd")
+    p.add_argument("vid_a", type=int)
+    p.add_argument("vid_b", type=int)
+
+    sub.add_parser("ls", help="list CVDs")
+
+    p = sub.add_parser("drop", help="drop a CVD")
+    p.add_argument("cvd")
+
+    p = sub.add_parser("log", help="show the version graph of a CVD")
+    p.add_argument("cvd")
+
+    p = sub.add_parser("optimize", help="partition a CVD with LyreSplit")
+    p.add_argument("cvd")
+    p.add_argument(
+        "--gamma", type=float, default=2.0,
+        help="storage threshold as a multiple of |R| (default 2.0)",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=1.5,
+        help="migration tolerance factor mu (default 1.5)",
+    )
+
+    p = sub.add_parser("create_user", help="register a user")
+    p.add_argument("username")
+
+    p = sub.add_parser("config", help="log in as a user")
+    p.add_argument("username")
+
+    sub.add_parser("whoami", help="print the current user")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    store = Path(args.store)
+    orpheus = _load(store)
+    try:
+        dirty = _dispatch(orpheus, args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if dirty:
+        _save(orpheus, store)
+    return 0
+
+
+def _dispatch(orpheus: OrpheusDB, args: argparse.Namespace) -> bool:
+    """Run one command; returns True when state changed and must be saved."""
+    command = args.command
+    if command == "init":
+        primary_key = tuple(
+            c for c in args.primary_key.split(",") if c
+        )
+        schema = _parse_schema(args.schema)
+        if primary_key:
+            from repro.storage.schema import Column, TableSchema
+            from repro.storage.types import parse_type_name
+
+            schema = TableSchema(
+                [Column(n, parse_type_name(t)) for n, t in schema],
+                primary_key,
+            )
+        orpheus.init_from_csv(args.name, args.file, schema, model=args.model)
+        print(f"initialized CVD {args.name!r} from {args.file}")
+        return True
+    if command == "checkout":
+        vids = args.version
+        if args.table:
+            orpheus.checkout(args.cvd, vids, table_name=args.table)
+            print(f"checked out version(s) {vids} into table {args.table!r}")
+        else:
+            orpheus.checkout_csv(args.cvd, vids, args.file)
+            print(f"checked out version(s) {vids} into file {args.file!r}")
+        return True
+    if command == "commit":
+        if args.table:
+            vid = orpheus.commit(args.table, message=args.message)
+        else:
+            schema = _parse_schema(args.schema) if args.schema else None
+            vid = orpheus.commit_csv(
+                args.file, message=args.message, schema=schema
+            )
+        print(f"committed as version {vid}")
+        return True
+    if command == "run":
+        sql = args.sql
+        if sql.startswith("@"):
+            sql = Path(sql[1:]).read_text()
+        result = orpheus.run(sql)
+        if result.columns:
+            print(_format_table(result.columns, result.rows))
+        print(f"({result.rowcount} rows)")
+        return True  # scripts may mutate; persist conservatively
+    if command == "diff":
+        only_a, only_b = orpheus.diff(args.cvd, args.vid_a, args.vid_b)
+        print(f"only in version {args.vid_a}: {len(only_a)} records")
+        for row in only_a[:20]:
+            print(" +", row[1:])
+        print(f"only in version {args.vid_b}: {len(only_b)} records")
+        for row in only_b[:20]:
+            print(" -", row[1:])
+        return False
+    if command == "ls":
+        for name in orpheus.ls():
+            cvd = orpheus.cvd(name)
+            print(
+                f"{name}: {cvd.version_count} versions, "
+                f"{cvd.record_count} records "
+                f"({cvd.model.model_name})"
+            )
+        return False
+    if command == "drop":
+        orpheus.drop(args.cvd)
+        print(f"dropped CVD {args.cvd!r}")
+        return True
+    if command == "log":
+        cvd = orpheus.cvd(args.cvd)
+        for vid in cvd.graph.topological_order():
+            version = cvd.version(vid)
+            parents = ",".join(map(str, version.parents)) or "-"
+            print(
+                f"v{vid} <- [{parents}] "
+                f"({version.num_records} records) {version.message}"
+            )
+        return False
+    if command == "optimize":
+        optimizer = orpheus.optimize(
+            args.cvd, storage_threshold=args.gamma, tolerance=args.tolerance
+        )
+        print(
+            f"partitioned into {optimizer.num_partitions} partitions; "
+            f"S = {optimizer.current_storage_cost} records, "
+            f"Cavg = {optimizer.current_checkout_cost:.1f} records"
+        )
+        return True
+    if command == "create_user":
+        orpheus.create_user(args.username)
+        print(f"created user {args.username!r}")
+        return True
+    if command == "config":
+        orpheus.config(args.username)
+        print(f"logged in as {args.username!r}")
+        return True
+    if command == "whoami":
+        print(orpheus.whoami())
+        return False
+    raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

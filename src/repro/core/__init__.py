@@ -1,0 +1,16 @@
+"""OrpheusDB core: CVDs, data models, version control, query translation."""
+
+from repro.core.cvd import CVD
+from repro.core.datamodels import MODEL_REGISTRY, resolve_model
+from repro.core.orpheus import OrpheusDB
+from repro.core.version import Version
+from repro.core.version_graph import VersionGraph
+
+__all__ = [
+    "CVD",
+    "OrpheusDB",
+    "Version",
+    "VersionGraph",
+    "MODEL_REGISTRY",
+    "resolve_model",
+]

@@ -1,0 +1,58 @@
+"""Access controller: users and per-checkout permissions (Section 2.3).
+
+The paper's model is simple: CVDs are shared, but a materialized checkout
+table is private to the user who created it until committed.  This module
+implements exactly that — user registry, a current-user session, and an
+owner check on staged tables.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PermissionDeniedError, VersioningError
+
+
+class AccessController:
+    """User registry plus ownership checks for staged checkouts."""
+
+    def __init__(self) -> None:
+        self._users: set[str] = set()
+        self._current: str | None = None
+        self._owners: dict[str, str] = {}  # staged name -> user
+
+    # ----------------------------------------------------------------- users
+
+    def create_user(self, username: str) -> None:
+        if not username:
+            raise VersioningError("username must be non-empty")
+        if username in self._users:
+            raise VersioningError(f"user {username!r} already exists")
+        self._users.add(username)
+
+    def login(self, username: str) -> None:
+        if username not in self._users:
+            raise PermissionDeniedError(f"unknown user {username!r}")
+        self._current = username
+
+    def whoami(self) -> str:
+        if self._current is None:
+            raise PermissionDeniedError("no user is logged in")
+        return self._current
+
+    def has_user(self, username: str) -> bool:
+        return username in self._users
+
+    # ------------------------------------------------------------ ownership
+
+    def grant_owner(self, staged_name: str, username: str) -> None:
+        self._owners[staged_name] = username
+
+    def revoke(self, staged_name: str) -> None:
+        self._owners.pop(staged_name, None)
+
+    def check_owner(self, staged_name: str, username: str) -> None:
+        owner = self._owners.get(staged_name)
+        if owner is not None and owner != username:
+            raise PermissionDeniedError(
+                f"{staged_name!r} belongs to {owner!r}; "
+                f"{username!r} may not access it"
+            )

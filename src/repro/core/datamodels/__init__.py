@@ -1,0 +1,43 @@
+"""The five CVD storage models compared in the paper's Section 3."""
+
+from repro.core.datamodels.base import DataModel
+from repro.core.datamodels.combined import CombinedTableModel
+from repro.core.datamodels.delta import DeltaModel
+from repro.core.datamodels.split_rlist import SplitByRlistModel
+from repro.core.datamodels.split_rlist_rle import SplitByRlistRangeModel
+from repro.core.datamodels.split_vlist import SplitByVlistModel
+from repro.core.datamodels.table_per_version import TablePerVersionModel
+
+MODEL_REGISTRY: dict[str, type[DataModel]] = {
+    model.model_name: model
+    for model in (
+        CombinedTableModel,
+        SplitByVlistModel,
+        SplitByRlistModel,
+        SplitByRlistRangeModel,
+        DeltaModel,
+        TablePerVersionModel,
+    )
+}
+
+
+def resolve_model(name: str) -> type[DataModel]:
+    """Look up a data model class by its ``model_name``."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown data model {name!r}; choose from {sorted(MODEL_REGISTRY)}"
+        ) from None
+
+
+__all__ = [
+    "DataModel",
+    "CombinedTableModel",
+    "SplitByVlistModel",
+    "SplitByRlistModel",
+    "DeltaModel",
+    "TablePerVersionModel",
+    "MODEL_REGISTRY",
+    "resolve_model",
+]

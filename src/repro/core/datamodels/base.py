@@ -1,0 +1,147 @@
+"""Common interface for the CVD storage models compared in Section 3.
+
+Every model stores the same logical content — which record belongs to which
+version, plus the record payloads — but with a different physical layout.
+The interface is deliberately narrow:
+
+* :meth:`add_version` is the physical half of *commit*: persist a version
+  given its full membership and the payloads of records the CVD has never
+  stored before (the *no cross-version diff* rule means records deleted and
+  re-added arrive here as brand-new rids).
+* :meth:`checkout_into` is the physical half of *checkout*: materialize one
+  version into a fresh table whose first column is ``rid`` followed by the
+  data attributes, normally via a single translated SQL statement (Table 1).
+* :meth:`fetch_version` returns the same rows to the middleware, used for
+  multi-version merging, diff, and commit comparison.
+
+Models receive the shared :class:`~repro.storage.engine.Database` and do all
+their work through it, exactly like the paper's middleware drives PostgreSQL.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, ClassVar, Mapping, Sequence
+
+from repro.storage.engine import Database
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import DataType
+
+Row = tuple[Any, ...]
+
+
+class DataModel(ABC):
+    """Physical storage strategy for one CVD."""
+
+    model_name: ClassVar[str] = "abstract"
+    #: False for models (delta) that cannot translate advanced version
+    #: queries to SQL without reconstructing versions (Section 3.1).
+    supports_sql_rewriting: ClassVar[bool] = True
+
+    def __init__(self, db: Database, cvd_name: str, data_schema: TableSchema):
+        """``data_schema`` holds the user-visible data attributes only."""
+        self.db = db
+        self.cvd_name = cvd_name
+        self.data_schema = data_schema
+
+    # ------------------------------------------------------------ lifecycle
+
+    @abstractmethod
+    def create_storage(self) -> None:
+        """Create this model's backing tables."""
+
+    @abstractmethod
+    def drop_storage(self) -> None:
+        """Drop every backing table."""
+
+    # ------------------------------------------------------------- commit
+
+    @abstractmethod
+    def add_version(
+        self,
+        vid: int,
+        member_rids: Sequence[int],
+        new_records: Mapping[int, Row],
+        parent_vids: Sequence[int],
+    ) -> None:
+        """Persist version ``vid``.
+
+        ``member_rids`` is the version's complete record membership;
+        ``new_records`` maps the subset of rids never seen before to their
+        data-attribute tuples.
+        """
+
+    def bulk_load(
+        self,
+        versions: Sequence[tuple[int, tuple[int, ...], Sequence[int]]],
+        payloads: Mapping[int, Row],
+    ) -> None:
+        """Load a whole version history at once (setup fast path).
+
+        ``versions`` is a topologically ordered list of
+        ``(vid, parents, member_rids)``; ``payloads`` resolves every rid.
+        Semantically identical to calling :meth:`add_version` in order —
+        the default does exactly that — but models whose per-version commit
+        is deliberately expensive (combined-table, split-by-vlist) override
+        it so that benchmark *setup* does not pay the commit cost the
+        benchmark is trying to measure.
+        """
+        seen: set[int] = set()
+        for vid, parents, member_rids in versions:
+            new_records = {
+                rid: payloads[rid] for rid in member_rids if rid not in seen
+            }
+            seen.update(new_records)
+            self.add_version(vid, list(member_rids), new_records, parents)
+
+    # ------------------------------------------------------------- checkout
+
+    @abstractmethod
+    def checkout_into(self, vid: int, table_name: str) -> None:
+        """Materialize version ``vid`` as table ``table_name`` (rid + data)."""
+
+    @abstractmethod
+    def fetch_version(self, vid: int) -> list[Row]:
+        """Rows of version ``vid`` as ``(rid, *data)`` tuples."""
+
+    def records_of(self, vid: int) -> dict[int, Row]:
+        """Mapping rid -> data-attribute tuple for one version."""
+        return {row[0]: tuple(row[1:]) for row in self.fetch_version(vid)}
+
+    # ---------------------------------------------------------- inspection
+
+    @abstractmethod
+    def storage_bytes(self) -> int:
+        """Total bytes of all backing tables (indexes included)."""
+
+    def version_subquery_sql(self, vid: int) -> str:
+        """SQL text of a derived table producing ``vid``'s data attributes.
+
+        Used by the query translator for ``VERSION n OF CVD c``.  Models that
+        cannot express retrieval in one SQL statement raise
+        :class:`NotImplementedError` and the translator falls back to
+        materializing the version first (the delta-model penalty the paper
+        calls out).
+        """
+        raise NotImplementedError
+
+    def all_versions_subquery_sql(self) -> str:
+        """SQL producing ``(vid, <data attrs>)`` with one row per version
+        membership, used for cross-version aggregates."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- helpers
+
+    def storage_schema(self) -> TableSchema:
+        """``rid`` + data attributes; the layout of data tables and checkouts."""
+        return TableSchema(
+            [Column("rid", DataType.INTEGER)] + list(self.data_schema.columns),
+        )
+
+    @property
+    def data_column_names(self) -> list[str]:
+        return self.data_schema.column_names
+
+    def _data_columns_sql(self, qualifier: str = "") -> str:
+        prefix = f"{qualifier}." if qualifier else ""
+        return ", ".join(f"{prefix}{name}" for name in self.data_column_names)

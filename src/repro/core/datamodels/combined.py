@@ -1,0 +1,110 @@
+"""Approach 1: the combined-table model (paper Figure 1b).
+
+One relation holds the data attributes plus a ``vlist int[]`` versioning
+attribute listing every version each record belongs to.  Commit must append
+the new vid to the vlist of *every* record in the committed version — the
+expensive array-rewrite behaviour Figure 3b quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.datamodels.base import DataModel, Row
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import DataType
+
+
+class CombinedTableModel(DataModel):
+    model_name = "combined"
+
+    @property
+    def table_name(self) -> str:
+        return f"{self.cvd_name}__combined"
+
+    def create_storage(self) -> None:
+        columns = (
+            [Column("rid", DataType.INTEGER)]
+            + list(self.data_schema.columns)
+            + [Column("vlist", DataType.INT_ARRAY)]
+        )
+        self.db.create_table(
+            self.table_name, TableSchema(columns, ("rid",)), clustered_on="rid"
+        )
+
+    def drop_storage(self) -> None:
+        self.db.drop_table(self.table_name, if_exists=True)
+
+    def add_version(
+        self,
+        vid: int,
+        member_rids: Sequence[int],
+        new_records: Mapping[int, Row],
+        parent_vids: Sequence[int],
+    ) -> None:
+        table = self.db.table(self.table_name)
+        table.insert_many(
+            (rid,) + tuple(row) + ((vid,),) for rid, row in new_records.items()
+        )
+        existing = [rid for rid in member_rids if rid not in new_records]
+        if existing:
+            self._append_vid_to(existing, vid)
+
+    def _append_vid_to(self, rids: Sequence[int], vid: int) -> None:
+        """``UPDATE T SET vlist = vlist || vid WHERE rid IN (...)`` (Table 1).
+
+        The rid set is staged in a temp table so the UPDATE is one set-based
+        statement, as the paper's translation does with ``SELECT rid FROM T'``.
+        """
+        staging = f"{self.table_name}__commit_rids"
+        self.db.drop_table(staging, if_exists=True)
+        stage = self.db.create_table(
+            staging, TableSchema([Column("rid", DataType.INTEGER)])
+        )
+        stage.insert_many((rid,) for rid in rids)
+        self.db.execute(
+            f"UPDATE {self.table_name} SET vlist = vlist || %s "
+            f"WHERE rid IN (SELECT rid FROM {staging})",
+            (vid,),
+        )
+        self.db.drop_table(staging)
+
+    def bulk_load(self, versions, payloads) -> None:
+        """Insert each record once with its full vlist (no array rewrites)."""
+        vlists: dict[int, list[int]] = {}
+        for vid, _parents, member_rids in versions:
+            for rid in member_rids:
+                vlists.setdefault(rid, []).append(vid)
+        self.db.table(self.table_name).insert_many(
+            (rid,) + tuple(payloads[rid]) + (tuple(vids),)
+            for rid, vids in vlists.items()
+        )
+
+    def checkout_into(self, vid: int, table_name: str) -> None:
+        self.db.execute(
+            f"SELECT rid, {self._data_columns_sql()} INTO {table_name} "
+            f"FROM {self.table_name} WHERE ARRAY[%s] <@ vlist",
+            (vid,),
+        )
+
+    def fetch_version(self, vid: int) -> list[Row]:
+        return self.db.query(
+            f"SELECT rid, {self._data_columns_sql()} "
+            f"FROM {self.table_name} WHERE ARRAY[%s] <@ vlist",
+            (vid,),
+        )
+
+    def storage_bytes(self) -> int:
+        return self.db.table(self.table_name).storage_bytes()
+
+    def version_subquery_sql(self, vid: int) -> str:
+        return (
+            f"(SELECT {self._data_columns_sql()} FROM {self.table_name} "
+            f"WHERE ARRAY[{int(vid)}] <@ vlist)"
+        )
+
+    def all_versions_subquery_sql(self) -> str:
+        columns = self._data_columns_sql()
+        return (
+            f"(SELECT unnest(vlist) AS vid, {columns} FROM {self.table_name})"
+        )

@@ -1,0 +1,85 @@
+"""Split-by-rlist with range-encoded versioning arrays.
+
+The compression extension Section 3.2 points at: rlists store
+``(start, length)`` runs instead of every rid, cutting the versioning
+table's array cells dramatically on sequential-rid workloads, while
+checkout stays a single SQL statement via the engine's ``unnest_ranges``
+set-returning function.  Commit cost is unchanged (still one INSERT).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.compression import (
+    decode_ranges,
+    encode_ranges,
+)
+from repro.core.datamodels.split_rlist import SplitByRlistModel
+from repro.core.datamodels.base import Row
+
+
+class SplitByRlistRangeModel(SplitByRlistModel):
+    model_name = "split_by_rlist_rle"
+
+    def add_version(
+        self,
+        vid: int,
+        member_rids: Sequence[int],
+        new_records: Mapping[int, Row],
+        parent_vids: Sequence[int],
+    ) -> None:
+        self.db.table(self.data_table).insert_many(
+            (rid,) + tuple(row) for rid, row in new_records.items()
+        )
+        self.db.execute(
+            f"INSERT INTO {self.versioning_table} VALUES (%s, %s)",
+            (vid, encode_ranges(member_rids)),
+        )
+
+    def bulk_load(self, versions, payloads) -> None:
+        seen: set[int] = set()
+        data_rows = []
+        versioning_rows = []
+        for vid, _parents, member_rids in versions:
+            for rid in member_rids:
+                if rid not in seen:
+                    seen.add(rid)
+                    data_rows.append((rid,) + tuple(payloads[rid]))
+            versioning_rows.append((vid, encode_ranges(member_rids)))
+        self.db.table(self.data_table).insert_many(data_rows)
+        self.db.table(self.versioning_table).insert_many(versioning_rows)
+
+    def _checkout_sql(self, vid: int, into: str | None) -> str:
+        into_clause = f" INTO {into}" if into else ""
+        return (
+            f"SELECT d.rid, {self._data_columns_sql('d')}{into_clause} "
+            f"FROM {self.data_table} AS d, "
+            f"(SELECT unnest_ranges(rlist) AS rid_tmp "
+            f" FROM {self.versioning_table} WHERE vid = {int(vid)}) AS tmp "
+            f"WHERE d.rid = tmp.rid_tmp"
+        )
+
+    def member_rids(self, vid: int) -> tuple[int, ...]:
+        encoded = self.db.execute(
+            f"SELECT rlist FROM {self.versioning_table} WHERE vid = %s",
+            (vid,),
+        ).scalar()
+        return decode_ranges(encoded or ())
+
+    def version_subquery_sql(self, vid: int) -> str:
+        return (
+            f"(SELECT {self._data_columns_sql('d')} "
+            f"FROM {self.data_table} AS d, "
+            f"(SELECT unnest_ranges(rlist) AS rid_tmp "
+            f" FROM {self.versioning_table} WHERE vid = {int(vid)}) AS tmp "
+            f"WHERE d.rid = tmp.rid_tmp)"
+        )
+
+    def all_versions_subquery_sql(self) -> str:
+        return (
+            f"(SELECT m.vid AS vid, {self._data_columns_sql('d')} "
+            f"FROM (SELECT vid, unnest_ranges(rlist) AS rid_tmp "
+            f"      FROM {self.versioning_table}) AS m, "
+            f"{self.data_table} AS d WHERE d.rid = m.rid_tmp)"
+        )

@@ -1,0 +1,137 @@
+"""Approach 2: split-by-vlist (paper Figure 1c.i).
+
+The data table stores each distinct record once (keyed by ``rid``); the
+versioning table maps each ``rid`` to the array of versions containing it.
+Commit still pays the array-append cost on the versioning table, but the
+wide data rows are no longer rewritten; checkout pays a join.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.datamodels.base import DataModel, Row
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import DataType
+
+
+class SplitByVlistModel(DataModel):
+    model_name = "split_by_vlist"
+
+    @property
+    def data_table(self) -> str:
+        return f"{self.cvd_name}__data"
+
+    @property
+    def versioning_table(self) -> str:
+        return f"{self.cvd_name}__vindex"
+
+    def create_storage(self) -> None:
+        self.db.create_table(
+            self.data_table,
+            TableSchema(
+                [Column("rid", DataType.INTEGER)]
+                + list(self.data_schema.columns),
+                ("rid",),
+            ),
+            clustered_on="rid",
+        )
+        self.db.create_table(
+            self.versioning_table,
+            TableSchema(
+                [
+                    Column("rid", DataType.INTEGER),
+                    Column("vlist", DataType.INT_ARRAY),
+                ],
+                ("rid",),
+            ),
+        )
+
+    def drop_storage(self) -> None:
+        self.db.drop_table(self.data_table, if_exists=True)
+        self.db.drop_table(self.versioning_table, if_exists=True)
+
+    def add_version(
+        self,
+        vid: int,
+        member_rids: Sequence[int],
+        new_records: Mapping[int, Row],
+        parent_vids: Sequence[int],
+    ) -> None:
+        self.db.table(self.data_table).insert_many(
+            (rid,) + tuple(row) for rid, row in new_records.items()
+        )
+        self.db.table(self.versioning_table).insert_many(
+            (rid, (vid,)) for rid in new_records
+        )
+        existing = [rid for rid in member_rids if rid not in new_records]
+        if existing:
+            staging = f"{self.versioning_table}__commit_rids"
+            self.db.drop_table(staging, if_exists=True)
+            stage = self.db.create_table(
+                staging, TableSchema([Column("rid", DataType.INTEGER)])
+            )
+            stage.insert_many((rid,) for rid in existing)
+            self.db.execute(
+                f"UPDATE {self.versioning_table} SET vlist = vlist || %s "
+                f"WHERE rid IN (SELECT rid FROM {staging})",
+                (vid,),
+            )
+            self.db.drop_table(staging)
+
+    def bulk_load(self, versions, payloads) -> None:
+        """Populate the data table once and each rid's full vlist once."""
+        vlists: dict[int, list[int]] = {}
+        for vid, _parents, member_rids in versions:
+            for rid in member_rids:
+                vlists.setdefault(rid, []).append(vid)
+        self.db.table(self.data_table).insert_many(
+            (rid,) + tuple(payloads[rid]) for rid in vlists
+        )
+        self.db.table(self.versioning_table).insert_many(
+            (rid, tuple(vids)) for rid, vids in vlists.items()
+        )
+
+    def checkout_into(self, vid: int, table_name: str) -> None:
+        # Table 1's split-by-vlist translation: select the rids of the
+        # version from the versioning table, then join with the data table.
+        self.db.execute(
+            f"SELECT d.rid, {self._data_columns_sql('d')} INTO {table_name} "
+            f"FROM {self.data_table} AS d, "
+            f"(SELECT rid AS rid_tmp FROM {self.versioning_table} "
+            f" WHERE ARRAY[%s] <@ vlist) AS tmp "
+            f"WHERE d.rid = tmp.rid_tmp",
+            (vid,),
+        )
+
+    def fetch_version(self, vid: int) -> list[Row]:
+        return self.db.query(
+            f"SELECT d.rid, {self._data_columns_sql('d')} "
+            f"FROM {self.data_table} AS d, "
+            f"(SELECT rid AS rid_tmp FROM {self.versioning_table} "
+            f" WHERE ARRAY[%s] <@ vlist) AS tmp "
+            f"WHERE d.rid = tmp.rid_tmp",
+            (vid,),
+        )
+
+    def storage_bytes(self) -> int:
+        return self.db.table(self.data_table).storage_bytes() + self.db.table(
+            self.versioning_table
+        ).storage_bytes()
+
+    def version_subquery_sql(self, vid: int) -> str:
+        return (
+            f"(SELECT {self._data_columns_sql('d')} "
+            f"FROM {self.data_table} AS d, "
+            f"(SELECT rid AS rid_tmp FROM {self.versioning_table} "
+            f" WHERE ARRAY[{int(vid)}] <@ vlist) AS tmp "
+            f"WHERE d.rid = tmp.rid_tmp)"
+        )
+
+    def all_versions_subquery_sql(self) -> str:
+        return (
+            f"(SELECT m.vid AS vid, {self._data_columns_sql('d')} "
+            f"FROM (SELECT rid AS rid_tmp, unnest(vlist) AS vid "
+            f"      FROM {self.versioning_table}) AS m, "
+            f"{self.data_table} AS d WHERE d.rid = m.rid_tmp)"
+        )

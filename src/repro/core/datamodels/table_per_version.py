@@ -1,0 +1,103 @@
+"""Approach 5: a-table-per-version — the storage strawman (Section 3.1).
+
+Every version is its own table.  Checkout is a plain table copy (the lower
+bound on checkout time the partition optimizer aims for), but storage blows
+up by the average number of versions each record lives in (~10x in the
+paper's Figure 3a) and commit must write every record of the new version.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.datamodels.base import DataModel, Row
+
+
+class TablePerVersionModel(DataModel):
+    model_name = "table_per_version"
+
+    def __init__(self, db, cvd_name, data_schema):
+        super().__init__(db, cvd_name, data_schema)
+        self._version_ids: list[int] = []
+
+    def _table_for(self, vid: int) -> str:
+        return f"{self.cvd_name}__v{vid}"
+
+    def create_storage(self) -> None:
+        self._version_ids = []
+
+    def drop_storage(self) -> None:
+        for vid in self._version_ids:
+            self.db.drop_table(self._table_for(vid), if_exists=True)
+        self._version_ids = []
+
+    def add_version(
+        self,
+        vid: int,
+        member_rids: Sequence[int],
+        new_records: Mapping[int, Row],
+        parent_vids: Sequence[int],
+    ) -> None:
+        # Inherited payloads come from the parents' tables; precedence is
+        # first-parent-wins, matching the middleware's merge rule.
+        inherited: dict[int, Row] = {}
+        wanted = set(member_rids) - set(new_records)
+        for parent in parent_vids:
+            if not wanted:
+                break
+            for row in self.fetch_version(parent):
+                if row[0] in wanted:
+                    inherited[row[0]] = tuple(row[1:])
+                    wanted.discard(row[0])
+        if wanted:
+            missing = sorted(wanted)[:5]
+            raise LookupError(
+                f"records {missing} of version {vid} not found in parents"
+            )
+        table = self.db.create_table(
+            self._table_for(vid), self.storage_schema(), clustered_on="rid"
+        )
+        payload = dict(inherited)
+        payload.update({rid: tuple(row) for rid, row in new_records.items()})
+        table.insert_many(
+            (rid,) + payload[rid] for rid in member_rids
+        )
+        self._version_ids.append(vid)
+
+    def bulk_load(self, versions, payloads) -> None:
+        """Create each version's table straight from the payload map."""
+        for vid, _parents, member_rids in versions:
+            table = self.db.create_table(
+                self._table_for(vid), self.storage_schema(), clustered_on="rid"
+            )
+            table.insert_many(
+                (rid,) + tuple(payloads[rid]) for rid in member_rids
+            )
+            self._version_ids.append(vid)
+
+    def checkout_into(self, vid: int, table_name: str) -> None:
+        self.db.execute(
+            f"SELECT * INTO {table_name} FROM {self._table_for(vid)}"
+        )
+
+    def fetch_version(self, vid: int) -> list[Row]:
+        return self.db.query(f"SELECT * FROM {self._table_for(vid)}")
+
+    def storage_bytes(self) -> int:
+        return sum(
+            self.db.table(self._table_for(vid)).storage_bytes()
+            for vid in self._version_ids
+        )
+
+    def version_subquery_sql(self, vid: int) -> str:
+        return (
+            f"(SELECT {self._data_columns_sql()} FROM {self._table_for(vid)})"
+        )
+
+    def all_versions_subquery_sql(self) -> str:
+        parts = [
+            f"SELECT {int(vid)} AS vid, {self._data_columns_sql()} "
+            f"FROM {self._table_for(vid)}"
+            for vid in self._version_ids
+        ]
+        return "(" + " UNION ALL ".join(parts) + ")"

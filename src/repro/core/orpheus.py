@@ -1,0 +1,448 @@
+"""The OrpheusDB facade: git-style commands over a relational database.
+
+This is the middleware layer of Figure 2.  One :class:`OrpheusDB` instance
+wraps one :class:`~repro.storage.engine.Database` and exposes:
+
+* version-control commands — ``init``, ``checkout`` (tables or CSV files,
+  one or many versions), ``commit``, ``diff``, ``ls``, ``drop``;
+* user commands — ``create_user``, ``config`` (login), ``whoami``;
+* SQL — :meth:`run` translates ``VERSION ... OF CVD ...`` constructs and
+  executes the result on the backing database;
+* ``optimize`` — hands the CVD to the partition optimizer (Section 4).
+
+Timestamps are drawn from a monotonically increasing logical clock so runs
+are deterministic; wall-clock time is never load-bearing in the paper's
+design and this keeps tests and benchmark traces reproducible.
+"""
+
+from __future__ import annotations
+
+import csv as _csv
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.core.cvd import CVD
+from repro.core.access import AccessController
+from repro.core.provenance import ProvenanceManager, StagedCheckout
+from repro.core.translator import QueryTranslator
+from repro.errors import (
+    CVDNotFoundError,
+    SchemaEvolutionError,
+    StagingError,
+    VersioningError,
+)
+from repro.storage.engine import Database, Result
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import DataType, parse_type_name
+
+
+class OrpheusDB:
+    """A session against one backing database, managing many CVDs."""
+
+    def __init__(self, db: Database | None = None, default_model: str = "split_by_rlist"):
+        self.db = db or Database()
+        self.default_model = default_model
+        self._cvds: dict[str, CVD] = {}
+        self.provenance = ProvenanceManager()
+        self.access = AccessController()
+        self.translator = QueryTranslator(self.cvd)
+        self._clock = 0
+        self._checkout_counts: dict[str, dict[int, int]] = {}
+        # A default user so single-user scripts need no ceremony.
+        self.access.create_user("default")
+        self.access.login("default")
+
+    # ---------------------------------------------------------------- users
+
+    def create_user(self, username: str) -> None:
+        self.access.create_user(username)
+
+    def config(self, username: str) -> None:
+        """Log in as ``username`` (the paper's ``config`` command)."""
+        self.access.login(username)
+
+    def whoami(self) -> str:
+        return self.access.whoami()
+
+    # ---------------------------------------------------------------- clock
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    # ----------------------------------------------------------------- CVDs
+
+    def cvd(self, name: str) -> CVD:
+        try:
+            return self._cvds[name]
+        except KeyError:
+            raise CVDNotFoundError(f"no CVD named {name!r}") from None
+
+    def ls(self) -> list[str]:
+        """Names of all CVDs (the ``ls`` command)."""
+        return sorted(self._cvds)
+
+    def init(
+        self,
+        name: str,
+        schema: TableSchema | Sequence[tuple[str, str]],
+        rows: Iterable[Sequence[Any]] = (),
+        model: str | None = None,
+        primary_key: Sequence[str] = (),
+        message: str = "initial version",
+    ) -> CVD:
+        """Initialize a new CVD from rows (the ``init`` command).
+
+        ``schema`` is a TableSchema or a list of (name, type-name) pairs.
+        ``primary_key`` names the (possibly composite) per-version primary
+        key, which drives multi-version checkout precedence (Section 2.2).
+        """
+        if name in self._cvds:
+            raise VersioningError(f"CVD {name!r} already exists")
+        if not isinstance(schema, TableSchema):
+            schema = TableSchema(
+                [Column(n, parse_type_name(t)) for n, t in schema],
+                tuple(primary_key),
+            )
+        elif primary_key:
+            schema = TableSchema(list(schema.columns), tuple(primary_key))
+        cvd = CVD(self.db, name, schema, model or self.default_model)
+        rows = list(rows)
+        if rows:
+            cvd.init_version(rows, message=message)
+        self._cvds[name] = cvd
+        return cvd
+
+    def init_from_table(
+        self, name: str, table_name: str, model: str | None = None
+    ) -> CVD:
+        """Initialize a CVD from an existing database table."""
+        table = self.db.table(table_name)
+        return self.init(
+            name, table.schema, list(table.rows()), model=model
+        )
+
+    def init_from_csv(
+        self,
+        name: str,
+        path: str | Path,
+        schema: TableSchema | Sequence[tuple[str, str]],
+        model: str | None = None,
+    ) -> CVD:
+        """Initialize a CVD from a CSV file (header row required)."""
+        if not isinstance(schema, TableSchema):
+            schema = TableSchema(
+                [Column(n, parse_type_name(t)) for n, t in schema]
+            )
+        rows = _read_csv_rows(Path(path), schema)
+        return self.init(name, schema, rows, model=model)
+
+    def drop(self, name: str) -> None:
+        """Drop a CVD and all of its backing tables."""
+        cvd = self.cvd(name)
+        staged = self.provenance.staged_for_cvd(name)
+        if staged:
+            raise StagingError(
+                f"CVD {name!r} has uncommitted checkouts: "
+                f"{[s.name for s in staged]}"
+            )
+        cvd.drop_storage()
+        del self._cvds[name]
+
+    # -------------------------------------------------------------- checkout
+
+    def checkout_frequencies(self, cvd_name: str) -> dict[int, int]:
+        """Observed checkout counts per version (feeds the weighted
+        optimizer of Appendix C.2)."""
+        return dict(self._checkout_counts.get(cvd_name, {}))
+
+    def _count_checkout(self, cvd_name: str, vids: Sequence[int]) -> None:
+        counts = self._checkout_counts.setdefault(cvd_name, {})
+        for vid in vids:
+            counts[vid] = counts.get(vid, 0) + 1
+
+    def checkout(
+        self,
+        cvd_name: str,
+        vids: int | Sequence[int],
+        table_name: str,
+    ) -> None:
+        """``checkout [cvd] -v [vid...] -t [table]``: materialize versions."""
+        cvd = self.cvd(cvd_name)
+        vid_list = [vids] if isinstance(vids, int) else list(vids)
+        self._count_checkout(cvd_name, vid_list)
+        for vid in vid_list:
+            cvd.member_rids(vid)  # validate before creating anything
+        if self.db.has_table(table_name):
+            raise StagingError(f"table {table_name!r} already exists")
+        when = self._tick()
+        cvd.checkout_into(vid_list, table_name)
+        user = self.whoami()
+        self.provenance.register(
+            StagedCheckout(
+                name=table_name,
+                cvd_name=cvd_name,
+                parent_vids=tuple(vid_list),
+                owner=user,
+                checkout_time=when,
+            )
+        )
+        self.access.grant_owner(table_name, user)
+
+    def checkout_csv(
+        self,
+        cvd_name: str,
+        vids: int | Sequence[int],
+        path: str | Path,
+    ) -> None:
+        """``checkout [cvd] -v [vid...] -f [file]``: materialize to CSV."""
+        cvd = self.cvd(cvd_name)
+        vid_list = [vids] if isinstance(vids, int) else list(vids)
+        self._count_checkout(cvd_name, vid_list)
+        rows = cvd.checkout_rows(vid_list)
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = _csv.writer(handle)
+            writer.writerow(cvd.data_schema.column_names)
+            for row in rows:
+                writer.writerow(row[1:])  # rid stays internal
+        self.provenance.register(
+            StagedCheckout(
+                name=str(path),
+                cvd_name=cvd_name,
+                parent_vids=tuple(vid_list),
+                owner=self.whoami(),
+                checkout_time=self._tick(),
+                is_file=True,
+            )
+        )
+
+    # ---------------------------------------------------------------- commit
+
+    def commit(
+        self, table_name: str, message: str = "", schema: TableSchema | None = None
+    ) -> int:
+        """``commit -t [table] -m [msg]``: add the staged table as a version.
+
+        If the staged table's data columns differ from the CVD schema the
+        single-pool evolution of Section 3.3 is applied first.
+        """
+        staged = self.provenance.lookup(table_name)
+        self.access.check_owner(table_name, self.whoami())
+        cvd = self.cvd(staged.cvd_name)
+        table = self.db.table(table_name)
+        staged_schema = schema or self._staged_data_schema(table.schema)
+        if staged_schema.column_names != cvd.data_schema.column_names or [
+            c.dtype for c in staged_schema.columns
+        ] != [c.dtype for c in cvd.data_schema.columns]:
+            self._evolve_schema(cvd, staged_schema)
+        rows = list(table.rows())
+        has_rid = "rid" in table.schema
+        if has_rid:
+            rid_position = table.schema.position("rid")
+            data_positions = [
+                i for i in range(len(table.schema)) if i != rid_position
+            ]
+            rows = [
+                (row[rid_position],)
+                + _conform_row(
+                    [row[i] for i in data_positions],
+                    [table.schema.columns[i].name for i in data_positions],
+                    cvd.data_schema,
+                )
+                for row in rows
+            ]
+        else:
+            rows = [
+                _conform_row(list(row), table.schema.column_names, cvd.data_schema)
+                for row in rows
+            ]
+        vid = cvd.commit_rows(
+            staged.parent_vids,
+            rows,
+            message=message,
+            checkout_time=staged.checkout_time,
+            commit_time=self._tick(),
+            rows_have_rid=has_rid,
+        )
+        # Commit cleans up the staging area (Section 2.3).
+        self.db.drop_table(table_name)
+        self.provenance.remove(table_name)
+        self.access.revoke(table_name)
+        return vid
+
+    def commit_csv(
+        self,
+        path: str | Path,
+        message: str = "",
+        schema: TableSchema | Sequence[tuple[str, str]] | None = None,
+    ) -> int:
+        """``commit -f [file] -s [schema] -m [msg]``: commit a CSV checkout."""
+        path = Path(path)
+        staged = self.provenance.lookup(str(path))
+        self.access.check_owner(str(path), self.whoami())
+        cvd = self.cvd(staged.cvd_name)
+        if schema is not None and not isinstance(schema, TableSchema):
+            schema = TableSchema(
+                [Column(n, parse_type_name(t)) for n, t in schema]
+            )
+        staged_schema = schema or cvd.data_schema
+        if staged_schema.column_names != cvd.data_schema.column_names:
+            self._evolve_schema(cvd, staged_schema)
+        rows = _read_csv_rows(path, staged_schema)
+        rows = [
+            _conform_row(list(row), staged_schema.column_names, cvd.data_schema)
+            for row in rows
+        ]
+        vid = cvd.commit_rows(
+            staged.parent_vids,
+            rows,
+            message=message,
+            checkout_time=staged.checkout_time,
+            commit_time=self._tick(),
+            rows_have_rid=False,
+        )
+        self.provenance.remove(str(path))
+        self.access.revoke(str(path))
+        return vid
+
+    def _staged_data_schema(self, table_schema: TableSchema) -> TableSchema:
+        columns = [c for c in table_schema.columns if c.name != "rid"]
+        return TableSchema(columns)
+
+    def _evolve_schema(self, cvd: CVD, staged_schema: TableSchema) -> None:
+        plan = cvd.attributes.reconcile(cvd.data_schema, staged_schema)
+        model = cvd.model
+        if plan.added_columns or plan.widened_columns:
+            if not hasattr(model, "data_table"):
+                raise SchemaEvolutionError(
+                    f"data model {model.model_name!r} does not support "
+                    f"schema evolution"
+                )
+            data_table = self.db.table(model.data_table)
+            for column in plan.added_columns:
+                data_table.alter_add_column(column)
+            for name, dtype in plan.widened_columns:
+                data_table.alter_column_type(name, dtype)
+        cvd.data_schema = plan.new_schema
+        model.data_schema = plan.new_schema
+        cvd._current_attribute_ids = plan.attribute_ids
+
+    # ------------------------------------------------------------------ SQL
+
+    def run(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        """Execute SQL, translating versioned constructs first."""
+        return self.db.execute(self.translator.translate(sql), params)
+
+    # ------------------------------------------------- version-graph shortcuts
+
+    def ancestors(self, cvd_name: str, vid: int) -> list[int]:
+        """All transitive ancestors of a version (Section 2.2 shortcut)."""
+        return sorted(self.cvd(cvd_name).graph.ancestors(vid))
+
+    def descendants(self, cvd_name: str, vid: int) -> list[int]:
+        """All transitive descendants of a version."""
+        return sorted(self.cvd(cvd_name).graph.descendants(vid))
+
+    def parents_of(self, cvd_name: str, vid: int) -> tuple[int, ...]:
+        return self.cvd(cvd_name).version(vid).parents
+
+    def children_of(self, cvd_name: str, vid: int) -> list[int]:
+        return sorted(self.cvd(cvd_name).graph.children(vid))
+
+    def last_modified(self, cvd_name: str):
+        """The most recently committed version (vid, commit_time, message).
+
+        The same information is SQL-reachable through the metadata table;
+        this is the paper's convenience shortcut.
+        """
+        cvd = self.cvd(cvd_name)
+        latest = max(
+            cvd.graph.versions(),
+            key=lambda v: (v.commit_time or 0, v.vid),
+        )
+        return latest.vid, latest.commit_time, latest.message
+
+    def version_log(self, cvd_name: str) -> list[dict]:
+        """Topologically ordered version metadata (the ``log`` command)."""
+        cvd = self.cvd(cvd_name)
+        out = []
+        for vid in cvd.graph.topological_order():
+            version = cvd.version(vid)
+            out.append(
+                {
+                    "vid": vid,
+                    "parents": version.parents,
+                    "num_records": version.num_records,
+                    "commit_time": version.commit_time,
+                    "message": version.message,
+                }
+            )
+        return out
+
+    # ----------------------------------------------------------------- diff
+
+    def diff(self, cvd_name: str, vid_a: int, vid_b: int):
+        """Records in one version but not the other (the ``diff`` command)."""
+        return self.cvd(cvd_name).diff(vid_a, vid_b)
+
+    # ------------------------------------------------------------- optimize
+
+    def optimize(
+        self,
+        cvd_name: str,
+        storage_threshold: float = 2.0,
+        tolerance: float = 1.5,
+        weighted: bool = False,
+    ):
+        """Partition a CVD with LyreSplit (the ``optimize`` command).
+
+        ``storage_threshold`` is gamma expressed as a multiple of |R|;
+        ``tolerance`` is the migration trigger mu.  With ``weighted`` the
+        observed checkout frequencies drive the Appendix C.2 objective.
+        Returns the :class:`~repro.partition.online.PartitionOptimizer` now
+        managing the CVD, which also handles subsequent online maintenance.
+        """
+        from repro.partition.online import PartitionOptimizer
+
+        cvd = self.cvd(cvd_name)
+        frequencies = (
+            self.checkout_frequencies(cvd_name) if weighted else None
+        )
+        optimizer = PartitionOptimizer(
+            cvd,
+            storage_multiple=storage_threshold,
+            tolerance=tolerance,
+            frequencies=frequencies or None,
+        )
+        optimizer.run_full_partitioning()
+        return optimizer
+
+
+def _conform_row(
+    values: list[Any], names: list[str], target: TableSchema
+) -> tuple:
+    """Re-order/pad a staged row onto the CVD's data schema by column name."""
+    by_name = dict(zip(names, values))
+    return tuple(by_name.get(column.name) for column in target.columns)
+
+
+def _read_csv_rows(path: Path, schema: TableSchema) -> list[tuple]:
+    with path.open(newline="") as handle:
+        reader = _csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            return []
+        positions = [
+            header.index(name) if name in header else None
+            for name in schema.column_names
+        ]
+        rows = []
+        for raw in reader:
+            rows.append(
+                tuple(
+                    raw[p] if p is not None and p < len(raw) else None
+                    for p in positions
+                )
+            )
+        return rows

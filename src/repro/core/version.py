@@ -1,0 +1,35 @@
+"""Version metadata (paper Section 3.3, Figure 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Version:
+    """Metadata for one version of a CVD.
+
+    ``checkout_time`` / ``commit_time`` are logical timestamps drawn from the
+    OrpheusDB instance's monotonic clock so test runs are deterministic; the
+    clock can be seeded from wall time by applications that care.
+    ``attribute_ids`` indexes into the CVD's attribute table (Figure 5) and
+    supports the single-pool schema-evolution scheme.
+    """
+
+    vid: int
+    parents: tuple[int, ...] = ()
+    num_records: int = 0
+    checkout_time: int | None = None
+    commit_time: int | None = None
+    message: str = ""
+    attribute_ids: tuple[int, ...] = ()
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def is_merge(self) -> bool:
+        """A merged version has two or more parents (Section 2.1)."""
+        return len(self.parents) >= 2
+
+    @property
+    def is_root(self) -> bool:
+        return not self.parents

@@ -1,0 +1,165 @@
+"""The version graph: a DAG of derivation relationships (Section 3.3).
+
+Nodes are versions; an edge ``vi -> vj`` means vj was derived from vi and
+carries weight ``w(vi, vj)`` — the number of records the two versions share.
+LyreSplit runs entirely on this structure (that is why it is ~1000x faster
+than the baselines, which chew on the full version-record bipartite graph).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import VersionNotFoundError, VersioningError
+from repro.core.version import Version
+
+
+class VersionGraph:
+    """Mutable DAG of :class:`Version` nodes with weighted derivation edges."""
+
+    def __init__(self) -> None:
+        self._versions: dict[int, Version] = {}
+        self._edge_weights: dict[tuple[int, int], int] = {}
+
+    # ----------------------------------------------------------- inspection
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __contains__(self, vid: int) -> bool:
+        return vid in self._versions
+
+    def version(self, vid: int) -> Version:
+        try:
+            return self._versions[vid]
+        except KeyError:
+            raise VersionNotFoundError(f"no version {vid}") from None
+
+    def version_ids(self) -> list[int]:
+        return list(self._versions)
+
+    def versions(self) -> Iterator[Version]:
+        return iter(self._versions.values())
+
+    def roots(self) -> list[int]:
+        return [v.vid for v in self._versions.values() if v.is_root]
+
+    def leaves(self) -> list[int]:
+        return [v.vid for v in self._versions.values() if not v.children]
+
+    def parents(self, vid: int) -> tuple[int, ...]:
+        return self.version(vid).parents
+
+    def children(self, vid: int) -> list[int]:
+        return list(self.version(vid).children)
+
+    def edge_weight(self, parent: int, child: int) -> int:
+        """``w(parent, child)``: records shared along a derivation edge."""
+        try:
+            return self._edge_weights[(parent, child)]
+        except KeyError:
+            raise VersioningError(
+                f"no derivation edge {parent} -> {child}"
+            ) from None
+
+    def edges(self) -> Iterator[tuple[int, int, int]]:
+        """All (parent, child, weight) edges."""
+        for (parent, child), weight in self._edge_weights.items():
+            yield parent, child, weight
+
+    @property
+    def num_bipartite_edges(self) -> int:
+        """|E| of the version-record bipartite graph: sum of |R(v)|."""
+        return sum(v.num_records for v in self._versions.values())
+
+    # ------------------------------------------------------------- mutation
+
+    def add_version(self, version: Version, edge_weights: dict[int, int]) -> None:
+        """Insert a version whose parents are already present.
+
+        ``edge_weights`` maps each parent vid to ``w(parent, new)``.
+        """
+        if version.vid in self._versions:
+            raise VersioningError(f"version {version.vid} already exists")
+        if set(edge_weights) != set(version.parents):
+            raise VersioningError(
+                "edge weights must cover exactly the parent set"
+            )
+        for parent in version.parents:
+            self.version(parent)  # raises if missing
+        self._versions[version.vid] = version
+        for parent, weight in edge_weights.items():
+            self._versions[parent].children.append(version.vid)
+            self._edge_weights[(parent, version.vid)] = weight
+
+    # ------------------------------------------------------------ traversal
+
+    def topological_order(self) -> list[int]:
+        """Parents before children; insertion order is already topological
+        because parents must exist at insert time, but recompute defensively."""
+        in_degree = {vid: len(v.parents) for vid, v in self._versions.items()}
+        frontier = [vid for vid, deg in in_degree.items() if deg == 0]
+        order: list[int] = []
+        while frontier:
+            vid = frontier.pop()
+            order.append(vid)
+            for child in self._versions[vid].children:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    frontier.append(child)
+        if len(order) != len(self._versions):
+            raise VersioningError("version graph contains a cycle")
+        return order
+
+    def depth(self, vid: int) -> int:
+        """Level ``l(v)`` in a topological sort; roots have depth 1."""
+        depths: dict[int, int] = {}
+        for node in self.topological_order():
+            version = self._versions[node]
+            if version.is_root:
+                depths[node] = 1
+            else:
+                depths[node] = 1 + max(depths[p] for p in version.parents)
+        if vid not in depths:
+            raise VersionNotFoundError(f"no version {vid}")
+        return depths[vid]
+
+    def ancestors(self, vid: int) -> set[int]:
+        """All transitive ancestors (excluding ``vid`` itself)."""
+        seen: set[int] = set()
+        stack = list(self.version(vid).parents)
+        while stack:
+            node = stack.pop()
+            if node not in seen:
+                seen.add(node)
+                stack.extend(self._versions[node].parents)
+        return seen
+
+    def descendants(self, vid: int) -> set[int]:
+        """All transitive descendants (excluding ``vid`` itself)."""
+        seen: set[int] = set()
+        stack = list(self.version(vid).children)
+        while stack:
+            node = stack.pop()
+            if node not in seen:
+                seen.add(node)
+                stack.extend(self._versions[node].children)
+        return seen
+
+    def is_tree(self) -> bool:
+        """True when no version has more than one parent (no merges)."""
+        return all(len(v.parents) <= 1 for v in self._versions.values())
+
+    def subtree_nodes(self, root: int, blocked_edge: tuple[int, int]) -> set[int]:
+        """Nodes reachable from ``root`` through tree edges, not crossing
+        ``blocked_edge`` — the split primitive LyreSplit uses."""
+        seen = {root}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for child in self._versions[node].children:
+                if (node, child) == blocked_edge or child in seen:
+                    continue
+                seen.add(child)
+                stack.append(child)
+        return seen

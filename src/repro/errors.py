@@ -1,0 +1,82 @@
+"""Exception hierarchy shared by every layer of the reproduction.
+
+The storage engine, the OrpheusDB middleware, and the partition optimizer
+raise subclasses of :class:`ReproError` so applications can catch one base
+class at the API boundary while tests can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the embedded relational engine."""
+
+
+class SQLSyntaxError(StorageError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at character {position})"
+        super().__init__(message)
+
+
+class CatalogError(StorageError):
+    """A table, column, or index reference could not be resolved."""
+
+
+class DuplicateObjectError(CatalogError):
+    """An attempt to create a table or index that already exists."""
+
+
+class TypeMismatchError(StorageError):
+    """A value could not be coerced to the declared column type."""
+
+
+class ConstraintViolationError(StorageError):
+    """A primary-key or not-null constraint was violated."""
+
+
+class ExecutionError(StorageError):
+    """A runtime failure while evaluating expressions or plans."""
+
+
+class VersioningError(ReproError):
+    """Base class for errors raised by the OrpheusDB middleware."""
+
+
+class CVDNotFoundError(VersioningError):
+    """The named collaborative versioned dataset does not exist."""
+
+
+class VersionNotFoundError(VersioningError):
+    """The requested version id is not present in the CVD."""
+
+
+class StagingError(VersioningError):
+    """A checkout/commit staging-area invariant was violated."""
+
+
+class PermissionDeniedError(VersioningError):
+    """The acting user lacks permission for the requested object."""
+
+
+class SchemaEvolutionError(VersioningError):
+    """A committed schema cannot be reconciled with the CVD schema."""
+
+
+class PartitionError(ReproError):
+    """Base class for errors raised by the partition optimizer."""
+
+
+class InfeasibleBudgetError(PartitionError):
+    """No partitioning satisfies the requested storage threshold."""
+
+
+class WorkloadError(ReproError):
+    """The benchmark workload generator was given invalid parameters."""

@@ -1,0 +1,40 @@
+"""Partition optimizer: LyreSplit, baselines, online maintenance, migration."""
+
+from repro.partition.agglo import agglo_budget_search, agglo_partition
+from repro.partition.bipartite import BipartiteGraph, Partitioning
+from repro.partition.dag_reduction import VersionTreeView, reduce_to_tree
+from repro.partition.delta_search import DeltaSearchResult, search_delta
+from repro.partition.kmeans import kmeans_budget_search, kmeans_partition
+from repro.partition.lyresplit import LyreSplitResult, lyresplit
+from repro.partition.migration import (
+    MigrationPlan,
+    plan_intelligent,
+    plan_naive,
+)
+from repro.partition.online import PartitionOptimizer
+from repro.partition.partition_manager import PartitionedRlistModel
+from repro.partition.schema_aware import schema_aware_lyresplit
+from repro.partition.weighted import search_delta_weighted, weighted_lyresplit
+
+__all__ = [
+    "BipartiteGraph",
+    "Partitioning",
+    "VersionTreeView",
+    "reduce_to_tree",
+    "lyresplit",
+    "LyreSplitResult",
+    "search_delta",
+    "DeltaSearchResult",
+    "agglo_partition",
+    "agglo_budget_search",
+    "kmeans_partition",
+    "kmeans_budget_search",
+    "plan_intelligent",
+    "plan_naive",
+    "MigrationPlan",
+    "PartitionOptimizer",
+    "PartitionedRlistModel",
+    "weighted_lyresplit",
+    "search_delta_weighted",
+    "schema_aware_lyresplit",
+]

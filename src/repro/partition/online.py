@@ -1,0 +1,312 @@
+"""The partition optimizer: full runs, online maintenance, and migration.
+
+:class:`PartitionOptimizer` is the Section 4.3 controller:
+
+1. :meth:`run_full_partitioning` solves Problem 1 with LyreSplit's binary
+   search under the storage threshold gamma and physically applies the
+   result (swapping the CVD's model for a
+   :class:`~repro.partition.partition_manager.PartitionedRlistModel` on the
+   first run; migrating on later runs).
+2. While versions stream in, the installed placement policy applies the
+   online rule: commit vi into the partition of its closest parent vj,
+   unless ``w(vi, vj) <= delta* . |R|`` and the storage budget has room, in
+   which case vi opens a fresh partition.
+3. After each commit the optimizer re-runs LyreSplit (cheap — version graph
+   only) and, when the live checkout cost exceeds ``mu`` times the best
+   achievable, triggers the migration engine (intelligent by default,
+   naive available for the Fig. 14/15 comparison).
+
+The optimizer records a trace of (versions-committed, Cavg, C*avg) samples
+and every migration event, which is exactly what the online benchmarks
+plot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.cvd import CVD
+from repro.errors import PartitionError
+from repro.partition.bipartite import BipartiteGraph, Partitioning
+from repro.partition.dag_reduction import reduce_to_tree
+from repro.partition.delta_search import search_delta
+from repro.partition.migration import (
+    MigrationPlan,
+    plan_intelligent,
+    plan_naive,
+)
+from repro.partition.partition_manager import PartitionedRlistModel
+
+
+@dataclass
+class MigrationEvent:
+    """One firing of the migration engine."""
+
+    at_version_count: int
+    plan_modifications: int
+    records_inserted: int
+    records_deleted: int
+    wall_seconds: float
+    strategy: str
+
+
+@dataclass
+class MaintenanceSample:
+    """One point of the online-maintenance trace (Fig. 14a/15a)."""
+
+    version_count: int
+    current_cavg: float
+    best_cavg: float
+
+
+@dataclass
+class OptimizerTrace:
+    samples: list[MaintenanceSample] = field(default_factory=list)
+    migrations: list[MigrationEvent] = field(default_factory=list)
+
+
+class PartitionOptimizer:
+    """Owns partitioning decisions for one CVD."""
+
+    def __init__(
+        self,
+        cvd: CVD,
+        storage_multiple: float = 2.0,
+        tolerance: float = 1.5,
+        edge_rule: str = "balance",
+        migration_strategy: str = "intelligent",
+        auto_migrate: bool = True,
+        frequencies: dict[int, int] | None = None,
+    ):
+        if tolerance < 1.0:
+            raise PartitionError("tolerance mu must be >= 1")
+        if migration_strategy not in ("intelligent", "naive"):
+            raise PartitionError(
+                f"unknown migration strategy {migration_strategy!r}"
+            )
+        self.cvd = cvd
+        self.storage_multiple = storage_multiple
+        self.tolerance = tolerance
+        self.edge_rule = edge_rule
+        self.migration_strategy = migration_strategy
+        self.auto_migrate = auto_migrate
+        #: Checkout frequencies per vid; when set, full partitioning runs
+        #: optimize the weighted objective of Appendix C.2.
+        self.frequencies = frequencies
+        self.delta_star: float | None = None
+        self.trace = OptimizerTrace()
+        self._model: PartitionedRlistModel | None = None
+
+    # -------------------------------------------------------------- budget
+
+    @property
+    def gamma(self) -> float:
+        """Storage threshold, tracking the current record count."""
+        return self.storage_multiple * self.cvd.record_count
+
+    # ---------------------------------------------------------- full runs
+
+    def compute_partitioning(self, use_bipartite: bool = True):
+        """Solve Problem 1 on the current version graph (no physical work).
+
+        ``use_bipartite=False`` evaluates candidate storage on the version
+        tree alone — exact for tree-shaped histories, conservative for
+        DAGs — which is what makes re-running LyreSplit after *every*
+        commit cheap (the paper: "LyreSplit is lightweight and can be run
+        very quickly after every commit").
+        """
+        if use_bipartite:
+            bipartite = BipartiteGraph.from_cvd(self.cvd)
+            tree = reduce_to_tree(
+                self.cvd.graph, true_record_count=bipartite.num_records
+            )
+            return search_delta(
+                tree, self.gamma, bipartite=bipartite, edge_rule=self.edge_rule
+            )
+        tree = reduce_to_tree(
+            self.cvd.graph, true_record_count=self.cvd.record_count
+        )
+        # A coarser binary search suffices for the per-commit mu check;
+        # the full-precision search runs when a migration actually fires.
+        return search_delta(
+            tree, self.gamma, edge_rule=self.edge_rule, max_iterations=12
+        )
+
+    def run_full_partitioning(self):
+        """Partition (or re-partition) the CVD's physical storage.
+
+        With ``frequencies`` set, the weighted search (Appendix C.2) picks
+        the partitioning; otherwise the standard uniform-frequency search.
+        """
+        if self.frequencies:
+            from repro.partition.weighted import search_delta_weighted
+
+            bipartite = BipartiteGraph.from_cvd(self.cvd)
+            tree = reduce_to_tree(
+                self.cvd.graph, true_record_count=bipartite.num_records
+            )
+            delta, partitioning, storage, cost = search_delta_weighted(
+                tree,
+                self.frequencies,
+                self.gamma,
+                bipartite,
+                edge_rule=self.edge_rule,
+            )
+            from repro.partition.delta_search import DeltaSearchResult
+
+            result = DeltaSearchResult(
+                delta=delta,
+                partitioning=partitioning,
+                storage_cost=storage,
+                checkout_cost=cost,
+                iterations=0,
+                levels=0,
+            )
+        else:
+            result = self.compute_partitioning()
+        self.delta_star = result.delta
+        if self._model is None:
+            self._install_partitioned_model(result.partitioning)
+        else:
+            self.migrate(result.partitioning)
+        return result
+
+    def _install_partitioned_model(self, partitioning: Partitioning) -> None:
+        old_model = self.cvd.model
+        new_model = PartitionedRlistModel(
+            self.cvd.db, self.cvd.name, self.cvd.data_schema
+        )
+        new_model.create_storage()
+
+        def payloads(rids: Iterable[int]):
+            wanted = set(rids)
+            out = {}
+            data_table = self.cvd.db.table(old_model.data_table)
+            rid_index = data_table.index_on(["rid"])
+            for rid in wanted:
+                rows = data_table.probe(rid_index, (rid,))
+                if rows:
+                    out[rid] = tuple(rows[0][1:])
+            missing = wanted - set(out)
+            if missing:
+                raise PartitionError(
+                    f"records {sorted(missing)[:5]} missing from data table"
+                )
+            return out
+
+        new_model.build_from(self.cvd.membership, payloads, partitioning)
+        old_model.drop_storage()
+        new_model.placement_policy = self._place_version
+        self.cvd.model = new_model
+        self._model = new_model
+
+    # ------------------------------------------------------ online commits
+
+    def _place_version(
+        self, vid: int, members: frozenset, parent_vids
+    ) -> int | None:
+        """Section 4.3's rule; returning None opens a new partition."""
+        assert self._model is not None
+        if not parent_vids:
+            return None
+        placed = [p for p in parent_vids if p in self._model._assignment]
+        if not placed:
+            return None
+        best_parent = max(
+            placed, key=lambda p: (len(members & self._model.member_rids(p)), -p)
+        )
+        weight = len(members & self._model.member_rids(best_parent))
+        delta_star = self.delta_star if self.delta_star is not None else 1.0
+        record_count = self.cvd.record_count
+        storage = self._model.storage_cost_records
+        if weight <= delta_star * record_count and storage < self.gamma:
+            return None
+        return self._model.partition_of(best_parent)
+
+    def after_commit(self) -> MaintenanceSample:
+        """Check the tolerance trigger; call after every commit.
+
+        Returns the recorded trace sample (also appended to ``trace``).
+        Fires migration when ``Cavg > mu * C*avg`` and ``auto_migrate``.
+        """
+        if self._model is None:
+            raise PartitionError(
+                "optimizer has no partitioned model; run run_full_partitioning"
+            )
+        best = self.compute_partitioning(use_bipartite=False)
+        current = self._model.checkout_cost_avg
+        sample = MaintenanceSample(
+            version_count=self.cvd.version_count,
+            current_cavg=current,
+            best_cavg=best.checkout_cost,
+        )
+        self.trace.samples.append(sample)
+        if (
+            self.auto_migrate
+            and best.checkout_cost > 0
+            and current > self.tolerance * best.checkout_cost
+        ):
+            self.delta_star = best.delta
+            self.migrate(best.partitioning)
+        return sample
+
+    # ------------------------------------------------------------ migration
+
+    def migrate(
+        self, new_partitioning: Partitioning, strategy: str | None = None
+    ) -> MigrationEvent:
+        """Reorganize physical partitions to ``new_partitioning``."""
+        assert self._model is not None
+        strategy = strategy or self.migration_strategy
+        members = self._model._members
+        if strategy == "intelligent":
+            old_rid_sets = [
+                set(state.rids) for state in self._model.partition_states()
+            ]
+            old_indexes = [
+                state.index for state in self._model.partition_states()
+            ]
+            plan = plan_intelligent(old_rid_sets, new_partitioning, members)
+            reuse = {
+                i: old_indexes[j] for i, j in plan.reuse.items()
+            }
+        else:
+            plan = plan_naive(new_partitioning, members)
+            reuse = {}
+        started = time.perf_counter()
+        inserted, deleted = self._model.replace_partitions(
+            list(plan.new_groups), reuse, self._payloads_from_partitions
+        )
+        event = MigrationEvent(
+            at_version_count=self.cvd.version_count,
+            plan_modifications=plan.modifications,
+            records_inserted=inserted,
+            records_deleted=deleted,
+            wall_seconds=time.perf_counter() - started,
+            strategy=strategy,
+        )
+        self.trace.migrations.append(event)
+        return event
+
+    def _payloads_from_partitions(self, rids: Iterable[int]):
+        assert self._model is not None
+        return self._model._fetch_payloads(rids)
+
+    # ------------------------------------------------------------- metrics
+
+    @property
+    def current_checkout_cost(self) -> float:
+        assert self._model is not None
+        return self._model.checkout_cost_avg
+
+    @property
+    def current_storage_cost(self) -> int:
+        assert self._model is not None
+        return self._model.storage_cost_records
+
+    @property
+    def num_partitions(self) -> int:
+        assert self._model is not None
+        return len(self._model.partition_states())

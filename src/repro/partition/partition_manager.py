@@ -1,0 +1,384 @@
+"""Physical partitioned storage: split-by-rlist sharded by partition.
+
+Applying a :class:`~repro.partition.bipartite.Partitioning` turns a CVD's
+single (data table, versioning table) pair into one pair per partition —
+the hybrid of split-by-rlist and a-table-per-version that Section 3.2
+motivates.  Checkout of a version touches exactly its partition's tables
+(the paper constrains every version to one partition for this reason), so
+checkout cost drops from |R| to |R_k|.
+
+:class:`PartitionedRlistModel` implements the
+:class:`~repro.core.datamodels.base.DataModel` interface, so an optimizer
+can swap it in for a CVD's plain split-by-rlist model and the rest of the
+middleware (checkout/commit/translation) keeps working unchanged.  New
+versions are placed by a pluggable policy — the online-maintenance rule of
+Section 4.3 by default (installed by the optimizer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.datamodels.base import DataModel, Row
+from repro.errors import PartitionError, VersionNotFoundError
+from repro.partition.bipartite import Partitioning
+from repro.storage import arrays
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import DataType
+
+
+@dataclass
+class PartitionState:
+    """Bookkeeping for one physical partition."""
+
+    index: int
+    vids: set[int] = field(default_factory=set)
+    rids: set[int] = field(default_factory=set)
+
+    @property
+    def num_versions(self) -> int:
+        return len(self.vids)
+
+    @property
+    def num_records(self) -> int:
+        return len(self.rids)
+
+
+#: Placement decision for a newly committed version: an existing partition
+#: index, or None to open a fresh partition.
+PlacementPolicy = Callable[[int, frozenset, Sequence[int]], "int | None"]
+
+
+class PartitionedRlistModel(DataModel):
+    model_name = "partitioned_rlist"
+
+    def __init__(self, db, cvd_name, data_schema):
+        super().__init__(db, cvd_name, data_schema)
+        self._partitions: dict[int, PartitionState] = {}
+        self._assignment: dict[int, int] = {}  # vid -> partition index
+        self._members: dict[int, frozenset[int]] = {}
+        self._next_partition = 0
+        self.placement_policy: PlacementPolicy | None = None
+
+    # ------------------------------------------------------------- naming
+
+    def _data_table(self, index: int) -> str:
+        return f"{self.cvd_name}__p{index}_data"
+
+    def _versioning_table(self, index: int) -> str:
+        return f"{self.cvd_name}__p{index}_versions"
+
+    # ---------------------------------------------------------- lifecycle
+
+    def create_storage(self) -> None:
+        self._partitions = {}
+        self._assignment = {}
+        self._members = {}
+        self._next_partition = 0
+
+    def drop_storage(self) -> None:
+        for index in list(self._partitions):
+            self._drop_partition(index)
+        self.create_storage()
+
+    def _create_partition(self) -> PartitionState:
+        index = self._next_partition
+        self._next_partition += 1
+        self.db.create_table(
+            self._data_table(index),
+            TableSchema(
+                [Column("rid", DataType.INTEGER)]
+                + list(self.data_schema.columns),
+                ("rid",),
+            ),
+            clustered_on="rid",
+        )
+        self.db.create_table(
+            self._versioning_table(index),
+            TableSchema(
+                [
+                    Column("vid", DataType.INTEGER),
+                    Column("rlist", DataType.INT_ARRAY),
+                ],
+                ("vid",),
+            ),
+        )
+        state = PartitionState(index)
+        self._partitions[index] = state
+        return state
+
+    def _drop_partition(self, index: int) -> None:
+        self.db.drop_table(self._data_table(index), if_exists=True)
+        self.db.drop_table(self._versioning_table(index), if_exists=True)
+        del self._partitions[index]
+
+    # ----------------------------------------------------------- structure
+
+    def partition_states(self) -> list[PartitionState]:
+        return [self._partitions[i] for i in sorted(self._partitions)]
+
+    def partition_of(self, vid: int) -> int:
+        try:
+            return self._assignment[vid]
+        except KeyError:
+            raise VersionNotFoundError(
+                f"version {vid} is not in any partition"
+            ) from None
+
+    def current_partitioning(self) -> Partitioning:
+        groups: dict[int, set[int]] = {}
+        for vid, index in self._assignment.items():
+            groups.setdefault(index, set()).add(vid)
+        return Partitioning.from_groups(groups.values())
+
+    @property
+    def storage_cost_records(self) -> int:
+        """S = sum over partitions of |R_k| (Equation 4.1)."""
+        return sum(p.num_records for p in self._partitions.values())
+
+    @property
+    def checkout_cost_avg(self) -> float:
+        """Cavg from the live partition states (Equation 4.2)."""
+        if not self._assignment:
+            return 0.0
+        total = sum(
+            p.num_versions * p.num_records for p in self._partitions.values()
+        )
+        return total / len(self._assignment)
+
+    def member_rids(self, vid: int) -> frozenset[int]:
+        try:
+            return self._members[vid]
+        except KeyError:
+            raise VersionNotFoundError(f"no version {vid}") from None
+
+    # --------------------------------------------------------------- build
+
+    def build_from(
+        self,
+        membership: Mapping[int, frozenset[int]],
+        payloads: Callable[[Iterable[int]], dict[int, Row]],
+        partitioning: Partitioning,
+    ) -> None:
+        """Populate partitions from scratch.
+
+        ``payloads`` resolves rids to data rows (typically reading the old
+        monolithic data table before it is dropped).
+        """
+        for group in partitioning.groups:
+            state = self._create_partition()
+            group_rids: set[int] = set()
+            for vid in group:
+                group_rids |= membership[vid]
+            rows = payloads(sorted(group_rids))
+            self.db.table(self._data_table(state.index)).insert_many(
+                (rid,) + tuple(rows[rid]) for rid in sorted(group_rids)
+            )
+            versioning = self.db.table(self._versioning_table(state.index))
+            for vid in sorted(group):
+                versioning.insert(
+                    (vid, arrays.make_array(sorted(membership[vid])))
+                )
+                self._assignment[vid] = state.index
+                self._members[vid] = frozenset(membership[vid])
+            state.vids |= set(group)
+            state.rids |= group_rids
+
+    # -------------------------------------------------------------- commit
+
+    def add_version(
+        self,
+        vid: int,
+        member_rids: Sequence[int],
+        new_records: Mapping[int, Row],
+        parent_vids: Sequence[int],
+    ) -> None:
+        members = frozenset(member_rids)
+        target: int | None = None
+        if self.placement_policy is not None:
+            target = self.placement_policy(vid, members, parent_vids)
+        elif parent_vids:
+            target = self._assignment.get(parent_vids[0])
+        if target is None:
+            state = self._create_partition()
+        else:
+            state = self._partitions[target]
+        missing = members - state.rids - set(new_records)
+        copied = self._fetch_payloads(missing) if missing else {}
+        data_table = self.db.table(self._data_table(state.index))
+        inserts = dict(copied)
+        inserts.update(new_records)
+        data_table.insert_many(
+            (rid,) + tuple(row)
+            for rid, row in inserts.items()
+            if rid not in state.rids
+        )
+        self.db.execute(
+            f"INSERT INTO {self._versioning_table(state.index)} "
+            f"VALUES (%s, %s)",
+            (vid, arrays.make_array(member_rids)),
+        )
+        state.vids.add(vid)
+        state.rids |= members
+        self._assignment[vid] = state.index
+        self._members[vid] = members
+
+    def _fetch_payloads(self, rids: Iterable[int]) -> dict[int, Row]:
+        """Resolve payloads of records living in other partitions."""
+        wanted = set(rids)
+        out: dict[int, Row] = {}
+        for state in self._partitions.values():
+            if not wanted:
+                break
+            hits = wanted & state.rids
+            if not hits:
+                continue
+            table = self.db.table(self._data_table(state.index))
+            index = table.index_on(["rid"])
+            for rid in sorted(hits):
+                rows = table.probe(index, (rid,))
+                if rows:
+                    out[rid] = tuple(rows[0][1:])
+                    wanted.discard(rid)
+        if wanted:
+            raise PartitionError(
+                f"records {sorted(wanted)[:5]} not found in any partition"
+            )
+        return out
+
+    # ------------------------------------------------------------ checkout
+
+    def checkout_into(self, vid: int, table_name: str) -> None:
+        index = self.partition_of(vid)
+        self.db.execute(self._checkout_sql(vid, index, into=table_name))
+
+    def fetch_version(self, vid: int) -> list[Row]:
+        index = self.partition_of(vid)
+        return self.db.query(self._checkout_sql(vid, index, into=None))
+
+    def _checkout_sql(self, vid: int, index: int, into: str | None) -> str:
+        into_clause = f" INTO {into}" if into else ""
+        return (
+            f"SELECT d.rid, {self._data_columns_sql('d')}{into_clause} "
+            f"FROM {self._data_table(index)} AS d, "
+            f"(SELECT unnest(rlist) AS rid_tmp "
+            f" FROM {self._versioning_table(index)} "
+            f" WHERE vid = {int(vid)}) AS tmp "
+            f"WHERE d.rid = tmp.rid_tmp"
+        )
+
+    def storage_bytes(self) -> int:
+        total = 0
+        for index in self._partitions:
+            total += self.db.table(self._data_table(index)).storage_bytes()
+            total += self.db.table(
+                self._versioning_table(index)
+            ).storage_bytes()
+        return total
+
+    def version_subquery_sql(self, vid: int) -> str:
+        index = self.partition_of(vid)
+        return (
+            f"(SELECT {self._data_columns_sql('d')} "
+            f"FROM {self._data_table(index)} AS d, "
+            f"(SELECT unnest(rlist) AS rid_tmp "
+            f" FROM {self._versioning_table(index)} "
+            f" WHERE vid = {int(vid)}) AS tmp "
+            f"WHERE d.rid = tmp.rid_tmp)"
+        )
+
+    def all_versions_subquery_sql(self) -> str:
+        parts = []
+        for index in sorted(self._partitions):
+            parts.append(
+                f"SELECT m.vid AS vid, {self._data_columns_sql('d')} "
+                f"FROM (SELECT vid, unnest(rlist) AS rid_tmp "
+                f"      FROM {self._versioning_table(index)}) AS m, "
+                f"{self._data_table(index)} AS d WHERE d.rid = m.rid_tmp"
+            )
+        return "(" + " UNION ALL ".join(parts) + ")"
+
+    # ----------------------------------------------------------- migration
+
+    def replace_partitions(
+        self,
+        new_groups: Sequence[frozenset[int]],
+        reuse: Mapping[int, int],
+        payloads: Callable[[Iterable[int]], dict[int, Row]],
+    ) -> tuple[int, int]:
+        """Reorganize physical partitions to ``new_groups``.
+
+        ``reuse[i] = j`` reuses old partition ``j`` (applying record inserts
+        and deletes) as new group ``i``; unmapped groups are built from
+        scratch.  Returns (records_inserted, records_deleted) — the
+        migration cost the Fig. 14/15 benchmarks track.
+        """
+        inserted = deleted = 0
+        old_states = dict(self._partitions)
+        new_assignment: dict[int, int] = {}
+        surviving: set[int] = set()
+        # Resolve every payload up front: later groups may need records that
+        # the in-place edits below would otherwise have deleted already.
+        group_rid_sets: list[set[int]] = []
+        needed: set[int] = set()
+        for i, group in enumerate(new_groups):
+            group_rids: set[int] = set()
+            for vid in group:
+                group_rids |= self._members[vid]
+            group_rid_sets.append(group_rids)
+            old_index = reuse.get(i)
+            if old_index is not None:
+                needed |= group_rids - old_states[old_index].rids
+            else:
+                needed |= group_rids
+        all_rows = payloads(sorted(needed)) if needed else {}
+        for i, group in enumerate(new_groups):
+            group_rids = group_rid_sets[i]
+            old_index = reuse.get(i)
+            if old_index is not None:
+                state = old_states[old_index]
+                surviving.add(old_index)
+                to_insert = group_rids - state.rids
+                to_delete = state.rids - group_rids
+                data_table = self.db.table(self._data_table(old_index))
+                if to_insert:
+                    data_table.insert_many(
+                        (rid,) + tuple(all_rows[rid])
+                        for rid in sorted(to_insert)
+                    )
+                    inserted += len(to_insert)
+                if to_delete:
+                    rid_index = data_table.index_on(["rid"])
+                    slots = [
+                        slot
+                        for rid in to_delete
+                        for slot in rid_index.lookup_key((rid,))
+                    ]
+                    data_table.delete_slots(slots)
+                    deleted += len(to_delete)
+                versioning = self.db.table(self._versioning_table(old_index))
+                versioning.truncate()
+                state.vids = set(group)
+                state.rids = group_rids
+                target_index = old_index
+            else:
+                state = self._create_partition()
+                self.db.table(self._data_table(state.index)).insert_many(
+                    (rid,) + tuple(all_rows[rid]) for rid in sorted(group_rids)
+                )
+                inserted += len(group_rids)
+                state.vids = set(group)
+                state.rids = group_rids
+                target_index = state.index
+            versioning = self.db.table(self._versioning_table(target_index))
+            for vid in sorted(group):
+                versioning.insert(
+                    (vid, arrays.make_array(sorted(self._members[vid])))
+                )
+                new_assignment[vid] = target_index
+        for old_index in list(old_states):
+            if old_index not in surviving and old_index in self._partitions:
+                self._drop_partition(old_index)
+        self._assignment = new_assignment
+        return inserted, deleted

@@ -1,0 +1,23 @@
+"""Embedded relational engine: the PostgreSQL stand-in OrpheusDB bolts onto.
+
+Public surface:
+
+* :class:`~repro.storage.engine.Database` — catalog + SQL execution.
+* :class:`~repro.storage.schema.TableSchema` / :class:`~repro.storage.schema.Column`
+* :class:`~repro.storage.types.DataType`
+* :mod:`~repro.storage.arrays` — the int-array operators (``<@``, append, unnest).
+"""
+
+from repro.storage.engine import Database, Result
+from repro.storage.iostats import IOStats
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import DataType
+
+__all__ = [
+    "Database",
+    "Result",
+    "IOStats",
+    "Column",
+    "TableSchema",
+    "DataType",
+]

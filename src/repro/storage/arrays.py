@@ -1,0 +1,79 @@
+"""Integer-array operators mirroring PostgreSQL's ``intarray`` module.
+
+OrpheusDB's array-based data models lean on a handful of array operations
+(paper Section 3.1): containment (``<@`` / ``@>``), append (``vlist + vj``,
+spelled ``||`` in SQL), unnest, and membership.  The functions here are the
+single implementation used both by the SQL executor and by the data-model
+code that bypasses SQL.
+
+Arrays are represented as immutable tuples of ints so they can live inside
+hashable row tuples and be shared safely across table copies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+IntArray = tuple[int, ...]
+
+
+def make_array(values: Iterable[int]) -> IntArray:
+    """Build a canonical array value from any iterable of ints."""
+    return tuple(int(v) for v in values)
+
+
+def contains(outer: Sequence[int], inner: Sequence[int]) -> bool:
+    """``outer @> inner``: every element of ``inner`` appears in ``outer``."""
+    if len(inner) <= 2:
+        return all(v in outer for v in inner)
+    outer_set = set(outer)
+    return all(v in outer_set for v in inner)
+
+
+def contained_by(inner: Sequence[int], outer: Sequence[int]) -> bool:
+    """``inner <@ outer``: the containment operator used for checkout."""
+    return contains(outer, inner)
+
+
+def append(array: Sequence[int], value: int) -> IntArray:
+    """``array || value``: the commit-time append (copies the whole array).
+
+    The copy is intentional and mirrors the physical behaviour the paper
+    measures: appending to a ``vlist`` rewrites the whole varlena value,
+    which is exactly why combined-table commits are slow (Figure 3b).
+    """
+    return tuple(array) + (int(value),)
+
+
+def concat(left: Sequence[int], right: Sequence[int]) -> IntArray:
+    """``left || right`` for two arrays."""
+    return tuple(left) + tuple(right)
+
+
+def remove(array: Sequence[int], value: int) -> IntArray:
+    """``array - value``: drop every occurrence of ``value``."""
+    return tuple(v for v in array if v != value)
+
+
+def unnest(array: Sequence[int]) -> Iterator[int]:
+    """``unnest(array)``: yield one scalar per element, used at checkout."""
+    return iter(array)
+
+
+def overlap(left: Sequence[int], right: Sequence[int]) -> bool:
+    """``left && right``: true when the arrays share any element."""
+    if len(left) > len(right):
+        left, right = right, left
+    right_set = set(right)
+    return any(v in right_set for v in left)
+
+
+def array_length(array: Sequence[int]) -> int:
+    """``cardinality(array)``."""
+    return len(array)
+
+
+def intersect(left: Sequence[int], right: Sequence[int]) -> IntArray:
+    """Order-preserving intersection (left order wins), used by diff shortcuts."""
+    right_set = set(right)
+    return tuple(v for v in left if v in right_set)

@@ -1,0 +1,460 @@
+"""SELECT pipeline execution for the embedded engine.
+
+The executor consumes parsed :class:`~repro.storage.parser.ast_nodes.Select`
+trees.  FROM resolution, join-order selection, and index shortcuts live in
+:mod:`repro.storage.planner`; this module owns everything above the joins:
+residual filtering, grouping and aggregation, set-returning ``unnest``
+expansion, DISTINCT, ORDER BY, LIMIT/OFFSET, UNION ALL, and ``SELECT INTO``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import ExecutionError
+from repro.storage import arrays
+from repro.storage.expression import (
+    ArrayLiteral,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    EvalEnv,
+    Expression,
+    FuncCall,
+    InList,
+    InSet,
+    IsNull,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.storage.parser import ast_nodes as ast
+from repro.storage.parser.parser import (
+    ArraySubquery,
+    InSubquery,
+    ScalarSubquery,
+)
+from repro.storage.types import DataType, infer_type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.engine import Database
+
+Row = tuple[Any, ...]
+
+
+@dataclass
+class Relation:
+    """A materialized intermediate result: column names, rows, known types."""
+
+    names: list[str]
+    rows: list[Row]
+    types: list[DataType | None] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.types:
+            self.types = [None] * len(self.names)
+
+    def env(self) -> EvalEnv:
+        return EvalEnv(self.names)
+
+    def base_names(self) -> list[str]:
+        return [name.split(".")[-1] for name in self.names]
+
+
+def _base_name(expr: Expression, alias: str | None, position: int) -> str:
+    if alias:
+        return alias
+    if isinstance(expr, ColumnRef):
+        return expr.name.split(".")[-1]
+    if isinstance(expr, FuncCall):
+        return expr.name
+    return f"column{position + 1}"
+
+
+class SelectExecutor:
+    """Executes Select statements against a :class:`Database`."""
+
+    def __init__(self, db: "Database"):
+        self._db = db
+
+    # ------------------------------------------------------------- top level
+
+    def execute(self, select: ast.Select) -> Relation:
+        relation = self._execute_single(select)
+        if select.union_all_with is not None:
+            other = self.execute(select.union_all_with)
+            if len(other.names) != len(relation.names):
+                raise ExecutionError(
+                    "UNION ALL branches have different column counts"
+                )
+            relation = Relation(
+                relation.names,
+                relation.rows + other.rows,
+                relation.types,
+            )
+        return relation
+
+    def _execute_single(self, select: ast.Select) -> Relation:
+        from repro.storage.planner import resolve_from
+
+        select = self._resolve_subqueries_in_select(select)
+        source, residual_where = resolve_from(self._db, select, self)
+        env = source.env()
+        if residual_where is not None:
+            source = Relation(
+                source.names,
+                [
+                    row
+                    for row in source.rows
+                    if residual_where.evaluate(row, env) is True
+                ],
+                source.types,
+            )
+        if select.group_by or any(
+            item.expr.contains_aggregate() for item in select.items
+        ):
+            output, ordered_pairs = self._grouped(select, source)
+        else:
+            output, ordered_pairs = self._projected(select, source)
+        output_env = output.env()
+        if select.order_by:
+            ordered_pairs = self._order(
+                select.order_by, ordered_pairs, env, output_env
+            )
+            output = Relation(
+                output.names, [pair[1] for pair in ordered_pairs], output.types
+            )
+        if select.distinct:
+            seen: set[Row] = set()
+            unique_rows = []
+            for row in output.rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique_rows.append(row)
+            output = Relation(output.names, unique_rows, output.types)
+        if select.offset is not None:
+            output = Relation(
+                output.names, output.rows[select.offset :], output.types
+            )
+        if select.limit is not None:
+            output = Relation(
+                output.names, output.rows[: select.limit], output.types
+            )
+        if select.into_table is not None:
+            self._materialize_into(select.into_table, output)
+        return output
+
+    # ------------------------------------------------------------ projection
+
+    def _projected(
+        self, select: ast.Select, source: Relation
+    ) -> tuple[Relation, list[tuple[Row, Row]]]:
+        env = source.env()
+        names: list[str] = []
+        types: list[DataType | None] = []
+        evaluators: list[Expression | None] = []  # None marks Star
+        # Set-returning functions: position -> kind ('unnest' yields the
+        # array's elements; 'unnest_ranges' decodes a range-encoded array).
+        unnest_positions: dict[int, str] = {}
+        for item in select.items:
+            if isinstance(item.expr, Star):
+                names.extend(source.base_names())
+                types.extend(source.types)
+                evaluators.append(None)
+                continue
+            position = len(names)
+            expr = item.expr
+            if isinstance(expr, FuncCall) and expr.name in (
+                "unnest",
+                "unnest_ranges",
+            ):
+                unnest_positions[position] = expr.name
+            names.append(_base_name(expr, item.alias, position))
+            types.append(None)
+            evaluators.append(expr)
+        pairs: list[tuple[Row, Row]] = []
+        for row in source.rows:
+            values: list[Any] = []
+            for evaluator in evaluators:
+                if evaluator is None:
+                    values.extend(row)
+                elif isinstance(evaluator, FuncCall) and evaluator.name in (
+                    "unnest",
+                    "unnest_ranges",
+                ):
+                    values.append(
+                        evaluator.args[0].evaluate(row, env)
+                    )  # expanded below
+                else:
+                    values.append(evaluator.evaluate(row, env))
+            pairs.append((row, tuple(values)))
+        if unnest_positions:
+            pairs = self._expand_unnest(pairs, unnest_positions)
+        output = Relation(names, [pair[1] for pair in pairs], types)
+        self._infer_missing_types(output)
+        return output, pairs
+
+    @staticmethod
+    def _expand_unnest(
+        pairs: list[tuple[Row, Row]], positions: dict[int, str]
+    ) -> list[tuple[Row, Row]]:
+        """Expand set-returning columns, zipping multiple in parallel."""
+        from repro.core.compression import decode_ranges
+
+        expanded: list[tuple[Row, Row]] = []
+        for source_row, out_row in pairs:
+            decoded: dict[int, tuple] = {}
+            for p, kind in positions.items():
+                array = out_row[p]
+                if array is None:
+                    decoded[p] = ()
+                elif kind == "unnest_ranges":
+                    decoded[p] = decode_ranges(array)
+                else:
+                    decoded[p] = array
+            height = max((len(a) for a in decoded.values()), default=0)
+            for i in range(height):
+                values = list(out_row)
+                for p, array in decoded.items():
+                    values[p] = array[i] if i < len(array) else None
+                expanded.append((source_row, tuple(values)))
+        return expanded
+
+    # -------------------------------------------------------------- grouping
+
+    def _grouped(
+        self, select: ast.Select, source: Relation
+    ) -> tuple[Relation, list[tuple[Row, Row]]]:
+        env = source.env()
+        groups: dict[tuple, list[Row]] = {}
+        for row in source.rows:
+            key = tuple(
+                expr.evaluate(row, env) for expr in select.group_by
+            )
+            groups.setdefault(key, []).append(row)
+        if not groups and not select.group_by:
+            groups[()] = []  # global aggregate over an empty input
+        names: list[str] = []
+        types: list[DataType | None] = []
+        for position, item in enumerate(select.items):
+            if isinstance(item.expr, Star):
+                raise ExecutionError("SELECT * is invalid with GROUP BY")
+            names.append(_base_name(item.expr, item.alias, position))
+            types.append(None)
+        pairs: list[tuple[Row, Row]] = []
+        for key, group_rows in groups.items():
+            representative = group_rows[0] if group_rows else tuple(
+                [None] * len(source.names)
+            )
+            if select.having is not None:
+                having_value = self._eval_with_aggregates(
+                    select.having, representative, group_rows, env
+                )
+                if having_value is not True:
+                    continue
+            out = tuple(
+                self._eval_with_aggregates(
+                    item.expr, representative, group_rows, env
+                )
+                for item in select.items
+            )
+            pairs.append((representative, out))
+        output = Relation(names, [pair[1] for pair in pairs], types)
+        self._infer_missing_types(output)
+        return output, pairs
+
+    def _eval_with_aggregates(
+        self,
+        expr: Expression,
+        representative: Row,
+        group_rows: list[Row],
+        env: EvalEnv,
+    ) -> Any:
+        rewritten = self._replace_aggregates(expr, group_rows, env)
+        return rewritten.evaluate(representative, env)
+
+    def _replace_aggregates(
+        self, expr: Expression, group_rows: list[Row], env: EvalEnv
+    ) -> Expression:
+        if isinstance(expr, FuncCall) and expr.is_aggregate:
+            return Literal(self._compute_aggregate(expr, group_rows, env))
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(
+                expr.op,
+                self._replace_aggregates(expr.left, group_rows, env),
+                self._replace_aggregates(expr.right, group_rows, env),
+            )
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(
+                expr.op, self._replace_aggregates(expr.operand, group_rows, env)
+            )
+        if isinstance(expr, FuncCall):
+            return FuncCall(
+                expr.name,
+                tuple(
+                    self._replace_aggregates(arg, group_rows, env)
+                    for arg in expr.args
+                ),
+                expr.distinct,
+            )
+        if isinstance(expr, (Between, InList, IsNull, Like)):
+            return expr  # aggregates inside these are not supported
+        return expr
+
+    @staticmethod
+    def _compute_aggregate(
+        call: FuncCall, group_rows: list[Row], env: EvalEnv
+    ) -> Any:
+        name = call.name
+        if name == "count" and (
+            not call.args or isinstance(call.args[0], Star)
+        ):
+            return len(group_rows)
+        arg = call.args[0]
+        values = [arg.evaluate(row, env) for row in group_rows]
+        values = [value for value in values if value is not None]
+        if call.distinct:
+            values = list(dict.fromkeys(values))
+        if name == "count":
+            return len(values)
+        if name == "array_agg":
+            return arrays.make_array(values)
+        if not values:
+            return None
+        if name == "sum":
+            return sum(values)
+        if name == "avg":
+            return sum(values) / len(values)
+        if name == "min":
+            return min(values)
+        if name == "max":
+            return max(values)
+        if name == "bool_and":
+            return all(values)
+        if name == "bool_or":
+            return any(values)
+        raise ExecutionError(f"unknown aggregate {name!r}")
+
+    # ------------------------------------------------------------- ordering
+
+    @staticmethod
+    def _order(
+        order_by: Sequence[ast.OrderItem],
+        pairs: list[tuple[Row, Row]],
+        source_env: EvalEnv,
+        output_env: EvalEnv,
+    ) -> list[tuple[Row, Row]]:
+        def sort_value(item: ast.OrderItem, pair: tuple[Row, Row]):
+            source_row, output_row = pair
+            try:
+                value = item.expr.evaluate(output_row, output_env)
+            except ExecutionError:
+                value = item.expr.evaluate(source_row, source_env)
+            # None sorts first ascending (Postgres NULLS LAST is the default,
+            # but a stable deterministic rule is what matters here).
+            return (value is None, value)
+
+        for item in reversed(order_by):
+            pairs = sorted(
+                pairs,
+                key=lambda pair: sort_value(item, pair),
+                reverse=item.descending,
+            )
+        return pairs
+
+    # ------------------------------------------------------------ subqueries
+
+    def _resolve_subqueries_in_select(self, select: ast.Select) -> ast.Select:
+        if select.where is not None:
+            select.where = self._resolve_subqueries(select.where)
+        select.items = [
+            ast.SelectItem(self._resolve_subqueries(item.expr), item.alias)
+            for item in select.items
+        ]
+        if select.having is not None:
+            select.having = self._resolve_subqueries(select.having)
+        return select
+
+    def _resolve_subqueries(self, expr: Expression) -> Expression:
+        if isinstance(expr, ScalarSubquery):
+            relation = self.execute(expr.query)
+            if not relation.rows:
+                return Literal(None)
+            if len(relation.rows) > 1 or len(relation.rows[0]) != 1:
+                raise ExecutionError(
+                    "scalar subquery must return one row with one column"
+                )
+            return Literal(relation.rows[0][0])
+        if isinstance(expr, InSubquery):
+            relation = self.execute(expr.query)
+            if relation.names and len(relation.names) != 1:
+                raise ExecutionError("IN subquery must return one column")
+            values = frozenset(row[0] for row in relation.rows)
+            return InSet(
+                self._resolve_subqueries(expr.operand), values, expr.negated
+            )
+        if isinstance(expr, ArraySubquery):
+            relation = self.execute(expr.query)
+            if len(relation.names) != 1:
+                raise ExecutionError("ARRAY(subquery) must return one column")
+            return Literal(
+                arrays.make_array(row[0] for row in relation.rows)
+            )
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(
+                expr.op,
+                self._resolve_subqueries(expr.left),
+                self._resolve_subqueries(expr.right),
+            )
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op, self._resolve_subqueries(expr.operand))
+        if isinstance(expr, IsNull):
+            return IsNull(self._resolve_subqueries(expr.operand), expr.negated)
+        if isinstance(expr, Between):
+            return Between(
+                self._resolve_subqueries(expr.operand),
+                self._resolve_subqueries(expr.low),
+                self._resolve_subqueries(expr.high),
+                expr.negated,
+            )
+        if isinstance(expr, InList):
+            return InList(
+                self._resolve_subqueries(expr.operand),
+                tuple(self._resolve_subqueries(item) for item in expr.items),
+                expr.negated,
+            )
+        if isinstance(expr, Like):
+            return Like(
+                self._resolve_subqueries(expr.operand),
+                self._resolve_subqueries(expr.pattern),
+                expr.negated,
+            )
+        if isinstance(expr, FuncCall):
+            return FuncCall(
+                expr.name,
+                tuple(self._resolve_subqueries(arg) for arg in expr.args),
+                expr.distinct,
+            )
+        if isinstance(expr, ArrayLiteral):
+            return ArrayLiteral(
+                tuple(self._resolve_subqueries(item) for item in expr.items)
+            )
+        return expr
+
+    # ----------------------------------------------------------------- types
+
+    @staticmethod
+    def _infer_missing_types(relation: Relation) -> None:
+        for position, dtype in enumerate(relation.types):
+            if dtype is not None:
+                continue
+            for row in relation.rows:
+                value = row[position]
+                if value is not None:
+                    relation.types[position] = infer_type(value)
+                    break
+
+    def _materialize_into(self, table_name: str, relation: Relation) -> None:
+        self._db.create_table_from_relation(table_name, relation)

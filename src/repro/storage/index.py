@@ -1,0 +1,156 @@
+"""Hash and ordered indexes for the embedded relational engine.
+
+Both index kinds map a key tuple extracted from fixed row positions to the
+set of heap slots holding matching rows.  :class:`HashIndex` is the default
+(PostgreSQL's primary-key b-tree behaves like a hash for the equality probes
+OrpheusDB issues); :class:`OrderedIndex` additionally supports range scans
+and ordered iteration, which the merge-join path uses.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, Sequence
+
+Row = tuple[Any, ...]
+Key = tuple[Any, ...]
+
+
+class Index:
+    """Common behaviour for both index kinds."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: tuple[str, ...],
+        positions: tuple[int, ...],
+        unique: bool,
+    ):
+        self.name = name
+        self.columns = columns
+        self.positions = positions
+        self.unique = unique
+
+    def key_of(self, row: Row) -> Key:
+        return tuple(row[position] for position in self.positions)
+
+    # Subclass interface -----------------------------------------------------
+
+    def insert(self, row: Row, slot: int) -> None:
+        raise NotImplementedError
+
+    def delete(self, row: Row, slot: int) -> None:
+        raise NotImplementedError
+
+    def lookup_key(self, key: Key) -> list[int]:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def entry_count(self) -> int:
+        raise NotImplementedError
+
+
+class HashIndex(Index):
+    """Equality-probe index backed by a dict of slot lists."""
+
+    def __init__(self, name, columns, positions, unique):
+        super().__init__(name, columns, positions, unique)
+        self._buckets: dict[Key, list[int]] = {}
+
+    def insert(self, row: Row, slot: int) -> None:
+        self._buckets.setdefault(self.key_of(row), []).append(slot)
+
+    def delete(self, row: Row, slot: int) -> None:
+        key = self.key_of(row)
+        slots = self._buckets.get(key)
+        if slots:
+            try:
+                slots.remove(slot)
+            except ValueError:
+                pass
+            if not slots:
+                del self._buckets[key]
+
+    def lookup_key(self, key: Key) -> list[int]:
+        return self._buckets.get(key, [])
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def entry_count(self) -> int:
+        return sum(len(slots) for slots in self._buckets.values())
+
+
+class OrderedIndex(Index):
+    """Sorted-key index supporting range scans and ordered iteration."""
+
+    def __init__(self, name, columns, positions, unique):
+        super().__init__(name, columns, positions, unique)
+        self._keys: list[Key] = []
+        self._slots: dict[Key, list[int]] = {}
+
+    def insert(self, row: Row, slot: int) -> None:
+        key = self.key_of(row)
+        if key not in self._slots:
+            bisect.insort(self._keys, key)
+            self._slots[key] = []
+        self._slots[key].append(slot)
+
+    def delete(self, row: Row, slot: int) -> None:
+        key = self.key_of(row)
+        slots = self._slots.get(key)
+        if slots:
+            try:
+                slots.remove(slot)
+            except ValueError:
+                pass
+            if not slots:
+                del self._slots[key]
+                position = bisect.bisect_left(self._keys, key)
+                if position < len(self._keys) and self._keys[position] == key:
+                    del self._keys[position]
+
+    def lookup_key(self, key: Key) -> list[int]:
+        return self._slots.get(key, [])
+
+    def range_scan(
+        self,
+        low: Key | None = None,
+        high: Key | None = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[int]:
+        """Yield slots whose keys fall inside [low, high] (None = unbounded)."""
+        if low is None:
+            start = 0
+        elif include_low:
+            start = bisect.bisect_left(self._keys, low)
+        else:
+            start = bisect.bisect_right(self._keys, low)
+        if high is None:
+            stop = len(self._keys)
+        elif include_high:
+            stop = bisect.bisect_right(self._keys, high)
+        else:
+            stop = bisect.bisect_left(self._keys, high)
+        for key in self._keys[start:stop]:
+            yield from self._slots[key]
+
+    def ordered_slots(self) -> Iterator[int]:
+        """All slots in key order (the merge-join inner path)."""
+        for key in self._keys:
+            yield from self._slots[key]
+
+    def clear(self) -> None:
+        self._keys.clear()
+        self._slots.clear()
+
+    def entry_count(self) -> int:
+        return sum(len(slots) for slots in self._slots.values())
+
+
+def matches_prefix(key: Key, prefix: Sequence[Any]) -> bool:
+    """True when ``key`` starts with ``prefix`` (composite-key helper)."""
+    return key[: len(prefix)] == tuple(prefix)

@@ -1,0 +1,5 @@
+"""SQL parsing for the embedded relational engine."""
+
+from repro.storage.parser.parser import parse_sql, parse_statement
+
+__all__ = ["parse_sql", "parse_statement"]

@@ -1,0 +1,694 @@
+"""Recursive-descent parser for the engine's SQL dialect.
+
+The dialect covers everything OrpheusDB's query translator emits (paper
+Table 1 and Section 2.2): ``SELECT ... INTO`` checkouts, array containment
+and append operators, ``unnest`` in select lists, ``IN (subquery)``,
+``ARRAY(subquery)`` aggregation of rids, plus the ordinary DDL/DML a
+middleware needs (CREATE/DROP TABLE, CREATE INDEX, INSERT/UPDATE/DELETE,
+GROUP BY / HAVING / ORDER BY / LIMIT, UNION ALL, explicit JOIN ... ON).
+
+Positional parameters (``%s`` or ``?``) are substituted with literals at
+parse time from the ``params`` sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import SQLSyntaxError
+from repro.storage.expression import (
+    ArrayLiteral,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.storage.parser import ast_nodes as ast
+from repro.storage.parser.lexer import Token, TokenType, tokenize
+from repro.storage.types import parse_type_name
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expression):
+    """``(SELECT ...)`` used as a value; resolved by the planner."""
+
+    query: ast.Select
+
+    def __hash__(self):  # Select is mutable; identity hash is fine here.
+        return id(self.query)
+
+    def evaluate(self, row, env):  # pragma: no cover - replaced by planner
+        raise NotImplementedError("scalar subquery not resolved by planner")
+
+
+@dataclass(frozen=True)
+class InSubquery(Expression):
+    """``x IN (SELECT ...)``; the planner materializes it to an InSet."""
+
+    operand: Expression
+    query: ast.Select
+    negated: bool = False
+
+    def __hash__(self):
+        return hash((id(self.query), self.operand, self.negated))
+
+    def evaluate(self, row, env):  # pragma: no cover - replaced by planner
+        raise NotImplementedError("IN subquery not resolved by planner")
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+
+@dataclass(frozen=True)
+class ArraySubquery(Expression):
+    """``ARRAY(SELECT ...)`` — collect a single column into an int array."""
+
+    query: ast.Select
+
+    def __hash__(self):
+        return id(self.query)
+
+    def evaluate(self, row, env):  # pragma: no cover - replaced by planner
+        raise NotImplementedError("ARRAY(subquery) not resolved by planner")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], params: Sequence[Any]):
+        self._tokens = tokens
+        self._pos = 0
+        self._params = list(params)
+        self._param_index = 0
+
+    # ------------------------------------------------------------- utilities
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> SQLSyntaxError:
+        return SQLSyntaxError(message, self._peek().position)
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(*names):
+            raise self._error(f"expected {' or '.join(names).upper()}")
+        return self._advance()
+
+    def _expect_op(self, op: str) -> Token:
+        token = self._peek()
+        if not token.is_op(op):
+            raise self._error(f"expected {op!r}")
+        return self._advance()
+
+    # Keywords that may double as identifiers (they only matter in positions
+    # an identifier can never occupy), mirroring PostgreSQL's non-reserved
+    # words: "key" in particular is a common column name.
+    _NONRESERVED = frozenset({"key", "column", "cluster", "index", "default"})
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.type is not TokenType.IDENT and not (
+            token.type is TokenType.KEYWORD
+            and token.value in self._NONRESERVED
+        ):
+            raise self._error("expected identifier")
+        self._advance()
+        return token.value
+
+    def _accept_keyword(self, *names: str) -> bool:
+        if self._peek().is_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _accept_op(self, op: str) -> bool:
+        if self._peek().is_op(op):
+            self._advance()
+            return True
+        return False
+
+    def _next_param(self) -> Any:
+        if self._param_index >= len(self._params):
+            raise self._error("not enough parameters supplied")
+        value = self._params[self._param_index]
+        self._param_index += 1
+        return value
+
+    # ------------------------------------------------------------ statements
+
+    def parse_statements(self) -> list[ast.Statement]:
+        statements = []
+        while not self._peek().type is TokenType.EOF:
+            statements.append(self._statement())
+            while self._accept_op(";"):
+                pass
+        if self._param_index != len(self._params):
+            raise SQLSyntaxError(
+                f"{len(self._params) - self._param_index} unused parameters"
+            )
+        return statements
+
+    def _statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.is_keyword("select"):
+            return self._select()
+        if token.is_keyword("insert"):
+            return self._insert()
+        if token.is_keyword("update"):
+            return self._update()
+        if token.is_keyword("delete"):
+            return self._delete()
+        if token.is_keyword("create"):
+            return self._create()
+        if token.is_keyword("drop"):
+            return self._drop()
+        if token.is_keyword("alter"):
+            return self._alter()
+        if token.is_keyword("cluster"):
+            return self._cluster()
+        raise self._error("expected a SQL statement")
+
+    # ------------------------------------------------------------------- DDL
+
+    def _create(self) -> ast.Statement:
+        self._expect_keyword("create")
+        unique = self._accept_keyword("unique")
+        if self._accept_keyword("table"):
+            if unique:
+                raise self._error("UNIQUE applies to indexes, not tables")
+            return self._create_table()
+        self._expect_keyword("index")
+        return self._create_index(unique)
+
+    def _create_table(self) -> ast.CreateTable:
+        if_not_exists = False
+        if self._accept_keyword("if"):
+            self._expect_keyword("not")
+            self._expect_keyword("exists")
+            if_not_exists = True
+        table = self._expect_ident()
+        self._expect_op("(")
+        columns: list[ast.ColumnDef] = []
+        primary_key: tuple[str, ...] = ()
+        while True:
+            if self._peek().is_keyword("primary"):
+                self._advance()
+                self._expect_keyword("key")
+                self._expect_op("(")
+                key_cols = [self._expect_ident()]
+                while self._accept_op(","):
+                    key_cols.append(self._expect_ident())
+                self._expect_op(")")
+                primary_key = tuple(key_cols)
+            else:
+                name = self._expect_ident()
+                dtype = self._type_name()
+                not_null = False
+                if self._accept_keyword("primary"):
+                    self._expect_keyword("key")
+                    primary_key = (name,)
+                    not_null = True
+                if self._accept_keyword("not"):
+                    self._expect_keyword("null")
+                    not_null = True
+                columns.append(ast.ColumnDef(name, dtype, not_null))
+            if not self._accept_op(","):
+                break
+        self._expect_op(")")
+        return ast.CreateTable(table, columns, primary_key, if_not_exists)
+
+    def _type_name(self):
+        token = self._peek()
+        if token.type is not TokenType.IDENT and not token.is_keyword("array"):
+            raise self._error("expected a type name")
+        self._advance()
+        name = token.value
+        if self._accept_op("["):
+            self._expect_op("]")
+            name += "[]"
+        elif self._accept_op("("):
+            # e.g. varchar(40) — length is accepted and ignored
+            self._advance()
+            self._expect_op(")")
+        return parse_type_name(name)
+
+    def _create_index(self, unique: bool) -> ast.CreateIndex:
+        index = self._expect_ident()
+        self._expect_keyword("on")
+        table = self._expect_ident()
+        ordered = False
+        if self._accept_keyword("using"):
+            method = self._expect_ident()
+            ordered = method == "btree"
+        self._expect_op("(")
+        columns = [self._expect_ident()]
+        while self._accept_op(","):
+            columns.append(self._expect_ident())
+        self._expect_op(")")
+        return ast.CreateIndex(index, table, tuple(columns), unique, ordered)
+
+    def _drop(self) -> ast.Statement:
+        self._expect_keyword("drop")
+        if self._accept_keyword("index"):
+            table = None
+            index = self._expect_ident()
+            self._expect_keyword("on")
+            table = self._expect_ident()
+            return ast.DropIndex(table, index)
+        self._expect_keyword("table")
+        if_exists = False
+        if self._accept_keyword("if"):
+            self._expect_keyword("exists")
+            if_exists = True
+        table = self._expect_ident()
+        return ast.DropTable(table, if_exists)
+
+    def _alter(self) -> ast.AlterTableAddColumn:
+        self._expect_keyword("alter")
+        self._expect_keyword("table")
+        table = self._expect_ident()
+        self._expect_keyword("add")
+        self._accept_keyword("column")
+        name = self._expect_ident()
+        dtype = self._type_name()
+        not_null = False
+        default = None
+        if self._accept_keyword("default"):
+            default = self._expression()
+        if self._accept_keyword("not"):
+            self._expect_keyword("null")
+            not_null = True
+        return ast.AlterTableAddColumn(
+            table, ast.ColumnDef(name, dtype, not_null), default
+        )
+
+    def _cluster(self) -> ast.ClusterTable:
+        self._expect_keyword("cluster")
+        table = self._expect_ident()
+        self._expect_keyword("using")
+        column = self._expect_ident()
+        return ast.ClusterTable(table, column)
+
+    # ------------------------------------------------------------------- DML
+
+    def _insert(self) -> ast.Insert:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_ident()
+        columns = None
+        if self._peek().is_op("(") and self._looks_like_column_list():
+            self._expect_op("(")
+            names = [self._expect_ident()]
+            while self._accept_op(","):
+                names.append(self._expect_ident())
+            self._expect_op(")")
+            columns = tuple(names)
+        if self._accept_keyword("values"):
+            rows = [self._value_row()]
+            while self._accept_op(","):
+                rows.append(self._value_row())
+            return ast.Insert(table, columns, rows)
+        if self._peek().is_keyword("select") or self._peek().is_op("("):
+            self._accept_op("(")
+            query = self._select()
+            self._accept_op(")")
+            return ast.Insert(table, columns, None, query)
+        raise self._error("expected VALUES or SELECT after INSERT INTO")
+
+    def _looks_like_column_list(self) -> bool:
+        """Disambiguate ``INSERT INTO t (a, b) VALUES`` from ``INSERT INTO t (SELECT...)``."""
+        return not self._peek(1).is_keyword("select")
+
+    def _value_row(self) -> list[Expression]:
+        self._expect_op("(")
+        values = [self._expression()]
+        while self._accept_op(","):
+            values.append(self._expression())
+        self._expect_op(")")
+        return values
+
+    def _update(self) -> ast.Update:
+        self._expect_keyword("update")
+        table = self._expect_ident()
+        self._expect_keyword("set")
+        assignments = [self._assignment()]
+        while self._accept_op(","):
+            assignments.append(self._assignment())
+        where = None
+        if self._accept_keyword("where"):
+            where = self._expression()
+        return ast.Update(table, assignments, where)
+
+    def _assignment(self) -> tuple[str, Expression]:
+        name = self._expect_ident()
+        self._expect_op("=")
+        return name, self._expression()
+
+    def _delete(self) -> ast.Delete:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._expect_ident()
+        where = None
+        if self._accept_keyword("where"):
+            where = self._expression()
+        return ast.Delete(table, where)
+
+    # ---------------------------------------------------------------- SELECT
+
+    def _select(self) -> ast.Select:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        items = [self._select_item()]
+        while self._accept_op(","):
+            items.append(self._select_item())
+        into_table = None
+        if self._accept_keyword("into"):
+            into_table = self._expect_ident()
+        from_items: list[ast.FromItem] = []
+        joins: list[ast.JoinClause] = []
+        if self._accept_keyword("from"):
+            from_items.append(self._from_item())
+            while True:
+                if self._accept_op(","):
+                    from_items.append(self._from_item())
+                    continue
+                kind = None
+                if self._accept_keyword("inner"):
+                    kind = "inner"
+                    self._expect_keyword("join")
+                elif self._accept_keyword("left"):
+                    kind = "left"
+                    self._accept_keyword("join")
+                elif self._accept_keyword("join"):
+                    kind = "inner"
+                if kind is None:
+                    break
+                item = self._from_item()
+                self._expect_keyword("on")
+                condition = self._expression()
+                joins.append(ast.JoinClause(item, condition, kind))
+        where = None
+        if self._accept_keyword("where"):
+            where = self._expression()
+        group_by: list[Expression] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._expression())
+            while self._accept_op(","):
+                group_by.append(self._expression())
+        having = None
+        if self._accept_keyword("having"):
+            having = self._expression()
+        order_by: list[ast.OrderItem] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._order_item())
+            while self._accept_op(","):
+                order_by.append(self._order_item())
+        limit = offset = None
+        if self._accept_keyword("limit"):
+            limit = int(self._number_or_param())
+        if self._accept_keyword("offset"):
+            offset = int(self._number_or_param())
+        select = ast.Select(
+            items=items,
+            from_items=from_items,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+            into_table=into_table,
+        )
+        if self._accept_keyword("union"):
+            self._expect_keyword("all")
+            select.union_all_with = self._select()
+        return select
+
+    def _number_or_param(self) -> Any:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.type is TokenType.PARAM:
+            self._advance()
+            return self._next_param()
+        raise self._error("expected a number")
+
+    def _select_item(self) -> ast.SelectItem:
+        if self._peek().is_op("*"):
+            self._advance()
+            return ast.SelectItem(Star())
+        expr = self._expression()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._advance().value
+        return ast.SelectItem(expr, alias)
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self._expression()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return ast.OrderItem(expr, descending)
+
+    def _from_item(self) -> ast.FromItem:
+        if self._peek().is_op("("):
+            self._advance()
+            query = self._select()
+            self._expect_op(")")
+            self._accept_keyword("as")
+            alias = self._expect_ident()
+            return ast.SubqueryRef(query, alias)
+        table = self._expect_ident()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._advance().value
+        return ast.TableRef(table, alias)
+
+    # ----------------------------------------------------------- expressions
+
+    def _expression(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        left = self._and_expr()
+        while self._accept_keyword("or"):
+            left = BinaryOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expression:
+        left = self._not_expr()
+        while self._accept_keyword("and"):
+            left = BinaryOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expression:
+        if self._accept_keyword("not"):
+            return UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._additive()
+        while True:
+            token = self._peek()
+            if token.is_op("=", "<>", "!=", "<", "<=", ">", ">=", "<@", "@>", "&&"):
+                self._advance()
+                op = "<>" if token.value == "!=" else token.value
+                left = BinaryOp(op, left, self._additive())
+                continue
+            if token.is_keyword("is"):
+                self._advance()
+                negated = self._accept_keyword("not")
+                self._expect_keyword("null")
+                left = IsNull(left, negated)
+                continue
+            if token.is_keyword("between"):
+                self._advance()
+                low = self._additive()
+                self._expect_keyword("and")
+                high = self._additive()
+                left = Between(left, low, high)
+                continue
+            if token.is_keyword("like"):
+                self._advance()
+                left = Like(left, self._additive())
+                continue
+            if token.is_keyword("in"):
+                self._advance()
+                left = self._in_tail(left, negated=False)
+                continue
+            if token.is_keyword("not") and self._peek(1).is_keyword(
+                "in", "between", "like"
+            ):
+                self._advance()
+                follower = self._advance()
+                if follower.value == "in":
+                    left = self._in_tail(left, negated=True)
+                elif follower.value == "between":
+                    low = self._additive()
+                    self._expect_keyword("and")
+                    high = self._additive()
+                    left = Between(left, low, high, negated=True)
+                else:
+                    left = Like(left, self._additive(), negated=True)
+                continue
+            return left
+
+    def _in_tail(self, operand: Expression, negated: bool) -> Expression:
+        self._expect_op("(")
+        if self._peek().is_keyword("select"):
+            query = self._select()
+            self._expect_op(")")
+            return InSubquery(operand, query, negated)
+        items = [self._expression()]
+        while self._accept_op(","):
+            items.append(self._expression())
+        self._expect_op(")")
+        return InList(operand, tuple(items), negated)
+
+    def _additive(self) -> Expression:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.is_op("+", "-", "||"):
+                self._advance()
+                left = BinaryOp(token.value, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expression:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.is_op("*", "/", "%"):
+                self._advance()
+                left = BinaryOp(token.value, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expression:
+        if self._accept_op("-"):
+            return UnaryOp("-", self._unary())
+        self._accept_op("+")
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.type is TokenType.PARAM:
+            self._advance()
+            return Literal(self._next_param())
+        if token.is_keyword("true"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return Literal(False)
+        if token.is_keyword("null"):
+            self._advance()
+            return Literal(None)
+        if token.is_keyword("array"):
+            self._advance()
+            return self._array_tail()
+        if token.is_op("("):
+            self._advance()
+            if self._peek().is_keyword("select"):
+                query = self._select()
+                self._expect_op(")")
+                return ScalarSubquery(query)
+            expr = self._expression()
+            self._expect_op(")")
+            return expr
+        if token.type is TokenType.IDENT or (
+            token.type is TokenType.KEYWORD
+            and token.value in self._NONRESERVED
+        ):
+            return self._identifier_expr()
+        if token.is_op("*"):
+            self._advance()
+            return Star()
+        raise self._error("expected an expression")
+
+    def _array_tail(self) -> Expression:
+        if self._accept_op("["):
+            if self._peek().is_keyword("select"):
+                # The paper writes ARRAY[SELECT rid FROM T'] in Table 1.
+                query = self._select()
+                self._expect_op("]")
+                return ArraySubquery(query)
+            if self._peek().is_op("]"):
+                self._advance()
+                return ArrayLiteral(())
+            items = [self._expression()]
+            while self._accept_op(","):
+                items.append(self._expression())
+            self._expect_op("]")
+            return ArrayLiteral(tuple(items))
+        self._expect_op("(")
+        query = self._select()
+        self._expect_op(")")
+        return ArraySubquery(query)
+
+    def _identifier_expr(self) -> Expression:
+        name = self._expect_ident()
+        if self._peek().is_op("("):
+            self._advance()
+            distinct = self._accept_keyword("distinct")
+            args: list[Expression] = []
+            if not self._peek().is_op(")"):
+                args.append(self._expression())
+                while self._accept_op(","):
+                    args.append(self._expression())
+            self._expect_op(")")
+            return FuncCall(name, tuple(args), distinct)
+        if self._accept_op("."):
+            if self._peek().is_op("*"):
+                self._advance()
+                return Star()  # t.* — treated as full-width star
+            column = self._expect_ident()
+            return ColumnRef(f"{name}.{column}")
+        return ColumnRef(name)
+
+
+def parse_sql(sql: str, params: Sequence[Any] = ()) -> list[ast.Statement]:
+    """Parse one or more ``;``-separated statements."""
+    return _Parser(tokenize(sql), params).parse_statements()
+
+
+def parse_statement(sql: str, params: Sequence[Any] = ()) -> ast.Statement:
+    """Parse exactly one statement, raising if zero or several are present."""
+    statements = parse_sql(sql, params)
+    if len(statements) != 1:
+        raise SQLSyntaxError(
+            f"expected exactly one statement, got {len(statements)}"
+        )
+    return statements[0]

@@ -1,0 +1,385 @@
+"""FROM-clause planning: scans, index shortcuts, and join algorithm choice.
+
+The planner turns a Select's FROM items into one joined
+:class:`~repro.storage.executor.Relation` and returns the residual WHERE
+predicate that still has to be applied.  Three decisions matter for the
+paper's experiments:
+
+* **Index probes** — an equality conjunct on an indexed column (the
+  split-by-rlist ``WHERE vid = %s``) becomes a point probe instead of a full
+  scan, which is why that model reads one versioning-table row per checkout.
+* **Join algorithm** — equi-joins default to hash join (the paper's choice
+  for checkout); the database's ``join_method`` knob switches to merge or
+  index-nested-loop so the Fig. 19 cost-model benchmark can compare them.
+* **Join order** — the build side of a hash join is the smaller input, so
+  the rlist temp table is hashed and the data table streams past it, exactly
+  the plan Section 3.2 describes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ExecutionError
+from repro.storage.executor import Relation, SelectExecutor
+from repro.storage.expression import (
+    BinaryOp,
+    ColumnRef,
+    EvalEnv,
+    Expression,
+    Literal,
+    combine_and,
+    conjuncts,
+)
+from repro.storage.joins import hash_join, index_nested_loop_join, merge_join
+from repro.storage.parser import ast_nodes as ast
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.engine import Database
+
+Row = tuple[Any, ...]
+
+
+class _Source:
+    """One FROM item after scanning: a relation plus (maybe) its base table.
+
+    Un-filtered base tables are scanned *lazily*: the index-nested-loop
+    join path never reads the inner table's heap at all (it only probes),
+    so charging a full scan up front would hide exactly the access-path
+    difference the Fig. 19 experiments measure.
+    """
+
+    def __init__(self, relation: Relation, binding: str, table=None, lazy=False):
+        self.relation = relation
+        self.binding = binding
+        self.table = table  # set only for un-filtered base-table scans
+        self.lazy = lazy
+
+    def materialize(self) -> None:
+        if self.lazy:
+            self.relation.rows = [row for _slot, row in self.table.scan()]
+            self.lazy = False
+
+    @property
+    def known_row_count(self) -> int:
+        if self.lazy:
+            return self.table.row_count
+        return len(self.relation.rows)
+
+    def bindings(self) -> set[str]:
+        return {name.split(".")[0] for name in self.relation.names if "." in name}
+
+
+def resolve_from(
+    db: "Database", select: ast.Select, executor: SelectExecutor
+) -> tuple[Relation, Expression | None]:
+    """Build the FROM relation; returns (relation, residual_where)."""
+    if not select.from_items:
+        # SELECT without FROM: a single empty row so expressions evaluate.
+        return Relation([], [()]), select.where
+    where_parts = conjuncts(select.where)
+    sources = []
+    for item in select.from_items:
+        source, where_parts = _scan_item(db, item, where_parts, executor)
+        sources.append(source)
+    current = sources[0]
+    remaining = sources[1:]
+    while remaining:
+        best_index, join_keys = _find_joinable(current, remaining, where_parts)
+        nxt = remaining.pop(best_index)
+        if join_keys:
+            current, where_parts = _equi_join(
+                db, current, nxt, where_parts, join_keys
+            )
+        else:
+            current = _cross_join(current, nxt)
+    for join_clause in select.joins:
+        source, where_parts = _scan_item(
+            db, join_clause.item, where_parts, executor
+        )
+        current = _explicit_join(db, current, source, join_clause)
+    current.materialize()
+    return current.relation, combine_and(where_parts)
+
+
+# ------------------------------------------------------------------ scanning
+
+
+def _scan_item(
+    db: "Database",
+    item: ast.FromItem,
+    where_parts: list[Expression],
+    executor: SelectExecutor,
+) -> tuple[_Source, list[Expression]]:
+    if isinstance(item, ast.SubqueryRef):
+        inner = executor.execute(item.query)
+        names = [f"{item.alias}.{name.split('.')[-1]}" for name in inner.names]
+        return _Source(Relation(names, inner.rows, inner.types), item.alias), (
+            where_parts
+        )
+    table = db.table(item.table)
+    binding = item.binding
+    names = [f"{binding}.{column.name}" for column in table.schema.columns]
+    types = [column.dtype for column in table.schema.columns]
+    eq_literals, where_parts = _extract_eq_literals(binding, table, where_parts)
+    probe = _pick_index_probe(table, eq_literals)
+    if probe is not None:
+        index, key, used_columns = probe
+        rows = table.probe(index, key)
+        # Conjuncts not covered by the index key stay as filters.
+        for column, (literal, conjunct) in eq_literals.items():
+            if column not in used_columns:
+                where_parts.append(conjunct)
+        return _Source(Relation(names, rows, types), binding), where_parts
+    for _column, (_literal, conjunct) in eq_literals.items():
+        where_parts.append(conjunct)
+    return (
+        _Source(Relation(names, [], types), binding, table=table, lazy=True),
+        where_parts,
+    )
+
+
+def _extract_eq_literals(
+    binding: str, table, where_parts: list[Expression]
+) -> tuple[dict[str, tuple[Any, Expression]], list[Expression]]:
+    """Pull out ``col = literal`` conjuncts that belong to this binding."""
+    found: dict[str, tuple[Any, Expression]] = {}
+    rest: list[Expression] = []
+    for part in where_parts:
+        column = _eq_literal_column(part, binding, table)
+        if column is not None and column[0] not in found:
+            found[column[0]] = (column[1], part)
+        else:
+            rest.append(part)
+    return found, rest
+
+
+def _eq_literal_column(
+    expr: Expression, binding: str, table
+) -> tuple[str, Any] | None:
+    if not (isinstance(expr, BinaryOp) and expr.op == "="):
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(right, ColumnRef) and isinstance(left, Literal):
+        left, right = right, left
+    if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+        return None
+    name = left.name
+    if "." in name:
+        qualifier, column = name.split(".", 1)
+        if qualifier != binding:
+            return None
+    else:
+        column = name
+    if column not in table.schema:
+        return None
+    return column, right.value
+
+
+def _pick_index_probe(table, eq_literals):
+    """Find an index fully covered by equality literals, if any."""
+    if not eq_literals:
+        return None
+    for index in table.indexes.values():
+        if all(column in eq_literals for column in index.columns):
+            key = tuple(eq_literals[column][0] for column in index.columns)
+            return index, key, set(index.columns)
+    return None
+
+
+# -------------------------------------------------------------------- joins
+
+
+def _find_joinable(
+    current: _Source, remaining: list[_Source], where_parts: list[Expression]
+) -> tuple[int, list[tuple[str, str, Expression]]]:
+    """Pick the next source that has an equi-join key with ``current``."""
+    for position, candidate in enumerate(remaining):
+        keys = _join_keys(current, candidate, where_parts)
+        if keys:
+            return position, keys
+    return 0, []
+
+
+def _join_keys(
+    left: _Source, right: _Source, where_parts: list[Expression]
+) -> list[tuple[str, str, Expression]]:
+    """Equality conjuncts of the form left.col = right.col."""
+    left_env = left.relation.env()
+    right_env = right.relation.env()
+    keys = []
+    for part in where_parts:
+        if not (isinstance(part, BinaryOp) and part.op == "="):
+            continue
+        if not (
+            isinstance(part.left, ColumnRef)
+            and isinstance(part.right, ColumnRef)
+        ):
+            continue
+        a, b = part.left.name, part.right.name
+        if _resolvable(left_env, a) and _resolvable(right_env, b):
+            keys.append((a, b, part))
+        elif _resolvable(left_env, b) and _resolvable(right_env, a):
+            keys.append((b, a, part))
+    return keys
+
+
+def _resolvable(env: EvalEnv, name: str) -> bool:
+    position = env.positions.get(name)
+    return position is not None and position != EvalEnv.AMBIGUOUS
+
+
+def _equi_join(
+    db: "Database",
+    left: _Source,
+    right: _Source,
+    where_parts: list[Expression],
+    keys: list[tuple[str, str, Expression]],
+) -> tuple[_Source, list[Expression]]:
+    for _l, _r, used in keys:
+        where_parts = [part for part in where_parts if part is not used]
+    left_positions = [left.relation.env().resolve(l) for l, _r, _u in keys]
+    right_positions = [right.relation.env().resolve(r) for _l, r, _u in keys]
+    names = left.relation.names + right.relation.names
+    types = left.relation.types + right.relation.types
+    method = db.join_method
+    stats = db.stats
+    if method == "merge":
+        left.materialize()
+        right.materialize()
+        rows = list(
+            merge_join(
+                left.relation.rows,
+                left_positions,
+                right.relation.rows,
+                right_positions,
+                stats=stats,
+            )
+        )
+    elif method == "inl" and (
+        _inl_inner(right, right_positions) or _inl_inner(left, left_positions)
+    ):
+        # Probe the indexed base table per outer row; the inner heap is
+        # never scanned.  When the indexed table sits on the left, run the
+        # join flipped and restore the output column order afterwards.
+        if _inl_inner(right, right_positions):
+            left.materialize()
+            rows = list(
+                index_nested_loop_join(
+                    left.relation.rows,
+                    left_positions,
+                    right.table,
+                    _inl_inner(right, right_positions),
+                    stats=stats,
+                )
+            )
+        else:
+            right.materialize()
+            left_width = len(left.relation.names)
+            flipped = index_nested_loop_join(
+                right.relation.rows,
+                right_positions,
+                left.table,
+                _inl_inner(left, left_positions),
+                stats=stats,
+            )
+            right_width = len(right.relation.names)
+            rows = [
+                row[right_width:] + row[:right_width] for row in flipped
+            ]
+    else:
+        # Hash join, building on the smaller side (Section 3.2's plan).
+        left.materialize()
+        right.materialize()
+        if len(left.relation.rows) <= len(right.relation.rows):
+            rows = list(
+                hash_join(
+                    left.relation.rows,
+                    left_positions,
+                    right.relation.rows,
+                    right_positions,
+                    stats=stats,
+                    build_side_first=True,
+                )
+            )
+        else:
+            rows = list(
+                hash_join(
+                    right.relation.rows,
+                    right_positions,
+                    left.relation.rows,
+                    left_positions,
+                    stats=stats,
+                    build_side_first=False,
+                )
+            )
+    merged = _Source(Relation(names, rows, types), left.binding)
+    return merged, where_parts
+
+
+def _inl_inner(source: _Source, positions) -> list[str] | None:
+    """Columns of a usable inner-side index, if this source is a base table
+    with an index covering the join key."""
+    if source.table is None:
+        return None
+    columns = [source.table.schema.columns[p].name for p in positions]
+    if source.table.index_on(columns) is None:
+        return None
+    return columns
+
+
+def _cross_join(left: _Source, right: _Source) -> _Source:
+    left.materialize()
+    right.materialize()
+    names = left.relation.names + right.relation.names
+    types = left.relation.types + right.relation.types
+    rows = [
+        lrow + rrow
+        for lrow in left.relation.rows
+        for rrow in right.relation.rows
+    ]
+    return _Source(Relation(names, rows, types), left.binding)
+
+
+def _explicit_join(
+    db: "Database", left: _Source, right: _Source, clause: ast.JoinClause
+) -> _Source:
+    keys = _join_keys(left, right, conjuncts(clause.condition))
+    if not (keys and clause.kind == "inner"):
+        left.materialize()
+        right.materialize()
+    names = left.relation.names + right.relation.names
+    types = left.relation.types + right.relation.types
+    env = EvalEnv(names)
+    if keys and clause.kind == "inner":
+        merged, _ = _equi_join(db, left, right, conjuncts(clause.condition), keys)
+        residual = [
+            part
+            for part in conjuncts(clause.condition)
+            if part not in [u for _l, _r, u in keys]
+        ]
+        if residual:
+            condition = combine_and(residual)
+            merged_env = merged.relation.env()
+            merged.relation.rows = [
+                row
+                for row in merged.relation.rows
+                if condition.evaluate(row, merged_env) is True
+            ]
+        return merged
+    rows = []
+    right_width = len(right.relation.names)
+    for lrow in left.relation.rows:
+        matched = False
+        for rrow in right.relation.rows:
+            combined = lrow + rrow
+            if clause.condition.evaluate(combined, env) is True:
+                rows.append(combined)
+                matched = True
+        if clause.kind == "left" and not matched:
+            rows.append(lrow + (None,) * right_width)
+    return _Source(Relation(names, rows, types), left.binding)
+
+
+def plan_error(message: str) -> ExecutionError:  # pragma: no cover
+    return ExecutionError(message)

@@ -1,0 +1,103 @@
+"""Table schemas for the embedded relational engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import CatalogError, ConstraintViolationError
+from repro.storage.types import DataType, coerce
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    ``not_null`` is enforced on insert/update; primary-key membership is
+    recorded on the schema (``TableSchema.primary_key``) rather than on the
+    column so composite keys are first-class, matching the paper's
+    ``<protein1, protein2>`` composite key example.
+    """
+
+    name: str
+    dtype: DataType
+    not_null: bool = False
+
+
+@dataclass
+class TableSchema:
+    """Ordered collection of columns plus an optional composite primary key."""
+
+    columns: list[Column]
+    primary_key: tuple[str, ...] = ()
+    _index_by_name: dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self._index_by_name = {}
+        for position, column in enumerate(self.columns):
+            if column.name in self._index_by_name:
+                raise CatalogError(f"duplicate column name {column.name!r}")
+            self._index_by_name[column.name] = position
+        for key_column in self.primary_key:
+            if key_column not in self._index_by_name:
+                raise CatalogError(
+                    f"primary key column {key_column!r} is not in the schema"
+                )
+        self.primary_key = tuple(self.primary_key)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index_by_name
+
+    def position(self, name: str) -> int:
+        """Ordinal position of a column, raising :class:`CatalogError` if absent."""
+        try:
+            return self._index_by_name[name]
+        except KeyError:
+            raise CatalogError(f"no column named {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position(name)]
+
+    def coerce_row(self, values: Sequence[Any]) -> tuple[Any, ...]:
+        """Validate and coerce a full-width row to canonical Python values."""
+        if len(values) != len(self.columns):
+            raise ConstraintViolationError(
+                f"row has {len(values)} values but the schema has "
+                f"{len(self.columns)} columns"
+            )
+        coerced = []
+        for column, value in zip(self.columns, values):
+            if value is None and column.not_null:
+                raise ConstraintViolationError(
+                    f"null value in NOT NULL column {column.name!r}"
+                )
+            coerced.append(coerce(value, column.dtype))
+        return tuple(coerced)
+
+    def key_of(self, row: Sequence[Any]) -> tuple[Any, ...]:
+        """Extract the primary-key tuple from a row (empty tuple if keyless)."""
+        return tuple(row[self.position(name)] for name in self.primary_key)
+
+    def project_positions(self, names: Iterable[str]) -> list[int]:
+        return [self.position(name) for name in names]
+
+    def with_column(self, column: Column) -> "TableSchema":
+        """A copy of this schema with one appended column."""
+        return TableSchema(self.columns + [column], self.primary_key)
+
+    def without_column(self, name: str) -> "TableSchema":
+        """A copy of this schema with one column removed."""
+        self.position(name)  # validation
+        return TableSchema(
+            [c for c in self.columns if c.name != name],
+            tuple(k for k in self.primary_key if k != name),
+        )

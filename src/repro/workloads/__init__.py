@@ -1,0 +1,32 @@
+"""Benchmark workload generators: the SCI/CUR versioning benchmark plus
+STRING-like protein interaction data."""
+
+from repro.workloads.benchmark_graph import (
+    GeneratedVersion,
+    VersionedWorkload,
+    WorkloadBuilder,
+)
+from repro.workloads.cur import CurParameters, generate_cur
+from repro.workloads.datasets import (
+    DATASETS,
+    DatasetConfig,
+    dataset,
+    load_workload,
+    workload_schema,
+)
+from repro.workloads.sci import SciParameters, generate_sci
+
+__all__ = [
+    "GeneratedVersion",
+    "VersionedWorkload",
+    "WorkloadBuilder",
+    "SciParameters",
+    "generate_sci",
+    "CurParameters",
+    "generate_cur",
+    "DATASETS",
+    "DatasetConfig",
+    "dataset",
+    "load_workload",
+    "workload_schema",
+]

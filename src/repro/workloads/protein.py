@@ -1,0 +1,108 @@
+"""Synthetic protein-protein interaction data (STRING-like).
+
+The paper's running example is the STRING protein-interaction dataset with
+schema ``<protein1, protein2, neighborhood, cooccurrence, coexpression>``
+and composite primary key ``<protein1, protein2>``.  The real dataset is
+large and external; this module generates schema-identical synthetic rows
+plus the kinds of edits the paper's biologists make (rescoring, adding
+newly observed interactions, pruning low-confidence pairs), which is all
+the system ever sees of the data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+PROTEIN_COLUMNS: list[tuple[str, str]] = [
+    ("protein1", "text"),
+    ("protein2", "text"),
+    ("neighborhood", "int"),
+    ("cooccurrence", "int"),
+    ("coexpression", "int"),
+]
+
+PROTEIN_PRIMARY_KEY = ("protein1", "protein2")
+
+Row = tuple[str, str, int, int, int]
+
+
+def _protein_name(index: int) -> str:
+    return f"ENSP{200000 + index:06d}"
+
+
+def generate_interactions(
+    count: int, num_proteins: int | None = None, seed: int = 11
+) -> list[Row]:
+    """``count`` synthetic interaction rows with unique (protein1, protein2)."""
+    rng = random.Random(seed)
+    num_proteins = num_proteins or max(10, int(count**0.5) * 3)
+    pairs: set[tuple[int, int]] = set()
+    rows: list[Row] = []
+    while len(rows) < count:
+        a, b = rng.randrange(num_proteins), rng.randrange(num_proteins)
+        if a == b or (a, b) in pairs:
+            continue
+        pairs.add((a, b))
+        rows.append(
+            (
+                _protein_name(a),
+                _protein_name(b),
+                rng.choice([0, 0, 0, rng.randrange(50, 500)]),
+                rng.choice([0, 0, rng.randrange(20, 300)]),
+                rng.choice([0, rng.randrange(40, 999)]),
+            )
+        )
+    return rows
+
+
+def rescore_coexpression(
+    rows: Sequence[Row], fraction: float = 0.2, seed: int = 13
+) -> list[Row]:
+    """A curation pass: re-score coexpression for a fraction of the rows."""
+    rng = random.Random(seed)
+    out = []
+    for row in rows:
+        if rng.random() < fraction:
+            out.append(row[:4] + (rng.randrange(40, 999),))
+        else:
+            out.append(row)
+    return out
+
+
+def prune_low_confidence(
+    rows: Sequence[Row], threshold: int = 50
+) -> list[Row]:
+    """Drop interactions whose every evidence channel is below ``threshold``."""
+    return [
+        row
+        for row in rows
+        if max(row[2], row[3], row[4]) >= threshold
+    ]
+
+
+def discover_interactions(
+    rows: Sequence[Row], count: int, seed: int = 17
+) -> list[Row]:
+    """Append ``count`` newly observed interactions not already present."""
+    existing = {(row[0], row[1]) for row in rows}
+    rng = random.Random(seed)
+    out = list(rows)
+    attempts = 0
+    while count > 0 and attempts < 100000:
+        attempts += 1
+        a, b = rng.randrange(4000), rng.randrange(4000)
+        pair = (_protein_name(a), _protein_name(b))
+        if a == b or pair in existing:
+            continue
+        existing.add(pair)
+        out.append(
+            pair
+            + (
+                rng.choice([0, rng.randrange(50, 500)]),
+                rng.choice([0, rng.randrange(20, 300)]),
+                rng.randrange(40, 999),
+            )
+        )
+        count -= 1
+    return out

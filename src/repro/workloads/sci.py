@@ -1,0 +1,85 @@
+"""The SCI (Science) workload generator (paper Section 5.1).
+
+Simulates data scientists taking working copies of an evolving dataset:
+a mainline chain with branches hanging off it — "both from different points
+on the mainline as well as from other already existing branches" — so the
+version graph is a tree.  Each version applies I inserts-or-updates (plus a
+few deletes) to its parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workloads.benchmark_graph import (
+    VersionedWorkload,
+    WorkloadBuilder,
+    split_edit_counts,
+)
+
+
+@dataclass(frozen=True)
+class SciParameters:
+    """Knobs of the SCI generator (Table 2's B, |R| via V*I, and I)."""
+
+    num_versions: int
+    num_branches: int
+    inserts_per_version: int
+    # Update-dominated dynamics: versions churn records in place, so the
+    # average version stabilizes near initial_size_factor * I records and
+    # each record lives in ~10 versions -- Table 2's |E| / |R| ~ 11 ratio.
+    update_fraction: float = 0.9
+    delete_fraction: float = 0.1
+    initial_size_factor: int = 10
+    num_attributes: int = 10
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_versions < 1:
+            raise WorkloadError("need at least one version")
+        if self.num_branches < 0 or self.num_branches >= self.num_versions:
+            raise WorkloadError(
+                "num_branches must be in [0, num_versions - 1)"
+            )
+        if not 0 <= self.update_fraction <= 1:
+            raise WorkloadError("update_fraction must be in [0, 1]")
+
+
+def generate_sci(params: SciParameters, name: str = "SCI") -> VersionedWorkload:
+    """Generate a SCI workload: a branched version *tree*."""
+    builder = WorkloadBuilder(name, params.num_attributes, params.seed)
+    rng = builder.rng
+    root = builder.root(params.initial_size_factor * params.inserts_per_version)
+    # Pre-draw which of the remaining commits start a new branch.
+    remaining = params.num_versions - 1
+    branch_steps = set(
+        rng.sample(range(remaining), min(params.num_branches, remaining))
+    )
+    tips = [root]  # active branch tips; index 0 is the mainline tip
+    for step in range(remaining):
+        if step in branch_steps:
+            # A new working copy: branch from any existing version.
+            parent = rng.choice(builder.version_ids)
+        else:
+            # Continue an existing line of work, favouring the mainline.
+            if len(tips) > 1 and rng.random() < 0.5:
+                parent = rng.choice(tips[1:])
+            else:
+                parent = tips[0]
+        inserts, updates, deletes = split_edit_counts(
+            params.inserts_per_version,
+            params.update_fraction,
+            params.delete_fraction,
+        )
+        child = builder.derive(parent, inserts, updates, deletes)
+        if step in branch_steps:
+            tips.append(child)
+        else:
+            for index, tip in enumerate(tips):
+                if tip == parent:
+                    tips[index] = child
+                    break
+            else:
+                tips.append(child)
+    return builder.build(params.num_branches, params.inserts_per_version)

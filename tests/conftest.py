@@ -1,0 +1,83 @@
+"""Shared fixtures: a fresh engine, the paper's protein example, workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.orpheus import OrpheusDB
+from repro.storage.engine import Database
+from repro.workloads import dataset, load_workload
+from repro.workloads.protein import (
+    PROTEIN_COLUMNS,
+    PROTEIN_PRIMARY_KEY,
+)
+
+# Figure 1's protein rows: (protein1, protein2, neighborhood, cooccurrence,
+# coexpression).  r1 and r5 are two "versions" of the same logical record.
+PAPER_ROWS = [
+    ("ENSP273047", "ENSP261890", 0, 53, 0),
+    ("ENSP273047", "ENSP235932", 0, 87, 0),
+    ("ENSP300413", "ENSP274242", 426, 0, 164),
+]
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database()
+
+
+@pytest.fixture
+def orpheus() -> OrpheusDB:
+    return OrpheusDB()
+
+
+@pytest.fixture
+def protein_cvd(orpheus):
+    """A CVD reproducing Figure 1's four-version history.
+
+    v1 = {r1 r2 r3}; v2 edits r1's coexpression (r1->r4) and adds r5;
+    v3 deletes r3 from v1; v4 merges v2 and v3.
+    """
+    orpheus.init(
+        "proteins",
+        PROTEIN_COLUMNS,
+        rows=PAPER_ROWS,
+        primary_key=PROTEIN_PRIMARY_KEY,
+    )
+    orpheus.checkout("proteins", 1, table_name="w2")
+    orpheus.db.execute(
+        "UPDATE w2 SET coexpression = 83 "
+        "WHERE protein1 = 'ENSP273047' AND protein2 = 'ENSP261890'"
+    )
+    orpheus.db.execute(
+        "INSERT INTO w2 VALUES (NULL, 'ENSP309334', 'ENSP346022', 0, 227, 975)"
+    )
+    orpheus.commit("w2", message="rescore + discover")
+    orpheus.checkout("proteins", 1, table_name="w3")
+    orpheus.db.execute("DELETE FROM w3 WHERE protein1 = 'ENSP300413'")
+    orpheus.commit("w3", message="prune")
+    orpheus.checkout("proteins", [2, 3], table_name="w4")
+    orpheus.commit("w4", message="merge")
+    return orpheus.cvd("proteins")
+
+
+@pytest.fixture(scope="session")
+def sci_tiny():
+    return dataset("SCI_TINY").generate()
+
+
+@pytest.fixture(scope="session")
+def cur_tiny():
+    return dataset("CUR_TINY").generate()
+
+
+@pytest.fixture
+def sci_cvd(sci_tiny):
+    db = Database()
+    return load_workload(db, "sci", sci_tiny)
+
+
+@pytest.fixture
+def cur_cvd(cur_tiny):
+    db = Database()
+    return load_workload(db, "cur", cur_tiny)

@@ -1,0 +1,137 @@
+"""End-to-end tests of the git-style command line."""
+
+import pytest
+
+from repro.cli.main import main
+
+
+@pytest.fixture
+def store(tmp_path):
+    return str(tmp_path / "state.orpheusdb")
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(
+        "protein1,protein2,score\n"
+        "ENSP1,ENSP2,10\n"
+        "ENSP3,ENSP4,20\n"
+    )
+    return str(path)
+
+
+def run(store, *args):
+    return main(["--store", store, *args])
+
+
+@pytest.fixture
+def initialized(store, csv_file):
+    assert run(
+        store,
+        "init",
+        "-n", "p",
+        "-f", csv_file,
+        "-s", "protein1:text,protein2:text,score:int",
+        "--primary-key", "protein1,protein2",
+    ) == 0
+    return store
+
+
+class TestLifecycle:
+    def test_init_ls(self, initialized, capsys):
+        assert run(initialized, "ls") == 0
+        assert "p: 1 versions, 2 records" in capsys.readouterr().out
+
+    def test_checkout_commit_cycle(self, initialized, capsys):
+        assert run(initialized, "checkout", "p", "-v", "1", "-t", "work") == 0
+        assert run(
+            initialized, "run", "UPDATE work SET score = 99 WHERE score = 10"
+        ) == 0
+        assert run(initialized, "commit", "-t", "work", "-m", "bump") == 0
+        out = capsys.readouterr().out
+        assert "committed as version 2" in out
+        assert run(
+            initialized,
+            "run",
+            "SELECT score FROM VERSION 2 OF CVD p ORDER BY score",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "99" in out
+
+    def test_csv_checkout_commit(self, initialized, tmp_path, capsys):
+        out_csv = str(tmp_path / "w.csv")
+        assert run(initialized, "checkout", "p", "-v", "1", "-f", out_csv) == 0
+        content = open(out_csv).read().replace("10", "55")
+        open(out_csv, "w").write(content)
+        assert run(initialized, "commit", "-f", out_csv, "-m", "edit") == 0
+        assert "committed as version 2" in capsys.readouterr().out
+
+    def test_diff(self, initialized, capsys):
+        run(initialized, "checkout", "p", "-v", "1", "-t", "w")
+        run(initialized, "run", "DELETE FROM w WHERE score = 20")
+        run(initialized, "commit", "-t", "w")
+        assert run(initialized, "diff", "p", "1", "2") == 0
+        out = capsys.readouterr().out
+        assert "only in version 1: 1 records" in out
+
+    def test_log(self, initialized, capsys):
+        run(initialized, "checkout", "p", "-v", "1", "-t", "w")
+        run(initialized, "commit", "-t", "w", "-m", "second")
+        assert run(initialized, "log", "p") == 0
+        out = capsys.readouterr().out
+        assert "v2 <- [1]" in out and "second" in out
+
+    def test_optimize(self, initialized, capsys):
+        assert run(initialized, "optimize", "p", "--gamma", "2.0") == 0
+        assert "partitioned into" in capsys.readouterr().out
+
+    def test_drop(self, initialized, capsys):
+        assert run(initialized, "drop", "p") == 0
+        run(initialized, "ls")
+        assert "p:" not in capsys.readouterr().out
+
+
+class TestUsers:
+    def test_user_flow(self, store, capsys):
+        assert run(store, "create_user", "alice") == 0
+        assert run(store, "config", "alice") == 0
+        assert run(store, "whoami") == 0
+        assert "alice" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_unknown_cvd_returns_nonzero(self, store, capsys):
+        assert run(store, "checkout", "ghost", "-v", "1", "-t", "w") == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_schema_string(self, store, csv_file, capsys):
+        assert run(
+            store, "init", "-n", "x", "-f", csv_file, "-s", "broken"
+        ) == 1
+
+    def test_commit_unstaged_table(self, initialized, capsys):
+        assert run(initialized, "commit", "-t", "nope") == 1
+
+
+class TestPersistence:
+    def test_state_survives_processes(self, initialized, capsys):
+        """Each `run` call is a fresh load from the pickle store."""
+        run(initialized, "checkout", "p", "-v", "1", "-t", "w")
+        run(initialized, "commit", "-t", "w", "-m", "persisted")
+        assert run(initialized, "ls") == 0
+        assert "2 versions" in capsys.readouterr().out
+
+
+class TestOptimizedStatePersistence:
+    def test_commit_after_optimize_across_processes(self, initialized, capsys):
+        """The partitioned model (and its placement policy) pickles: commits
+        keep working across CLI invocations after `optimize`."""
+        assert run(initialized, "optimize", "p", "--gamma", "2.0") == 0
+        assert run(initialized, "checkout", "p", "-v", "1", "-t", "w") == 0
+        assert run(initialized, "commit", "-t", "w", "-m", "post") == 0
+        assert run(
+            initialized, "run", "SELECT count(*) FROM VERSION 2 OF CVD p"
+        ) == 0
+        out = capsys.readouterr().out
+        assert "committed as version 2" in out

@@ -1,0 +1,125 @@
+"""Tests for range-encoded rlists (the Section 3.2 compression extension)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.compression import (
+    compression_ratio,
+    decode_ranges,
+    encode_ranges,
+    encoded_cardinality,
+    iter_ranges,
+)
+from repro.errors import StorageError
+from repro.storage.engine import Database
+from repro.workloads import dataset, load_workload
+
+rid_sets = st.sets(st.integers(min_value=0, max_value=500), max_size=80)
+
+
+class TestEncoding:
+    def test_example(self):
+        assert encode_ranges([4, 5, 6, 7, 42, 43, 99]) == (4, 4, 42, 2, 99, 1)
+
+    def test_empty(self):
+        assert encode_ranges([]) == ()
+        assert decode_ranges(()) == ()
+        assert encoded_cardinality(()) == 0
+
+    def test_single_run(self):
+        assert encode_ranges(range(10, 20)) == (10, 10)
+
+    def test_duplicates_and_order_normalized(self):
+        assert encode_ranges([3, 1, 2, 2]) == (1, 3)
+
+    @given(rid_sets)
+    def test_roundtrip(self, rids):
+        assert set(decode_ranges(encode_ranges(rids))) == rids
+
+    @given(rid_sets)
+    def test_cardinality_without_decoding(self, rids):
+        assert encoded_cardinality(encode_ranges(rids)) == len(rids)
+
+    @given(rid_sets)
+    def test_iter_matches_decode(self, rids):
+        encoded = encode_ranges(rids)
+        assert tuple(iter_ranges(encoded)) == decode_ranges(encoded)
+
+    def test_sequential_rids_compress_well(self):
+        assert compression_ratio(list(range(1000))) == 500.0
+
+    def test_malformed_encodings_rejected(self):
+        with pytest.raises(StorageError):
+            decode_ranges((1, 2, 3))
+        with pytest.raises(StorageError):
+            decode_ranges((1, 0))
+        with pytest.raises(StorageError):
+            encoded_cardinality((5,))
+
+
+class TestUnnestRangesSQL:
+    def test_expansion_in_select(self, db: Database):
+        db.execute("CREATE TABLE vt (vid int PRIMARY KEY, rlist int[])")
+        db.execute("INSERT INTO vt VALUES (1, %s)", (encode_ranges([5, 6, 9]),))
+        rows = db.query("SELECT unnest_ranges(rlist) FROM vt WHERE vid = 1")
+        assert rows == [(5,), (6,), (9,)]
+
+    def test_checkout_join_equivalent_to_plain(self, db: Database):
+        db.execute("CREATE TABLE d (rid int PRIMARY KEY, v int)")
+        for rid in range(1, 21):
+            db.execute("INSERT INTO d VALUES (%s, %s)", (rid, rid))
+        db.execute("CREATE TABLE vt (vid int PRIMARY KEY, rlist int[])")
+        rids = [2, 3, 4, 10, 17, 18]
+        db.execute("INSERT INTO vt VALUES (1, %s)", (tuple(rids),))
+        db.execute("INSERT INTO vt VALUES (2, %s)", (encode_ranges(rids),))
+        plain = db.query(
+            "SELECT d.rid, d.v FROM d, (SELECT unnest(rlist) AS r FROM vt "
+            "WHERE vid = 1) AS t WHERE d.rid = t.r"
+        )
+        encoded = db.query(
+            "SELECT d.rid, d.v FROM d, (SELECT unnest_ranges(rlist) AS r "
+            "FROM vt WHERE vid = 2) AS t WHERE d.rid = t.r"
+        )
+        assert sorted(plain) == sorted(encoded)
+
+
+class TestCompressedModel:
+    """The registry-parametrized tests in test_core_datamodels already
+    exercise correctness; these check the compression-specific wins."""
+
+    def test_versioning_storage_smaller_than_plain(self, sci_tiny):
+        plain = load_workload(Database(), "w", sci_tiny, "split_by_rlist")
+        rle = load_workload(Database(), "w", sci_tiny, "split_by_rlist_rle")
+        plain_vt = plain.db.table("w__versions").storage_bytes()
+        rle_vt = rle.db.table("w__versions").storage_bytes()
+        assert rle_vt < plain_vt
+
+    def test_checkout_contents_identical(self, sci_tiny):
+        plain = load_workload(Database(), "w", sci_tiny, "split_by_rlist")
+        rle = load_workload(Database(), "w", sci_tiny, "split_by_rlist_rle")
+        for vid in plain.graph.version_ids():
+            assert sorted(plain.model.fetch_version(vid)) == sorted(
+                rle.model.fetch_version(vid)
+            )
+
+    def test_translator_on_compressed_model(self, orpheus):
+        orpheus.init(
+            "c",
+            [("x", "int")],
+            rows=[(i,) for i in range(20)],
+            model="split_by_rlist_rle",
+        )
+        assert orpheus.run(
+            "SELECT count(*) FROM VERSION 1 OF CVD c"
+        ).scalar() == 20
+        orpheus.checkout("c", 1, table_name="w")
+        orpheus.db.execute("DELETE FROM w WHERE x >= 10")
+        v2 = orpheus.commit("w")
+        assert orpheus.run(
+            "SELECT count(*) FROM VERSION 2 OF CVD c"
+        ).scalar() == 10
+        assert orpheus.run(
+            "SELECT vid, count(*) AS n FROM ALL VERSIONS OF CVD c AS av "
+            "GROUP BY vid ORDER BY vid"
+        ).rows == [(1, 20), (2, 10)]

@@ -1,0 +1,167 @@
+"""Unit tests for CVD commit/checkout semantics (Sections 2.1-2.2)."""
+
+import pytest
+
+from repro.core.cvd import CVD
+from repro.errors import (
+    ConstraintViolationError,
+    VersionNotFoundError,
+)
+from repro.storage.engine import Database
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import DataType
+
+SCHEMA = TableSchema(
+    [
+        Column("key", DataType.TEXT),
+        Column("value", DataType.INTEGER),
+    ],
+    ("key",),
+)
+
+
+@pytest.fixture
+def cvd() -> CVD:
+    cvd = CVD(Database(), "d", SCHEMA)
+    cvd.init_version([("a", 1), ("b", 2), ("c", 3)])
+    return cvd
+
+
+class TestInit:
+    def test_root_version(self, cvd):
+        assert cvd.version_count == 1
+        assert cvd.record_count == 3
+        assert cvd.version(1).is_root
+        assert len(cvd.member_rids(1)) == 3
+
+    def test_init_enforces_pk_within_version(self):
+        cvd = CVD(Database(), "d", SCHEMA)
+        with pytest.raises(ConstraintViolationError):
+            cvd.init_version([("a", 1), ("a", 2)])
+
+
+class TestCommitRows:
+    def test_unchanged_rows_keep_rids(self, cvd):
+        rows = cvd.checkout_rows([1])
+        vid = cvd.commit_rows((1,), rows)
+        assert cvd.member_rids(vid) == cvd.member_rids(1)
+        assert cvd.record_count == 3  # nothing new stored
+
+    def test_modified_row_gets_fresh_rid(self, cvd):
+        rows = [list(r) for r in cvd.checkout_rows([1])]
+        rows[0][2] = 99  # change 'value' of the first record
+        vid = cvd.commit_rows((1,), [tuple(r) for r in rows])
+        assert cvd.record_count == 4
+        changed = cvd.member_rids(vid) - cvd.member_rids(1)
+        assert len(changed) == 1
+
+    def test_inserted_row_null_rid(self, cvd):
+        rows = cvd.checkout_rows([1]) + [(None, "d", 4)]
+        vid = cvd.commit_rows((1,), rows)
+        assert len(cvd.member_rids(vid)) == 4
+
+    def test_deleted_row_simply_absent(self, cvd):
+        rows = [r for r in cvd.checkout_rows([1]) if r[1] != "b"]
+        vid = cvd.commit_rows((1,), rows)
+        assert len(cvd.member_rids(vid)) == 2
+
+    def test_no_cross_version_diff_rule(self, cvd):
+        """A record deleted then re-added gets a NEW rid (Section 2.2)."""
+        rows_v1 = cvd.checkout_rows([1])
+        without_b = [r for r in rows_v1 if r[1] != "b"]
+        v2 = cvd.commit_rows((1,), without_b)
+        readded = cvd.checkout_rows([v2]) + [(None, "b", 2)]
+        v3 = cvd.commit_rows((v2,), readded)
+        b_rid_v1 = next(r[0] for r in rows_v1 if r[1] == "b")
+        b_rid_v3 = next(r[0] for r in cvd.checkout_rows([v3]) if r[1] == "b")
+        assert b_rid_v1 != b_rid_v3
+        assert cvd.record_count == 4
+
+    def test_value_match_commit_without_rids(self, cvd):
+        """The CSV path: unchanged rows are recognized by value."""
+        data_rows = [r[1:] for r in cvd.checkout_rows([1])]
+        data_rows[1] = ("b", 20)
+        vid = cvd.commit_rows((1,), data_rows, rows_have_rid=False)
+        assert cvd.record_count == 4
+        assert len(cvd.member_rids(vid) & cvd.member_rids(1)) == 2
+
+    def test_duplicate_pk_rejected(self, cvd):
+        rows = cvd.checkout_rows([1]) + [(None, "a", 99)]
+        with pytest.raises(ConstraintViolationError):
+            cvd.commit_rows((1,), rows)
+
+    def test_duplicate_rid_rejected(self, cvd):
+        rows = cvd.checkout_rows([1])
+        with pytest.raises(ConstraintViolationError):
+            cvd.commit_rows((1,), rows + [rows[0]])
+
+    def test_edge_weight_recorded(self, cvd):
+        rows = cvd.checkout_rows([1])[:2]
+        vid = cvd.commit_rows((1,), rows)
+        assert cvd.graph.edge_weight(1, vid) == 2
+
+
+class TestIngestValidation:
+    def test_stray_rid_rejected(self, cvd):
+        with pytest.raises(ConstraintViolationError):
+            cvd.ingest_version((1,), [999], {}, "bad")
+
+    def test_unknown_parent_rejected(self, cvd):
+        with pytest.raises(VersionNotFoundError):
+            cvd.ingest_version((42,), [], {}, "bad")
+
+
+class TestMultiVersionCheckout:
+    def test_precedence_on_primary_key(self, cvd):
+        # v2 rescores 'a'; v3 rescores 'a' differently.
+        rows = [list(r) for r in cvd.checkout_rows([1])]
+        rows[0][2] = 10
+        v2 = cvd.commit_rows((1,), [tuple(r) for r in rows])
+        rows = [list(r) for r in cvd.checkout_rows([1])]
+        rows[0][2] = 20
+        v3 = cvd.commit_rows((1,), [tuple(r) for r in rows])
+        merged = cvd.checkout_rows([v2, v3])
+        a_value = next(r[2] for r in merged if r[1] == "a")
+        assert a_value == 10  # first-listed version wins
+        merged_flipped = cvd.checkout_rows([v3, v2])
+        assert next(r[2] for r in merged_flipped if r[1] == "a") == 20
+
+    def test_merged_checkout_has_no_pk_duplicates(self, cvd):
+        rows = [list(r) for r in cvd.checkout_rows([1])]
+        rows[0][2] = 10
+        v2 = cvd.commit_rows((1,), [tuple(r) for r in rows])
+        merged = cvd.checkout_rows([v2, 1])
+        keys = [r[1] for r in merged]
+        assert len(keys) == len(set(keys)) == 3
+
+    def test_checkout_into_table(self, cvd):
+        cvd.checkout_into([1], "work")
+        assert cvd.db.table("work").row_count == 3
+
+
+class TestDiff:
+    def test_diff_symmetric_content(self, cvd):
+        rows = cvd.checkout_rows([1]) + [(None, "d", 4)]
+        v2 = cvd.commit_rows((1,), rows)
+        only_2, only_1 = cvd.diff(v2, 1)
+        assert [r[1] for r in only_2] == ["d"]
+        assert only_1 == []
+
+    def test_diff_same_version_empty(self, cvd):
+        assert cvd.diff(1, 1) == ([], [])
+
+
+class TestMetadataTable:
+    def test_metadata_row_per_version(self, cvd):
+        rows = cvd.checkout_rows([1])
+        cvd.commit_rows((1,), rows, message="again", commit_time=5)
+        meta = cvd.db.query(
+            f"SELECT vid, parents, num_records, msg FROM {cvd.metadata_table} "
+            f"ORDER BY vid"
+        )
+        assert meta[0] == (1, (), 3, "initial version")
+        assert meta[1] == (2, (1,), 3, "again")
+
+    def test_counts(self, cvd):
+        assert cvd.bipartite_edge_count == 3
+        assert cvd.storage_bytes() > 0

@@ -1,0 +1,35 @@
+"""Tests for the version-graph shortcut queries (Section 2.2)."""
+
+
+class TestShortcuts:
+    def test_ancestors_descendants(self, protein_cvd, orpheus):
+        assert orpheus.ancestors("proteins", 4) == [1, 2, 3]
+        assert orpheus.descendants("proteins", 1) == [2, 3, 4]
+        assert orpheus.ancestors("proteins", 1) == []
+
+    def test_parents_children(self, protein_cvd, orpheus):
+        assert orpheus.parents_of("proteins", 4) == (2, 3)
+        assert orpheus.children_of("proteins", 1) == [2, 3]
+
+    def test_last_modified(self, protein_cvd, orpheus):
+        vid, commit_time, message = orpheus.last_modified("proteins")
+        assert vid == 4
+        assert message == "merge"
+        assert commit_time is not None
+
+    def test_version_log_topological(self, protein_cvd, orpheus):
+        log = orpheus.version_log("proteins")
+        order = [entry["vid"] for entry in log]
+        position = {vid: i for i, vid in enumerate(order)}
+        for entry in log:
+            for parent in entry["parents"]:
+                assert position[parent] < position[entry["vid"]]
+        assert log[0]["message"] == "initial version"
+
+    def test_shortcuts_agree_with_metadata_sql(self, protein_cvd, orpheus):
+        """The shortcuts are views over the SQL-visible metadata table."""
+        rows = orpheus.run(
+            "SELECT vid, parents FROM proteins__meta ORDER BY vid"
+        ).rows
+        for vid, parents in rows:
+            assert orpheus.parents_of("proteins", vid) == parents

@@ -1,0 +1,186 @@
+"""Property-based tests of versioning invariants (hypothesis).
+
+Random sequences of edits (update / insert / delete) are applied through
+the real checkout-commit cycle, then system-level invariants are checked:
+round-tripping, record immutability, membership consistency, and
+equivalence between the bulk and incremental ingest paths.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cvd import CVD
+from repro.storage.engine import Database
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import DataType
+from repro.workloads import dataset, load_workload
+
+SCHEMA = TableSchema(
+    [Column("k", DataType.INTEGER), Column("v", DataType.INTEGER)],
+    ("k",),
+)
+
+# One edit step: for each existing row, an action; plus up to 3 inserts.
+edit_steps = st.lists(
+    st.tuples(
+        st.sampled_from(["keep", "update", "delete"]),
+        st.integers(min_value=0, max_value=99),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def apply_edits(rows, step, next_key):
+    """Interpret an edit step over (k, v) data rows."""
+    out = []
+    for (action, value), row in zip(step, rows):
+        if action == "keep":
+            out.append(row)
+        elif action == "update":
+            out.append((row[0], row[1], value))  # same rid slot, new v
+    # Unmatched rows are kept.
+    out.extend(rows[len(step) :])
+    inserts = max(0, 3 - len(step) % 4)
+    for i in range(inserts):
+        out.append((None, next_key + i, 0))
+    return out
+
+
+class TestCommitCheckoutRoundtrip:
+    @given(st.lists(edit_steps, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_checkout_returns_exactly_what_was_committed(self, history):
+        cvd = CVD(Database(), "p", SCHEMA)
+        cvd.init_version([(k, k * 10) for k in range(5)])
+        tip = 1
+        next_key = 1000
+        for step in history:
+            rows = cvd.checkout_rows([tip])
+            staged = []
+            for (action, value), row in zip(step, rows):
+                if action == "delete":
+                    continue
+                if action == "update":
+                    staged.append((row[0], row[1], value))
+                else:
+                    staged.append(row)
+            staged.extend(rows[len(step) :])
+            staged.append((None, next_key, 7))
+            next_key += 1
+            committed_data = sorted(tuple(r[1:]) for r in staged)
+            tip = cvd.commit_rows((tip,), staged)
+            fetched = sorted(tuple(r[1:]) for r in cvd.checkout_rows([tip]))
+            assert fetched == committed_data
+
+    @given(st.lists(edit_steps, min_size=1, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_old_versions_never_change(self, history):
+        """Record immutability: committing never disturbs prior versions."""
+        cvd = CVD(Database(), "p", SCHEMA)
+        cvd.init_version([(k, k * 10) for k in range(5)])
+        snapshots = {1: sorted(cvd.checkout_rows([1]))}
+        tip = 1
+        next_key = 1000
+        for step in history:
+            rows = cvd.checkout_rows([tip])
+            staged = [
+                (row[0], row[1], value) if action == "update" else row
+                for (action, value), row in zip(step, rows)
+                if action != "delete"
+            ]
+            staged.extend(rows[len(step) :])
+            staged.append((None, next_key, 7))
+            next_key += 1
+            tip = cvd.commit_rows((tip,), staged)
+            snapshots[tip] = sorted(cvd.checkout_rows([tip]))
+            for vid, expected in snapshots.items():
+                assert sorted(cvd.checkout_rows([vid])) == expected
+
+
+class TestMembershipInvariants:
+    @given(st.integers(min_value=2, max_value=40), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_generated_workload_invariants(self, num_versions, seed):
+        from repro.workloads import SciParameters, generate_sci
+
+        workload = generate_sci(
+            SciParameters(
+                num_versions=num_versions,
+                num_branches=min(3, num_versions - 1),
+                inserts_per_version=8,
+                seed=seed,
+            )
+        )
+        cvd = load_workload(Database(), "w", workload)
+        # Every version's membership is inherited-from-parents plus its
+        # fresh rids; edge weights equal true intersections.
+        for version in workload.versions:
+            members = cvd.member_rids(version.vid)
+            assert len(members) == len(version.members)
+            for parent in version.parents:
+                expected = len(
+                    cvd.member_rids(parent) & members
+                )
+                assert cvd.graph.edge_weight(parent, version.vid) == expected
+
+    def test_bipartite_counts_match_sql_counts(self, sci_cvd):
+        """The Python-side membership mirrors the versioning table."""
+        total_sql = sci_cvd.db.query(
+            "SELECT sum(cardinality(rlist)) FROM sci__versions"
+        )[0][0]
+        assert total_sql == sci_cvd.bipartite_edge_count
+
+
+class TestBulkIncrementalEquivalence:
+    @given(st.integers(min_value=2, max_value=25), st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_paths_agree_on_sci(self, num_versions, seed):
+        from repro.workloads import SciParameters, generate_sci
+
+        workload = generate_sci(
+            SciParameters(num_versions, min(2, num_versions - 1), 6, seed=seed)
+        )
+        bulk = load_workload(Database(), "w", workload, bulk=True)
+        step = load_workload(Database(), "w", workload, bulk=False)
+        for vid in bulk.graph.version_ids():
+            assert sorted(bulk.model.fetch_version(vid)) == sorted(
+                step.model.fetch_version(vid)
+            )
+        assert bulk.membership == step.membership
+
+    @given(st.integers(min_value=4, max_value=25), st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_paths_agree_on_cur(self, num_versions, seed):
+        from repro.workloads import CurParameters, generate_cur
+
+        workload = generate_cur(
+            CurParameters(num_versions, min(3, num_versions - 1), 6, seed=seed)
+        )
+        bulk = load_workload(Database(), "w", workload, bulk=True)
+        step = load_workload(Database(), "w", workload, bulk=False)
+        for vid in bulk.graph.version_ids():
+            assert sorted(bulk.model.fetch_version(vid)) == sorted(
+                step.model.fetch_version(vid)
+            )
+
+
+class TestDiffProperties:
+    @given(st.integers(min_value=2, max_value=20), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_diff_antisymmetric_and_consistent(self, num_versions, seed):
+        from repro.workloads import SciParameters, generate_sci
+
+        workload = generate_sci(
+            SciParameters(num_versions, min(2, num_versions - 1), 5, seed=seed)
+        )
+        cvd = load_workload(Database(), "w", workload)
+        vids = cvd.graph.version_ids()
+        a, b = vids[0], vids[-1]
+        only_a, only_b = cvd.diff(a, b)
+        flipped_b, flipped_a = cvd.diff(b, a)
+        assert sorted(only_a) == sorted(flipped_a)
+        assert sorted(only_b) == sorted(flipped_b)
+        assert len(only_a) == len(
+            cvd.member_rids(a) - cvd.member_rids(b)
+        )

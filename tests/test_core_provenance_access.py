@@ -1,0 +1,97 @@
+"""Unit tests for the provenance manager, access controller, and IO stats."""
+
+import pytest
+
+from repro.core.access import AccessController
+from repro.core.provenance import ProvenanceManager, StagedCheckout
+from repro.errors import PermissionDeniedError, StagingError, VersioningError
+from repro.storage.iostats import IOStats
+
+
+def staged(name="w", cvd="c", owner="alice", when=1, is_file=False):
+    return StagedCheckout(name, cvd, (1,), owner, when, is_file)
+
+
+class TestProvenanceManager:
+    def test_register_lookup_remove(self):
+        manager = ProvenanceManager()
+        manager.register(staged())
+        assert manager.lookup("w").cvd_name == "c"
+        removed = manager.remove("w")
+        assert removed.owner == "alice"
+        with pytest.raises(StagingError):
+            manager.lookup("w")
+
+    def test_double_register_rejected(self):
+        manager = ProvenanceManager()
+        manager.register(staged())
+        with pytest.raises(StagingError):
+            manager.register(staged())
+
+    def test_staged_for_cvd(self):
+        manager = ProvenanceManager()
+        manager.register(staged("w1", "a"))
+        manager.register(staged("w2", "b"))
+        manager.register(staged("w3", "a"))
+        assert {s.name for s in manager.staged_for_cvd("a")} == {"w1", "w3"}
+        assert manager.staged_names() == ["w1", "w2", "w3"]
+
+    def test_csv_checkouts_tracked_by_path(self):
+        manager = ProvenanceManager()
+        manager.register(staged("/tmp/x.csv", is_file=True))
+        assert manager.lookup("/tmp/x.csv").is_file
+
+
+class TestAccessController:
+    def test_user_lifecycle(self):
+        access = AccessController()
+        access.create_user("alice")
+        access.login("alice")
+        assert access.whoami() == "alice"
+        assert access.has_user("alice")
+        assert not access.has_user("bob")
+
+    def test_empty_username_rejected(self):
+        with pytest.raises(VersioningError):
+            AccessController().create_user("")
+
+    def test_whoami_without_login(self):
+        with pytest.raises(PermissionDeniedError):
+            AccessController().whoami()
+
+    def test_owner_checks(self):
+        access = AccessController()
+        access.grant_owner("w", "alice")
+        access.check_owner("w", "alice")  # no raise
+        with pytest.raises(PermissionDeniedError):
+            access.check_owner("w", "bob")
+        access.revoke("w")
+        access.check_owner("w", "bob")  # unowned tables are open
+
+    def test_revoke_idempotent(self):
+        access = AccessController()
+        access.revoke("never-registered")  # must not raise
+
+
+class TestIOStats:
+    def test_snapshot_and_since(self):
+        stats = IOStats()
+        stats.records_scanned = 10
+        snap = stats.snapshot()
+        stats.records_scanned = 25
+        stats.rows_written = 3
+        delta = stats.since(snap)
+        assert delta.records_scanned == 15
+        assert delta.rows_written == 3
+
+    def test_reset(self):
+        stats = IOStats(records_scanned=5, index_probes=2)
+        stats.reset()
+        assert stats.records_scanned == 0
+        assert stats.total_touched == 0
+
+    def test_total_touched(self):
+        stats = IOStats(
+            records_scanned=1, index_probes=2, rows_written=3, rows_deleted=4
+        )
+        assert stats.total_touched == 10

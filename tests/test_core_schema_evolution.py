@@ -1,0 +1,144 @@
+"""Tests for single-pool schema evolution (Section 3.3, Figure 5)."""
+
+import pytest
+
+from repro.core.schema_evolution import AttributeCatalog
+from repro.storage.engine import Database
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import DataType
+
+
+def make_catalog():
+    db = Database()
+    catalog = AttributeCatalog(db, "cvd")
+    catalog.create_storage()
+    return db, catalog
+
+
+BASE = TableSchema(
+    [
+        Column("protein1", DataType.TEXT),
+        Column("protein2", DataType.TEXT),
+        Column("cooccurrence", DataType.INTEGER),
+    ],
+    ("protein1", "protein2"),
+)
+
+
+class TestAttributeCatalog:
+    def test_register_schema_interns_columns(self):
+        _db, catalog = make_catalog()
+        ids = catalog.register_schema(BASE)
+        assert ids == (1, 2, 3)
+        # Re-registering is idempotent.
+        assert catalog.register_schema(BASE) == ids
+
+    def test_attribute_table_is_sql_visible(self):
+        db, catalog = make_catalog()
+        catalog.register_schema(BASE)
+        rows = db.query(
+            "SELECT attr_id, attr_name, data_type FROM cvd__attributes "
+            "ORDER BY attr_id"
+        )
+        assert rows[2] == (3, "cooccurrence", "integer")
+
+
+class TestReconcile:
+    def test_noop_for_identical_schema(self):
+        _db, catalog = make_catalog()
+        catalog.register_schema(BASE)
+        plan = catalog.reconcile(BASE, BASE)
+        assert plan.is_noop
+        assert plan.attribute_ids == (1, 2, 3)
+
+    def test_type_change_creates_new_attribute(self):
+        """Figure 5: cooccurrence int -> decimal gets attribute id a5."""
+        _db, catalog = make_catalog()
+        catalog.register_schema(BASE)
+        staged = TableSchema(
+            [
+                Column("protein1", DataType.TEXT),
+                Column("protein2", DataType.TEXT),
+                Column("cooccurrence", DataType.DECIMAL),
+            ]
+        )
+        plan = catalog.reconcile(BASE, staged)
+        assert plan.widened_columns == [("cooccurrence", DataType.DECIMAL)]
+        assert plan.attribute_ids == (1, 2, 4)  # fresh id for the decimal
+        assert plan.new_schema.column("cooccurrence").dtype is DataType.DECIMAL
+
+    def test_added_column(self):
+        _db, catalog = make_catalog()
+        catalog.register_schema(BASE)
+        staged = TableSchema(
+            list(BASE.columns) + [Column("coexpression", DataType.INTEGER)]
+        )
+        plan = catalog.reconcile(BASE, staged)
+        assert [c.name for c in plan.added_columns] == ["coexpression"]
+        assert plan.new_schema.column_names[-1] == "coexpression"
+
+    def test_removed_column_is_metadata_only(self):
+        _db, catalog = make_catalog()
+        catalog.register_schema(BASE)
+        staged = TableSchema(
+            [Column("protein1", DataType.TEXT), Column("protein2", DataType.TEXT)]
+        )
+        plan = catalog.reconcile(BASE, staged)
+        assert plan.removed_columns == ["cooccurrence"]
+        # The physical column stays (single-pool keeps older versions whole).
+        assert "cooccurrence" in plan.new_schema
+        assert plan.attribute_ids == (1, 2)
+
+    def test_narrowing_is_not_applied(self):
+        """decimal -> int stays decimal: widening is one-way."""
+        _db, catalog = make_catalog()
+        wide = TableSchema([Column("x", DataType.DECIMAL)])
+        catalog.register_schema(wide)
+        staged = TableSchema([Column("x", DataType.INTEGER)])
+        plan = catalog.reconcile(wide, staged)
+        assert plan.widened_columns == []
+        assert plan.new_schema.column("x").dtype is DataType.DECIMAL
+
+
+class TestEndToEndEvolution:
+    def test_commit_with_new_column(self, orpheus):
+        orpheus.init("e", [("a", "int"), ("b", "int")], rows=[(1, 2)])
+        orpheus.checkout("e", 1, table_name="w")
+        orpheus.db.table("w").alter_add_column(
+            Column("c", DataType.INTEGER), default=7
+        )
+        vid = orpheus.commit("w", message="added a column")
+        cvd = orpheus.cvd("e")
+        assert cvd.data_schema.column_names == ["a", "b", "c"]
+        rows = cvd.checkout_rows([vid])
+        assert rows[0][1:] == (1, 2, 7)
+        # The original version reads back NULL for the new column.
+        old = cvd.checkout_rows([1])
+        assert old[0][1:] == (1, 2, None)
+        # Metadata records different attribute sets per version.
+        assert cvd.version(1).attribute_ids != cvd.version(vid).attribute_ids
+
+    def test_commit_with_widened_type(self, orpheus):
+        orpheus.init("e", [("a", "int"), ("score", "int")], rows=[(1, 10)])
+        orpheus.checkout("e", 1, table_name="w")
+        orpheus.db.table("w").alter_column_type("score", DataType.DECIMAL)
+        orpheus.db.execute("UPDATE w SET score = 10.5")
+        vid = orpheus.commit("w", message="decimal scores")
+        cvd = orpheus.cvd("e")
+        assert cvd.data_schema.column("score").dtype is DataType.DECIMAL
+        assert cvd.checkout_rows([vid])[0][2] == 10.5
+
+    def test_merge_includes_attributes_of_both_parents(self, orpheus):
+        """Figure 5's v4: merged versions carry the union of attributes."""
+        orpheus.init("e", [("a", "int")], rows=[(1,)])
+        orpheus.checkout("e", 1, table_name="w2")
+        orpheus.db.table("w2").alter_add_column(Column("b", DataType.INTEGER))
+        v2 = orpheus.commit("w2")
+        orpheus.checkout("e", 1, table_name="w3")
+        orpheus.db.table("w3").alter_add_column(Column("c", DataType.INTEGER))
+        v3 = orpheus.commit("w3")
+        orpheus.checkout("e", [v2, v3], table_name="w4")
+        v4 = orpheus.commit("w4")
+        cvd = orpheus.cvd("e")
+        assert set(cvd.data_schema.column_names) >= {"a", "b", "c"}
+        assert len(cvd.member_rids(v4)) == 1

@@ -1,0 +1,85 @@
+"""Unit tests for the VERSION ... OF CVD query translator."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+
+
+class TestVersionConstruct:
+    def test_single_version_translation(self, protein_cvd, orpheus):
+        sql = orpheus.translator.translate(
+            "SELECT * FROM VERSION 1 OF CVD proteins"
+        )
+        assert "proteins__versions" in sql
+        assert "VERSION" not in sql
+
+    def test_alias_preserved(self, protein_cvd, orpheus):
+        sql = orpheus.translator.translate(
+            "SELECT a.protein1 FROM VERSION 1 OF CVD proteins AS a"
+        )
+        assert sql.rstrip().endswith("AS a") or " AS a" in sql
+
+    def test_alias_generated_when_missing(self, protein_cvd, orpheus):
+        sql = orpheus.translator.translate(
+            "SELECT count(*) FROM VERSION 1 OF CVD proteins"
+        )
+        assert "__cvd_rel_" in sql
+
+    def test_multiple_vids_union_all(self, protein_cvd, orpheus):
+        result = orpheus.run(
+            "SELECT count(*) FROM VERSION 2, 3 OF CVD proteins"
+        )
+        assert result.rows == [(6,)]  # 4 + 2 membership rows
+
+    def test_two_constructs_in_one_query(self, protein_cvd, orpheus):
+        result = orpheus.run(
+            "SELECT count(*) FROM VERSION 1 OF CVD proteins AS a, "
+            "VERSION 1 OF CVD proteins AS b "
+            "WHERE a.protein1 = b.protein1 AND a.protein2 = b.protein2"
+        )
+        assert result.rows == [(3,)]
+
+    def test_ordinary_sql_untouched(self, orpheus):
+        text = "SELECT version FROM releases WHERE version > 3"
+        # 'version' as a plain column name must not trigger translation.
+        assert orpheus.translator.translate(text) == text
+
+    def test_missing_cvd_keyword_raises(self, protein_cvd, orpheus):
+        with pytest.raises(SQLSyntaxError):
+            orpheus.translator.translate(
+                "SELECT * FROM VERSION 1 OF proteins"
+            )
+
+
+class TestAllVersionsConstruct:
+    def test_translation_shape(self, protein_cvd, orpheus):
+        sql = orpheus.translator.translate(
+            "SELECT vid FROM ALL VERSIONS OF CVD proteins AS av"
+        )
+        assert "unnest" in sql
+
+    def test_group_by_version(self, protein_cvd, orpheus):
+        result = orpheus.run(
+            "SELECT vid, max(coexpression) FROM ALL VERSIONS OF CVD proteins "
+            "AS av GROUP BY vid ORDER BY vid"
+        )
+        assert [row[0] for row in result.rows] == [1, 2, 3, 4]
+
+    def test_paper_example_query(self, protein_cvd, orpheus):
+        """Versions where count of tuples with protein1 = X exceeds 1."""
+        result = orpheus.run(
+            "SELECT vid FROM ALL VERSIONS OF CVD proteins AS av "
+            "WHERE protein1 = 'ENSP273047' "
+            "GROUP BY vid HAVING count(*) >= 2 ORDER BY vid"
+        )
+        # Every version keeps two ENSP273047 interactions (v3 = {r1 r2}).
+        assert result.rows == [(1,), (2,), (3,), (4,)]
+
+
+class TestDeltaFallback:
+    def test_delta_model_materializes(self, orpheus):
+        orpheus.init(
+            "d", [("x", "int")], rows=[(1,), (2,)], model="delta"
+        )
+        result = orpheus.run("SELECT count(*) FROM VERSION 1 OF CVD d")
+        assert result.rows == [(2,)]

@@ -1,0 +1,96 @@
+"""Unit tests for the version graph (Section 3.3)."""
+
+import pytest
+
+from repro.core.version import Version
+from repro.core.version_graph import VersionGraph
+from repro.errors import VersionNotFoundError, VersioningError
+
+
+def figure4_graph() -> VersionGraph:
+    """The paper's Figure 4: v1 -> {v2, v3} -> v4 (merge)."""
+    graph = VersionGraph()
+    graph.add_version(Version(1, (), num_records=3), {})
+    graph.add_version(Version(2, (1,), num_records=3), {1: 2})
+    graph.add_version(Version(3, (1,), num_records=4), {1: 3})
+    graph.add_version(Version(4, (2, 3), num_records=6), {2: 3, 3: 4})
+    return graph
+
+
+class TestStructure:
+    def test_roots_and_leaves(self):
+        graph = figure4_graph()
+        assert graph.roots() == [1]
+        assert graph.leaves() == [4]
+
+    def test_parents_children(self):
+        graph = figure4_graph()
+        assert graph.parents(4) == (2, 3)
+        assert sorted(graph.children(1)) == [2, 3]
+
+    def test_merge_detection(self):
+        graph = figure4_graph()
+        assert graph.version(4).is_merge
+        assert not graph.version(2).is_merge
+        assert not graph.is_tree()
+
+    def test_edge_weights(self):
+        graph = figure4_graph()
+        assert graph.edge_weight(1, 2) == 2
+        assert graph.edge_weight(3, 4) == 4
+        with pytest.raises(VersioningError):
+            graph.edge_weight(1, 4)
+
+    def test_bipartite_edge_count(self):
+        assert figure4_graph().num_bipartite_edges == 3 + 3 + 4 + 6
+
+
+class TestMutation:
+    def test_unknown_parent_rejected(self):
+        graph = VersionGraph()
+        with pytest.raises(VersionNotFoundError):
+            graph.add_version(Version(2, (1,)), {1: 0})
+
+    def test_duplicate_vid_rejected(self):
+        graph = figure4_graph()
+        with pytest.raises(VersioningError):
+            graph.add_version(Version(1, ()), {})
+
+    def test_weights_must_cover_parents(self):
+        graph = figure4_graph()
+        with pytest.raises(VersioningError):
+            graph.add_version(Version(5, (2, 3)), {2: 1})
+
+
+class TestTraversal:
+    def test_topological_order(self):
+        graph = figure4_graph()
+        order = graph.topological_order()
+        position = {vid: i for i, vid in enumerate(order)}
+        for _p, child, _w in graph.edges():
+            parent = _p
+            assert position[parent] < position[child]
+
+    def test_depth(self):
+        graph = figure4_graph()
+        assert graph.depth(1) == 1
+        assert graph.depth(2) == 2
+        assert graph.depth(4) == 3
+
+    def test_ancestors_descendants(self):
+        graph = figure4_graph()
+        assert graph.ancestors(4) == {1, 2, 3}
+        assert graph.descendants(1) == {2, 3, 4}
+        assert graph.ancestors(1) == set()
+        assert graph.descendants(4) == set()
+
+    def test_subtree_nodes_blocked_edge(self):
+        graph = figure4_graph()
+        # Block 1->3: reachable set from 1 through tree edges avoids 3 but
+        # still reaches 4 via 2.
+        assert graph.subtree_nodes(1, (1, 3)) == {1, 2, 4}
+
+    def test_missing_version_raises(self):
+        graph = figure4_graph()
+        with pytest.raises(VersionNotFoundError):
+            graph.version(99)

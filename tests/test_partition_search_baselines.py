@@ -1,0 +1,134 @@
+"""Tests for delta binary search and the AGGLO / KMEANS baselines."""
+
+import pytest
+
+from repro.errors import InfeasibleBudgetError, PartitionError
+from repro.partition.agglo import agglo_budget_search, agglo_partition
+from repro.partition.bipartite import BipartiteGraph
+from repro.partition.dag_reduction import reduce_to_tree
+from repro.partition.delta_search import search_delta
+from repro.partition.kmeans import kmeans_budget_search, kmeans_partition
+
+
+@pytest.fixture
+def sci(sci_cvd):
+    bip = BipartiteGraph.from_cvd(sci_cvd)
+    tree = reduce_to_tree(sci_cvd.graph, bip.num_records)
+    return bip, tree
+
+
+class TestDeltaSearch:
+    def test_budget_respected(self, sci):
+        bip, tree = sci
+        for multiple in (1.2, 1.5, 2.0, 3.0):
+            result = search_delta(tree, multiple * bip.num_records, bip)
+            assert result.storage_cost <= multiple * bip.num_records
+
+    def test_larger_budget_no_worse_checkout(self, sci):
+        bip, tree = sci
+        tight = search_delta(tree, 1.2 * bip.num_records, bip)
+        loose = search_delta(tree, 3.0 * bip.num_records, bip)
+        assert loose.checkout_cost <= tight.checkout_cost + 1e-9
+
+    def test_infeasible_budget_raises(self, sci):
+        bip, tree = sci
+        with pytest.raises(InfeasibleBudgetError):
+            search_delta(tree, bip.num_records - 1, bip)
+
+    def test_exact_minimum_budget_single_partition(self, sci):
+        bip, tree = sci
+        result = search_delta(tree, bip.num_records, bip)
+        assert result.storage_cost == bip.num_records
+
+    def test_works_without_bipartite(self, sci):
+        _bip, tree = sci
+        result = search_delta(tree, 2.0 * tree.tree_record_count)
+        assert result.storage_cost <= 2.0 * tree.tree_record_count
+
+    def test_dag_workload(self, cur_cvd):
+        bip = BipartiteGraph.from_cvd(cur_cvd)
+        tree = reduce_to_tree(cur_cvd.graph, bip.num_records)
+        result = search_delta(tree, 2.0 * bip.num_records, bip)
+        assert result.storage_cost <= 2.0 * bip.num_records
+        assert result.partitioning.version_ids() == set(cur_cvd.membership)
+
+
+class TestAgglo:
+    def test_capacity_respected(self, sci):
+        bip, _tree = sci
+        capacity = bip.num_records / 2
+        partitioning = agglo_partition(bip, capacity)
+        for group in partitioning.groups:
+            assert len(bip.partition_records(group)) <= capacity
+
+    def test_huge_capacity_merges_a_lot(self, sci):
+        bip, _tree = sci
+        few = agglo_partition(bip, capacity=bip.num_records * 10)
+        many = agglo_partition(bip, capacity=bip.num_edges / bip.num_versions)
+        assert len(few) < len(many)
+
+    def test_budget_search_feasible(self, sci):
+        bip, _tree = sci
+        gamma = 2.0 * bip.num_records
+        partitioning, checkout = agglo_budget_search(bip, gamma)
+        assert bip.storage_cost(partitioning) <= gamma
+        assert checkout == bip.checkout_cost(partitioning)
+
+    def test_invalid_capacity(self, sci):
+        bip, _tree = sci
+        with pytest.raises(PartitionError):
+            agglo_partition(bip, capacity=0)
+
+    def test_deterministic_given_seed(self, sci):
+        bip, _tree = sci
+        a = agglo_partition(bip, bip.num_records, seed=3)
+        b = agglo_partition(bip, bip.num_records, seed=3)
+        assert a.groups == b.groups
+
+
+class TestKmeans:
+    def test_k_bounds(self, sci):
+        bip, _tree = sci
+        with pytest.raises(PartitionError):
+            kmeans_partition(bip, 0)
+        with pytest.raises(PartitionError):
+            kmeans_partition(bip, bip.num_versions + 1)
+
+    def test_partition_count_at_most_k(self, sci):
+        bip, _tree = sci
+        partitioning = kmeans_partition(bip, 5)
+        assert 1 <= len(partitioning) <= 5
+        assert partitioning.version_ids() == set(bip.version_ids())
+
+    def test_more_k_more_storage_less_checkout(self, sci):
+        bip, _tree = sci
+        small = kmeans_partition(bip, 2)
+        large = kmeans_partition(bip, 12)
+        assert bip.storage_cost(small) <= bip.storage_cost(large)
+        assert bip.checkout_cost(small) >= bip.checkout_cost(large)
+
+    def test_budget_search_feasible(self, sci):
+        bip, _tree = sci
+        gamma = 2.0 * bip.num_records
+        partitioning, checkout = kmeans_budget_search(bip, gamma)
+        assert bip.storage_cost(partitioning) <= gamma
+
+    def test_k_equals_one_is_single_partition(self, sci):
+        bip, _tree = sci
+        partitioning = kmeans_partition(bip, 1)
+        assert len(partitioning) == 1
+        assert bip.storage_cost(partitioning) == bip.num_records
+
+
+class TestLyreSplitDominance:
+    """Section 5.2's headline: same budget, LyreSplit's checkout cost is no
+    worse than the baselines' (at benchmark scale it is strictly better)."""
+
+    def test_lyresplit_beats_or_ties_baselines(self, sci):
+        bip, tree = sci
+        gamma = 1.5 * bip.num_records
+        ours = search_delta(tree, gamma, bip)
+        _, agglo_cost = agglo_budget_search(bip, gamma)
+        _, kmeans_cost = kmeans_budget_search(bip, gamma)
+        assert ours.checkout_cost <= agglo_cost + 1e-9
+        assert ours.checkout_cost <= kmeans_cost * 1.05 + 1e-9

@@ -1,0 +1,70 @@
+"""Unit + property tests for the int-array operators (Section 3.1's tools)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import arrays
+
+int_lists = st.lists(st.integers(min_value=0, max_value=200), max_size=30)
+
+
+class TestContainment:
+    def test_contained_by_basic(self):
+        # ARRAY[v1] <@ vlist: the checkout predicate.
+        assert arrays.contained_by((1,), (1, 2, 3))
+        assert not arrays.contained_by((4,), (1, 2, 3))
+
+    def test_empty_array_contained_everywhere(self):
+        assert arrays.contained_by((), ())
+        assert arrays.contains((1,), ())
+
+    @given(int_lists, int_lists)
+    def test_containment_matches_set_semantics(self, inner, outer):
+        assert arrays.contained_by(tuple(inner), tuple(outer)) == set(
+            inner
+        ).issubset(outer)
+
+
+class TestAppendConcat:
+    def test_append_copies(self):
+        original = (1, 2)
+        appended = arrays.append(original, 3)
+        assert appended == (1, 2, 3)
+        assert original == (1, 2)
+
+    def test_concat(self):
+        assert arrays.concat((1,), (2, 3)) == (1, 2, 3)
+
+    @given(int_lists, st.integers(min_value=0, max_value=99))
+    def test_append_grows_by_one(self, values, extra):
+        assert len(arrays.append(tuple(values), extra)) == len(values) + 1
+
+
+class TestRemoveUnnest:
+    def test_remove_all_occurrences(self):
+        assert arrays.remove((1, 2, 1, 3), 1) == (2, 3)
+
+    def test_unnest_yields_elements(self):
+        assert list(arrays.unnest((5, 6))) == [5, 6]
+
+    @given(int_lists)
+    def test_unnest_roundtrip(self, values):
+        array = arrays.make_array(values)
+        assert tuple(arrays.unnest(array)) == array
+
+
+class TestOverlapIntersect:
+    def test_overlap(self):
+        assert arrays.overlap((1, 2), (2, 3))
+        assert not arrays.overlap((1,), (2,))
+        assert not arrays.overlap((), (1, 2))
+
+    def test_intersect_preserves_left_order(self):
+        assert arrays.intersect((3, 1, 2), (2, 3)) == (3, 2)
+
+    @given(int_lists, int_lists)
+    def test_overlap_matches_set_semantics(self, a, b):
+        assert arrays.overlap(tuple(a), tuple(b)) == bool(set(a) & set(b))
+
+    def test_array_length(self):
+        assert arrays.array_length((1, 2, 3)) == 3

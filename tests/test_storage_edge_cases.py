@@ -1,0 +1,196 @@
+"""Edge cases and failure injection for the SQL engine."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    ConstraintViolationError,
+    ExecutionError,
+    SQLSyntaxError,
+)
+from repro.storage.engine import Database
+
+
+class TestExpressionEdges:
+    def test_division_by_zero(self, db):
+        db.execute("CREATE TABLE t (a int)")
+        db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(ExecutionError):
+            db.query("SELECT a / 0 FROM t")
+
+    def test_three_valued_logic_and_or(self, db):
+        db.execute("CREATE TABLE t (a int, b int)")
+        db.execute("INSERT INTO t VALUES (1, NULL)")
+        # NULL OR TRUE is TRUE; NULL AND TRUE is unknown (filtered).
+        assert db.query("SELECT a FROM t WHERE b = 1 OR a = 1") == [(1,)]
+        assert db.query("SELECT a FROM t WHERE b = 1 AND a = 1") == []
+
+    def test_not_of_null_is_null(self, db):
+        db.execute("CREATE TABLE t (a int)")
+        db.execute("INSERT INTO t VALUES (NULL)")
+        assert db.query("SELECT * FROM t WHERE NOT a = 1") == []
+
+    def test_coalesce(self, db):
+        assert db.query("SELECT coalesce(NULL, NULL, 3)") == [(3,)]
+
+    def test_string_concat_and_like_escapes(self, db):
+        assert db.query("SELECT 'a' || 'b'") == [("ab",)]
+        db.execute("CREATE TABLE t (s text)")
+        db.execute("INSERT INTO t VALUES ('100%'), ('100x')")
+        # % inside the pattern is a wildcard; dots must not be regex-magic.
+        assert len(db.query("SELECT * FROM t WHERE s LIKE '100%'")) == 2
+        db.execute("INSERT INTO t VALUES ('axb'), ('a.b')")
+        assert db.query("SELECT * FROM t WHERE s LIKE 'a.b'") == [("a.b",)]
+
+    def test_in_with_null_operand(self, db):
+        db.execute("CREATE TABLE t (a int)")
+        db.execute("INSERT INTO t VALUES (NULL)")
+        assert db.query("SELECT * FROM t WHERE a IN (1, 2)") == []
+
+    def test_ambiguous_column_raises(self, db):
+        db.execute("CREATE TABLE a (x int)")
+        db.execute("CREATE TABLE b (x int)")
+        db.execute("INSERT INTO a VALUES (1)")
+        db.execute("INSERT INTO b VALUES (1)")
+        with pytest.raises(ExecutionError):
+            db.query("SELECT x FROM a, b")
+
+
+class TestAggregateEdges:
+    def test_group_by_null_key(self, db):
+        db.execute("CREATE TABLE t (k int, v int)")
+        db.execute("INSERT INTO t VALUES (NULL, 1), (NULL, 2), (3, 3)")
+        rows = dict(db.query("SELECT k, count(*) FROM t GROUP BY k"))
+        assert rows[None] == 2 and rows[3] == 1
+
+    def test_having_without_group_by(self, db):
+        db.execute("CREATE TABLE t (v int)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        assert db.query(
+            "SELECT sum(v) FROM t HAVING count(*) > 5"
+        ) == []
+        assert db.query(
+            "SELECT sum(v) FROM t HAVING count(*) = 2"
+        ) == [(3,)]
+
+    def test_aggregate_outside_group_context_raises(self, db):
+        db.execute("CREATE TABLE t (v int)")
+        db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(ExecutionError):
+            db.query("SELECT v FROM t WHERE sum(v) > 0")
+
+    def test_star_with_group_by_rejected(self, db):
+        db.execute("CREATE TABLE t (v int)")
+        db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(ExecutionError):
+            db.query("SELECT * FROM t GROUP BY v")
+
+
+class TestUnnestEdges:
+    def test_unnest_empty_array_yields_nothing(self, db):
+        db.execute("CREATE TABLE t (a int[])")
+        db.execute("INSERT INTO t VALUES (ARRAY[])")
+        assert db.query("SELECT unnest(a) FROM t") == []
+
+    def test_unnest_null_array(self, db):
+        db.execute("CREATE TABLE t (a int[])")
+        db.execute("INSERT INTO t VALUES (NULL)")
+        assert db.query("SELECT unnest(a) FROM t") == []
+
+    def test_parallel_unnest_zips(self, db):
+        db.execute("CREATE TABLE t (a int[], b int[])")
+        db.execute("INSERT INTO t VALUES (ARRAY[1,2,3], ARRAY[10,20])")
+        rows = db.query("SELECT unnest(a), unnest(b) FROM t")
+        assert rows == [(1, 10), (2, 20), (3, None)]
+
+
+class TestDMLFailureInjection:
+    def test_insert_wrong_arity(self, db):
+        db.execute("CREATE TABLE t (a int, b int)")
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO t (a) VALUES (1, 2)")
+
+    def test_update_violating_unique_rolls_nothing_weird(self, db):
+        db.execute("CREATE TABLE t (a int PRIMARY KEY, b int)")
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        with pytest.raises(ConstraintViolationError):
+            db.execute("UPDATE t SET a = 1 WHERE a = 2")
+        # The conflicting row is unchanged and still readable.
+        assert sorted(db.query("SELECT a FROM t")) == [(1,), (2,)]
+
+    def test_select_into_existing_table_rejected(self, db):
+        db.execute("CREATE TABLE t (a int)")
+        db.execute("CREATE TABLE u (a int)")
+        from repro.errors import DuplicateObjectError
+
+        with pytest.raises(DuplicateObjectError):
+            db.execute("SELECT * INTO u FROM t")
+
+    def test_type_coercion_failure_on_insert(self, db):
+        db.execute("CREATE TABLE t (a int)")
+        from repro.errors import TypeMismatchError
+
+        with pytest.raises(TypeMismatchError):
+            db.execute("INSERT INTO t VALUES ('not-a-number')")
+
+
+class TestJoinMethodEquivalenceOnCheckoutSQL:
+    """The exact Table 1 checkout query under all three join methods."""
+
+    @pytest.fixture
+    def loaded(self, db):
+        db.execute("CREATE TABLE d (rid int PRIMARY KEY, v int)")
+        db.execute("CREATE TABLE vt (vid int PRIMARY KEY, rlist int[])")
+        for rid in range(1, 31):
+            db.execute("INSERT INTO d VALUES (%s, %s)", (rid, rid * 2))
+        db.execute("INSERT INTO vt VALUES (1, %s)", (tuple(range(5, 25)),))
+        return db
+
+    CHECKOUT = (
+        "SELECT d.rid, d.v FROM d, "
+        "(SELECT unnest(rlist) AS rt FROM vt WHERE vid = 1) AS tmp "
+        "WHERE d.rid = tmp.rt"
+    )
+
+    def test_all_methods_agree(self, loaded):
+        results = {}
+        for method in ("hash", "merge", "inl"):
+            loaded.join_method = method
+            results[method] = sorted(loaded.query(self.CHECKOUT))
+        assert results["hash"] == results["merge"] == results["inl"]
+        assert len(results["hash"]) == 20
+
+    def test_inl_avoids_scanning_data_table(self, loaded):
+        loaded.join_method = "inl"
+        loaded.reset_stats()
+        loaded.query(self.CHECKOUT)
+        # 20 probes + matched rows; nothing near the 30-row full scan x2.
+        assert loaded.stats.index_probes >= 20
+        assert loaded.stats.records_scanned <= 25
+
+
+class TestCatalogEdges:
+    def test_table_names_sorted(self, db):
+        db.execute("CREATE TABLE zz (a int)")
+        db.execute("CREATE TABLE aa (a int)")
+        assert db.table_names() == ["aa", "zz"]
+
+    def test_create_index_missing_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE INDEX i ON ghost (a)")
+
+    def test_drop_missing_index(self, db):
+        db.execute("CREATE TABLE t (a int)")
+        with pytest.raises(CatalogError):
+            db.execute("DROP INDEX ghost ON t")
+
+    def test_garbage_sql(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.execute("SELEC * FROM t")
+
+    def test_empty_result_metadata(self, db):
+        db.execute("CREATE TABLE t (a int, b text)")
+        result = db.execute("SELECT a, b FROM t")
+        assert result.columns == ["a", "b"]
+        assert result.rows == []
+        assert result.scalar() is None

@@ -1,0 +1,150 @@
+"""Unit + property tests for the three join algorithms (Appendix D.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.storage.iostats import IOStats
+from repro.storage.joins import hash_join, index_nested_loop_join, merge_join
+from repro.storage.schema import Column, TableSchema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+LEFT = [(1, "a"), (2, "b"), (2, "c"), (4, "d")]
+RIGHT = [(2, "x"), (2, "y"), (3, "z"), (4, "w")]
+EXPECTED = sorted(
+    [
+        (2, "b", 2, "x"),
+        (2, "b", 2, "y"),
+        (2, "c", 2, "x"),
+        (2, "c", 2, "y"),
+        (4, "d", 4, "w"),
+    ]
+)
+
+
+def _inner_table(rows):
+    table = Table(
+        "inner",
+        TableSchema(
+            [Column("k", DataType.INTEGER), Column("v", DataType.TEXT)]
+        ),
+        enforce_primary_key=False,
+    )
+    table.create_index("by_k", ["k"])
+    table.insert_many(rows)
+    return table
+
+
+class TestHashJoin:
+    def test_basic(self):
+        out = sorted(hash_join(LEFT, [0], RIGHT, [0]))
+        assert out == EXPECTED
+
+    def test_build_side_order_flag(self):
+        out = sorted(
+            hash_join(RIGHT, [0], LEFT, [0], build_side_first=False)
+        )
+        assert out == EXPECTED
+
+    def test_null_keys_never_match(self):
+        out = list(hash_join([(None, "a")], [0], [(None, "b")], [0]))
+        assert out == []
+
+    def test_build_rows_counted(self):
+        stats = IOStats()
+        list(hash_join(LEFT, [0], RIGHT, [0], stats=stats))
+        assert stats.hash_build_rows == len(LEFT)
+
+
+class TestMergeJoin:
+    def test_basic_unsorted(self):
+        out = sorted(merge_join(LEFT, [0], RIGHT, [0]))
+        assert out == EXPECTED
+
+    def test_assume_sorted_skips_sort_accounting(self):
+        stats = IOStats()
+        left = sorted(LEFT)
+        right = sorted(RIGHT)
+        out = sorted(
+            merge_join(left, [0], right, [0], stats=stats, assume_sorted=True)
+        )
+        assert out == EXPECTED
+        assert stats.sort_rows == 0
+
+    def test_sort_accounting(self):
+        stats = IOStats()
+        list(merge_join(LEFT, [0], RIGHT, [0], stats=stats))
+        assert stats.sort_rows == len(LEFT) + len(RIGHT)
+
+    def test_duplicate_runs_on_both_sides(self):
+        left = [(1, "a"), (1, "b")]
+        right = [(1, "x"), (1, "y"), (1, "z")]
+        assert len(list(merge_join(left, [0], right, [0]))) == 6
+
+
+class TestIndexNestedLoopJoin:
+    def test_basic(self):
+        inner = _inner_table(RIGHT)
+        out = sorted(
+            index_nested_loop_join(LEFT, [0], inner, ["k"])
+        )
+        assert out == EXPECTED
+
+    def test_probes_counted(self):
+        inner = _inner_table(RIGHT)
+        inner.stats.reset()
+        list(index_nested_loop_join(LEFT, [0], inner, ["k"]))
+        assert inner.stats.index_probes == len(LEFT)
+
+    def test_missing_index_raises(self):
+        inner = _inner_table(RIGHT)
+        with pytest.raises(ExecutionError):
+            list(index_nested_loop_join(LEFT, [0], inner, ["v"]))
+
+
+keys = st.integers(min_value=0, max_value=8)
+rows = st.lists(
+    st.tuples(keys, st.integers(min_value=0, max_value=100)), max_size=25
+)
+
+
+class TestJoinEquivalence:
+    """All three algorithms must produce identical multisets of rows —
+    the invariant Fig. 19's cross-algorithm comparison rests on."""
+
+    @given(rows, rows)
+    def test_hash_equals_merge(self, left, right):
+        expected = sorted(hash_join(left, [0], right, [0]))
+        assert sorted(merge_join(left, [0], right, [0])) == expected
+
+    @given(rows, rows)
+    def test_hash_equals_nested_loop_reference(self, left, right):
+        reference = sorted(
+            lrow + rrow
+            for lrow in left
+            for rrow in right
+            if lrow[0] == rrow[0]
+        )
+        assert sorted(hash_join(left, [0], right, [0])) == reference
+
+    @given(rows, rows)
+    def test_inl_equals_reference(self, left, right):
+        inner = Table(
+            "inner",
+            TableSchema(
+                [Column("k", DataType.INTEGER), Column("v", DataType.INTEGER)]
+            ),
+            enforce_primary_key=False,
+        )
+        inner.create_index("by_k", ["k"])
+        inner.insert_many(right)
+        reference = sorted(
+            lrow + rrow
+            for lrow in left
+            for rrow in right
+            if lrow[0] == rrow[0]
+        )
+        got = sorted(index_nested_loop_join(left, [0], inner, ["k"]))
+        assert got == reference

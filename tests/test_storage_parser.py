@@ -1,0 +1,249 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.storage.expression import (
+    ArrayLiteral,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    Literal,
+    Star,
+)
+from repro.storage.parser import parse_statement
+from repro.storage.parser import ast_nodes as ast
+from repro.storage.parser.lexer import TokenType, tokenize
+from repro.storage.parser.parser import (
+    ArraySubquery,
+    InSubquery,
+    ScalarSubquery,
+)
+from repro.storage.types import DataType
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("SELECT foo FROM bar")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.KEYWORD,
+            TokenType.IDENT,
+            TokenType.KEYWORD,
+            TokenType.IDENT,
+        ]
+
+    def test_array_operators_max_munch(self):
+        tokens = tokenize("a <@ b @> c && d || e")
+        ops = [t.value for t in tokens if t.type is TokenType.OPERATOR]
+        assert ops == ["<@", "@>", "&&", "||"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].value == "it's"
+
+    def test_comment_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing comment\n + 2")
+        values = [t.value for t in tokens[:-1]]
+        assert "comment" not in values
+
+    def test_params(self):
+        tokens = tokenize("a = %s AND b = ?")
+        params = [t for t in tokens if t.type is TokenType.PARAM]
+        assert len(params) == 2
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 .75")
+        values = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert values == ["1", "2.5", ".75"]
+
+
+class TestParseSelect:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT a, b FROM t WHERE a > 1")
+        assert isinstance(stmt, ast.Select)
+        assert [item.alias for item in stmt.items] == [None, None]
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.from_items[0].table == "t"
+
+    def test_select_into(self):
+        stmt = parse_statement("SELECT * INTO t2 FROM t")
+        assert stmt.into_table == "t2"
+        assert isinstance(stmt.items[0].expr, Star)
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t AS u, v w")
+        assert [item.alias for item in stmt.items] == ["x", "y"]
+        assert stmt.from_items[0].binding == "u"
+        assert stmt.from_items[1].binding == "w"
+
+    def test_subquery_in_from(self):
+        stmt = parse_statement(
+            "SELECT * FROM (SELECT unnest(rlist) AS r FROM vt) AS tmp"
+        )
+        assert isinstance(stmt.from_items[0], ast.SubqueryRef)
+        assert stmt.from_items[0].alias == "tmp"
+
+    def test_group_by_having_order_limit(self):
+        stmt = parse_statement(
+            "SELECT vid, count(*) AS n FROM t GROUP BY vid "
+            "HAVING count(*) > 2 ORDER BY n DESC, vid LIMIT 5 OFFSET 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending is True
+        assert stmt.order_by[1].descending is False
+        assert (stmt.limit, stmt.offset) == (5, 2)
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_explicit_join(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.y = c.z"
+        )
+        assert [j.kind for j in stmt.joins] == ["inner", "left"]
+
+    def test_union_all(self):
+        stmt = parse_statement("SELECT a FROM t UNION ALL SELECT a FROM u")
+        assert stmt.union_all_with is not None
+
+    def test_array_containment_where(self):
+        stmt = parse_statement("SELECT * FROM t WHERE ARRAY[3] <@ vlist")
+        assert stmt.where.op == "<@"
+        assert isinstance(stmt.where.left, ArrayLiteral)
+
+    def test_params_substituted(self):
+        stmt = parse_statement(
+            "SELECT * FROM t WHERE a = %s AND b = ?", (10, "x")
+        )
+        conj = stmt.where
+        assert conj.left.right == Literal(10)
+        assert conj.right.right == Literal("x")
+
+    def test_unused_params_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT 1", (5,))
+
+    def test_missing_params_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT %s")
+
+
+class TestParseExpressions:
+    def _where(self, text, params=()):
+        return parse_statement(f"SELECT * FROM t WHERE {text}", params).where
+
+    def test_precedence_and_or(self):
+        expr = self._where("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_arithmetic_precedence(self):
+        expr = self._where("a = 1 + 2 * 3")
+        assert expr.right.op == "+"
+        assert expr.right.right.op == "*"
+
+    def test_in_list_and_not_in(self):
+        expr = self._where("a IN (1, 2, 3)")
+        assert isinstance(expr, InList) and not expr.negated
+        expr = self._where("a NOT IN (1)")
+        assert isinstance(expr, InList) and expr.negated
+
+    def test_in_subquery(self):
+        expr = self._where("a IN (SELECT x FROM u)")
+        assert isinstance(expr, InSubquery)
+
+    def test_between_like_isnull(self):
+        assert self._where("a BETWEEN 1 AND 5").low == Literal(1)
+        assert self._where("a LIKE 'x%'").pattern == Literal("x%")
+        assert self._where("a IS NOT NULL").negated
+
+    def test_scalar_subquery(self):
+        expr = self._where("a > (SELECT max(x) FROM u)")
+        assert isinstance(expr.right, ScalarSubquery)
+
+    def test_array_subquery_both_spellings(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, ARRAY[SELECT r FROM u])")
+        assert isinstance(stmt.rows[0][1], ArraySubquery)
+        stmt = parse_statement("INSERT INTO t VALUES (1, ARRAY(SELECT r FROM u))")
+        assert isinstance(stmt.rows[0][1], ArraySubquery)
+
+    def test_function_calls(self):
+        expr = self._where("cardinality(rlist) >= 3")
+        assert isinstance(expr.left, FuncCall)
+        assert expr.left.name == "cardinality"
+
+    def test_qualified_column(self):
+        expr = self._where("t.a = u.b")
+        assert expr.left == ColumnRef("t.a")
+
+
+class TestParseDML:
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT * FROM u")
+        assert stmt.query is not None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET vlist = vlist || 5 WHERE rid = 1")
+        assert stmt.assignments[0][0] == "vlist"
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t")
+        assert stmt.where is None
+
+
+class TestParseDDL:
+    def test_create_table_with_composite_pk(self):
+        stmt = parse_statement(
+            "CREATE TABLE p (a text, b text, n int NOT NULL, "
+            "PRIMARY KEY (a, b))"
+        )
+        assert stmt.primary_key == ("a", "b")
+        assert stmt.columns[2].not_null
+
+    def test_create_table_inline_pk_and_array(self):
+        stmt = parse_statement(
+            "CREATE TABLE vt (vid int PRIMARY KEY, rlist int[])"
+        )
+        assert stmt.primary_key == ("vid",)
+        assert stmt.columns[1].dtype is DataType.INT_ARRAY
+
+    def test_create_table_if_not_exists(self):
+        assert parse_statement(
+            "CREATE TABLE IF NOT EXISTS t (a int)"
+        ).if_not_exists
+
+    def test_create_index(self):
+        stmt = parse_statement("CREATE UNIQUE INDEX i ON t USING btree (a, b)")
+        assert stmt.unique and stmt.ordered and stmt.columns == ("a", "b")
+
+    def test_drop_table_if_exists(self):
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists
+
+    def test_alter_add_column(self):
+        stmt = parse_statement("ALTER TABLE t ADD COLUMN c decimal DEFAULT 0")
+        assert stmt.column.dtype is DataType.DECIMAL
+        assert stmt.default == Literal(0)
+
+    def test_cluster(self):
+        stmt = parse_statement("CLUSTER t USING rid")
+        assert (stmt.table, stmt.column) == ("t", "rid")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("EXPLODE TABLE t")
+
+    def test_multiple_statements_rejected_by_parse_statement(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT 1; SELECT 2")

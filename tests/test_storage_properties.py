@@ -1,0 +1,106 @@
+"""Property-based tests of SQL engine invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.engine import Database
+
+values = st.integers(min_value=-50, max_value=50)
+rows = st.lists(st.tuples(values, values), min_size=0, max_size=30)
+
+
+def _load(rows_):
+    db = Database()
+    db.execute("CREATE TABLE t (a int, b int)")
+    table = db.table("t")
+    table.insert_many(rows_)
+    return db
+
+
+class TestFilterProperties:
+    @given(rows, values)
+    def test_where_partition(self, data, pivot):
+        """WHERE a <= p and WHERE a > p partition the table."""
+        db = _load(data)
+        low = db.query("SELECT * FROM t WHERE a <= %s", (pivot,))
+        high = db.query("SELECT * FROM t WHERE a > %s", (pivot,))
+        assert sorted(low + high) == sorted(data)
+
+    @given(rows)
+    def test_count_matches_len(self, data):
+        db = _load(data)
+        assert db.query("SELECT count(*) FROM t") == [(len(data),)]
+
+    @given(rows)
+    def test_sum_matches_python(self, data):
+        db = _load(data)
+        expected = sum(a for a, _b in data) if data else None
+        assert db.query("SELECT sum(a) FROM t") == [(expected,)]
+
+
+class TestGroupByProperties:
+    @given(rows)
+    def test_group_counts_sum_to_total(self, data):
+        db = _load(data)
+        groups = db.query("SELECT a, count(*) FROM t GROUP BY a")
+        assert sum(n for _a, n in groups) == len(data)
+        assert len(groups) == len({a for a, _b in data})
+
+    @given(rows)
+    def test_group_sums_match_python(self, data):
+        db = _load(data)
+        groups = dict(db.query("SELECT a, sum(b) FROM t GROUP BY a"))
+        for key in {a for a, _b in data}:
+            assert groups[key] == sum(b for a, b in data if a == key)
+
+
+class TestOrderingProperties:
+    @given(rows)
+    def test_order_by_is_sorted_and_permutation(self, data):
+        db = _load(data)
+        out = db.query("SELECT a, b FROM t ORDER BY a, b")
+        assert out == sorted(data)
+
+    @given(rows, st.integers(min_value=0, max_value=10))
+    def test_limit_prefix_of_order(self, data, limit):
+        db = _load(data)
+        full = db.query("SELECT a, b FROM t ORDER BY a, b")
+        limited = db.query(
+            f"SELECT a, b FROM t ORDER BY a, b LIMIT {limit}"
+        )
+        assert limited == full[:limit]
+
+
+class TestDMLProperties:
+    @given(rows, values)
+    def test_delete_then_count(self, data, pivot):
+        db = _load(data)
+        deleted = db.execute("DELETE FROM t WHERE a = %s", (pivot,)).rowcount
+        assert deleted == sum(1 for a, _b in data if a == pivot)
+        assert db.query("SELECT count(*) FROM t") == [
+            (len(data) - deleted,)
+        ]
+
+    @given(rows)
+    @settings(max_examples=25)
+    def test_update_preserves_cardinality(self, data):
+        db = _load(data)
+        db.execute("UPDATE t SET b = b + 1")
+        assert db.query("SELECT count(*) FROM t") == [(len(data),)]
+        assert sorted(db.query("SELECT a FROM t")) == sorted(
+            (a,) for a, _b in data
+        )
+
+    @given(rows)
+    def test_select_into_roundtrip(self, data):
+        db = _load(data)
+        db.execute("SELECT * INTO copy FROM t")
+        assert sorted(db.query("SELECT * FROM copy")) == sorted(data)
+
+
+class TestDistinctProperties:
+    @given(rows)
+    def test_distinct_removes_duplicates_only(self, data):
+        db = _load(data)
+        out = db.query("SELECT DISTINCT a, b FROM t")
+        assert sorted(out) == sorted(set(data))

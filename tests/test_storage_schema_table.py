@@ -1,0 +1,183 @@
+"""Unit tests for TableSchema, Table, and indexes."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    ConstraintViolationError,
+    DuplicateObjectError,
+)
+from repro.storage.index import OrderedIndex
+from repro.storage.schema import Column, TableSchema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+
+def make_schema(primary_key=("rid",)):
+    return TableSchema(
+        [
+            Column("rid", DataType.INTEGER),
+            Column("name", DataType.TEXT),
+            Column("score", DataType.INTEGER),
+        ],
+        primary_key,
+    )
+
+
+class TestTableSchema:
+    def test_positions_and_lookup(self):
+        schema = make_schema()
+        assert schema.position("name") == 1
+        assert "score" in schema
+        assert schema.column_names == ["rid", "name", "score"]
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema([Column("a", DataType.INTEGER)] * 2)
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableSchema([Column("a", DataType.INTEGER)], ("b",))
+
+    def test_coerce_row_width_check(self):
+        with pytest.raises(ConstraintViolationError):
+            make_schema().coerce_row((1, "x"))
+
+    def test_not_null_enforced(self):
+        schema = TableSchema([Column("a", DataType.INTEGER, not_null=True)])
+        with pytest.raises(ConstraintViolationError):
+            schema.coerce_row((None,))
+
+    def test_composite_key_extraction(self):
+        schema = make_schema(primary_key=("name", "score"))
+        assert schema.key_of((1, "x", 9)) == ("x", 9)
+
+    def test_with_and_without_column(self):
+        schema = make_schema()
+        grown = schema.with_column(Column("extra", DataType.TEXT))
+        assert grown.column_names[-1] == "extra"
+        shrunk = grown.without_column("extra")
+        assert shrunk.column_names == schema.column_names
+
+
+class TestTable:
+    def test_insert_and_scan(self):
+        table = Table("t", make_schema())
+        table.insert((1, "a", 10))
+        table.insert((2, "b", 20))
+        assert [row for _s, row in table.scan()] == [
+            (1, "a", 10),
+            (2, "b", 20),
+        ]
+        assert table.row_count == 2
+
+    def test_primary_key_uniqueness(self):
+        table = Table("t", make_schema())
+        table.insert((1, "a", 10))
+        with pytest.raises(ConstraintViolationError):
+            table.insert((1, "b", 20))
+
+    def test_delete_tombstones_and_indexes(self):
+        table = Table("t", make_schema())
+        s1 = table.insert((1, "a", 10))
+        table.insert((2, "b", 20))
+        assert table.delete_slots([s1]) == 1
+        assert table.row_count == 1
+        index = table.index_on(["rid"])
+        assert index.lookup_key((1,)) == []
+        # The freed key can be reused.
+        table.insert((1, "c", 30))
+        assert table.row_count == 2
+
+    def test_update_slot_maintains_indexes(self):
+        table = Table("t", make_schema())
+        slot = table.insert((1, "a", 10))
+        table.update_slot(slot, (5, "a", 10))
+        index = table.index_on(["rid"])
+        assert index.lookup_key((5,)) == [slot]
+        assert index.lookup_key((1,)) == []
+
+    def test_update_to_duplicate_key_rejected(self):
+        table = Table("t", make_schema())
+        table.insert((1, "a", 10))
+        slot = table.insert((2, "b", 20))
+        with pytest.raises(ConstraintViolationError):
+            table.update_slot(slot, (1, "b", 20))
+
+    def test_scan_counts_records(self):
+        table = Table("t", make_schema())
+        table.insert((1, "a", 10))
+        table.insert((2, "b", 20))
+        before = table.stats.records_scanned
+        list(table.scan())
+        assert table.stats.records_scanned - before == 2
+
+    def test_probe_counts_probe_and_match(self):
+        table = Table("t", make_schema())
+        table.insert((1, "a", 10))
+        index = table.index_on(["rid"])
+        before_probes = table.stats.index_probes
+        rows = table.probe(index, (1,))
+        assert rows == [(1, "a", 10)]
+        assert table.stats.index_probes - before_probes == 1
+
+    def test_secondary_index_and_duplicate_name(self):
+        table = Table("t", make_schema())
+        table.insert((1, "a", 10))
+        table.create_index("by_name", ["name"])
+        with pytest.raises(DuplicateObjectError):
+            table.create_index("by_name", ["name"])
+        assert table.index_on(["name"]).lookup_key(("a",)) != []
+
+    def test_recluster_sorts_heap(self):
+        table = Table("t", make_schema(primary_key=()), enforce_primary_key=False)
+        table.insert((3, "c", 1))
+        table.insert((1, "a", 2))
+        table.insert((2, "b", 3))
+        table.recluster("rid")
+        assert [row[0] for row in table.rows()] == [1, 2, 3]
+        assert table.clustered_on == "rid"
+
+    def test_alter_add_column_backfills(self):
+        table = Table("t", make_schema())
+        table.insert((1, "a", 10))
+        table.alter_add_column(Column("flag", DataType.BOOLEAN), default=False)
+        assert list(table.rows()) == [(1, "a", 10, False)]
+
+    def test_alter_column_type_widens_values(self):
+        table = Table("t", make_schema())
+        table.insert((1, "a", 10))
+        table.alter_column_type("score", DataType.DECIMAL)
+        row = next(table.rows())
+        assert row[2] == 10.0 and isinstance(row[2], float)
+
+    def test_storage_bytes_counts_indexes(self):
+        table = Table("t", make_schema())
+        table.insert((1, "a", 10))
+        with_index = table.storage_bytes(include_indexes=True)
+        without = table.storage_bytes(include_indexes=False)
+        assert with_index > without
+
+    def test_truncate(self):
+        table = Table("t", make_schema())
+        table.insert((1, "a", 10))
+        table.truncate()
+        assert table.row_count == 0
+        assert table.index_on(["rid"]).lookup_key((1,)) == []
+
+
+class TestOrderedIndex:
+    def test_range_scan(self):
+        index = OrderedIndex("i", ("k",), (0,), unique=False)
+        for value in [5, 1, 3, 9, 7]:
+            index.insert((value,), value)
+        assert list(index.range_scan((3,), (7,))) == [3, 5, 7]
+        assert list(index.range_scan(None, (3,), include_high=False)) == [1]
+        assert list(index.ordered_slots()) == [1, 3, 5, 7, 9]
+
+    def test_delete_removes_key(self):
+        index = OrderedIndex("i", ("k",), (0,), unique=False)
+        index.insert((1,), 0)
+        index.delete((1,), 0)
+        assert list(index.ordered_slots()) == []
+        assert index.entry_count() == 0

@@ -1,0 +1,123 @@
+"""Unit tests for the engine's type system."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.storage.types import (
+    DataType,
+    coerce,
+    infer_type,
+    parse_type_name,
+    value_size_bytes,
+    widen,
+)
+
+
+class TestParseTypeName:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("int", DataType.INTEGER),
+            ("INTEGER", DataType.INTEGER),
+            ("bigint", DataType.INTEGER),
+            ("decimal", DataType.DECIMAL),
+            ("double", DataType.DECIMAL),
+            ("text", DataType.TEXT),
+            ("VARCHAR", DataType.TEXT),
+            ("bool", DataType.BOOLEAN),
+            ("int[]", DataType.INT_ARRAY),
+            ("integer[]", DataType.INT_ARRAY),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert parse_type_name(name) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            parse_type_name("geography")
+
+
+class TestWiden:
+    def test_same_type_is_identity(self):
+        assert widen(DataType.INTEGER, DataType.INTEGER) is DataType.INTEGER
+
+    def test_integer_decimal_widens_to_decimal(self):
+        # The paper's Figure 5 example: cooccurrence int -> decimal.
+        assert widen(DataType.INTEGER, DataType.DECIMAL) is DataType.DECIMAL
+        assert widen(DataType.DECIMAL, DataType.INTEGER) is DataType.DECIMAL
+
+    def test_anything_with_text_widens_to_text(self):
+        assert widen(DataType.INTEGER, DataType.TEXT) is DataType.TEXT
+        assert widen(DataType.BOOLEAN, DataType.TEXT) is DataType.TEXT
+
+    def test_array_does_not_widen(self):
+        with pytest.raises(TypeMismatchError):
+            widen(DataType.INT_ARRAY, DataType.INTEGER)
+
+
+class TestCoerce:
+    def test_null_passes_any_type(self):
+        for dtype in DataType:
+            assert coerce(None, dtype) is None
+
+    def test_integer_from_string_and_float(self):
+        assert coerce("42", DataType.INTEGER) == 42
+        assert coerce(42.0, DataType.INTEGER) == 42
+
+    def test_non_integral_float_rejected_as_integer(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(1.5, DataType.INTEGER)
+
+    def test_decimal_from_int(self):
+        value = coerce(3, DataType.DECIMAL)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_boolean_spellings(self):
+        assert coerce("t", DataType.BOOLEAN) is True
+        assert coerce("FALSE", DataType.BOOLEAN) is False
+        assert coerce(1, DataType.BOOLEAN) is True
+
+    def test_bad_boolean_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("maybe", DataType.BOOLEAN)
+
+    def test_array_from_list_and_string(self):
+        assert coerce([1, 2], DataType.INT_ARRAY) == (1, 2)
+        assert coerce("{3,4}", DataType.INT_ARRAY) == (3, 4)
+        assert coerce("{}", DataType.INT_ARRAY) == ()
+
+    def test_text_from_number(self):
+        assert coerce(7, DataType.TEXT) == "7"
+
+
+class TestInferType:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (True, DataType.BOOLEAN),
+            (3, DataType.INTEGER),
+            (3.5, DataType.DECIMAL),
+            ("x", DataType.TEXT),
+            ((1, 2), DataType.INT_ARRAY),
+        ],
+    )
+    def test_inference(self, value, expected):
+        assert infer_type(value) is expected
+
+    def test_uninferrable(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type(object())
+
+
+class TestValueSize:
+    def test_paper_record_width(self):
+        # Benchmark records are 4-byte integers.
+        assert value_size_bytes(7, DataType.INTEGER) == 4
+
+    def test_array_grows_linearly(self):
+        small = value_size_bytes((1,), DataType.INT_ARRAY)
+        large = value_size_bytes(tuple(range(100)), DataType.INT_ARRAY)
+        assert large - small == 99 * 4
+
+    def test_null_is_cheap(self):
+        assert value_size_bytes(None, DataType.TEXT) == 1

@@ -1,0 +1,168 @@
+"""Tests for the SCI/CUR benchmark generators and dataset loading."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.storage.engine import Database
+from repro.workloads import (
+    CurParameters,
+    SciParameters,
+    dataset,
+    generate_cur,
+    generate_sci,
+    load_workload,
+)
+from repro.workloads.benchmark_graph import split_edit_counts
+from repro.workloads.protein import (
+    discover_interactions,
+    generate_interactions,
+    prune_low_confidence,
+    rescore_coexpression,
+)
+
+
+class TestSciGenerator:
+    def test_shape_is_tree(self, sci_tiny):
+        parent_counts = [len(v.parents) for v in sci_tiny.versions]
+        assert max(parent_counts[1:]) == 1
+        assert parent_counts[0] == 0
+        assert not sci_tiny.has_merges
+
+    def test_membership_consistency(self, sci_tiny):
+        by_vid = {v.vid: v for v in sci_tiny.versions}
+        for version in sci_tiny.versions:
+            inherited = version.members - set(version.new_rids)
+            for parent in version.parents:
+                pass
+            if version.parents:
+                parent_union = set()
+                for parent in version.parents:
+                    parent_union |= by_vid[parent].members
+                assert inherited <= parent_union
+
+    def test_new_rids_globally_fresh(self, sci_tiny):
+        seen: set[int] = set()
+        for version in sci_tiny.versions:
+            assert not (set(version.new_rids) & seen)
+            seen |= set(version.new_rids)
+
+    def test_record_count_tracks_parameters(self):
+        workload = generate_sci(
+            SciParameters(num_versions=50, num_branches=5,
+                          inserts_per_version=40, seed=1)
+        )
+        # |R| ~= V * I within generous tolerance (updates add, deletes few).
+        assert 0.6 * 50 * 40 <= workload.num_records <= 1.4 * 50 * 40
+
+    def test_deterministic_per_seed(self):
+        params = SciParameters(20, 3, 10, seed=5)
+        a = generate_sci(params)
+        b = generate_sci(params)
+        assert [v.members for v in a.versions] == [
+            v.members for v in b.versions
+        ]
+        different = generate_sci(SciParameters(20, 3, 10, seed=6))
+        assert [v.members for v in a.versions] != [
+            v.members for v in different.versions
+        ]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            SciParameters(num_versions=0, num_branches=0, inserts_per_version=1)
+        with pytest.raises(WorkloadError):
+            SciParameters(num_versions=5, num_branches=5, inserts_per_version=1)
+
+
+class TestCurGenerator:
+    def test_has_merges(self, cur_tiny):
+        assert cur_tiny.has_merges
+
+    def test_merge_resolves_conflicts_with_precedence(self, cur_tiny):
+        """A merge keeps all of the primary parent's records and a subset
+        of the secondary's (logical-key conflicts lose), matching the
+        system's primary-key precedence rule."""
+        by_vid = {v.vid: v for v in cur_tiny.versions}
+        merges = [v for v in cur_tiny.versions if len(v.parents) == 2]
+        assert merges
+        for version in merges:
+            primary, secondary = version.parents
+            inherited = version.members - set(version.new_rids)
+            assert by_vid[primary].members <= version.members
+            assert inherited <= (
+                by_vid[primary].members | by_vid[secondary].members
+            )
+
+    def test_loadable_into_cvd(self, cur_cvd, cur_tiny):
+        assert cur_cvd.version_count == cur_tiny.num_versions
+        assert cur_cvd.record_count == cur_tiny.num_records
+        assert cur_cvd.bipartite_edge_count == cur_tiny.num_edges
+
+    def test_deterministic(self):
+        params = CurParameters(20, 4, 10, seed=9)
+        assert [v.members for v in generate_cur(params).versions] == [
+            v.members for v in generate_cur(params).versions
+        ]
+
+
+class TestSplitEditCounts:
+    def test_partition_of_total(self):
+        inserts, updates, deletes = split_edit_counts(100, 0.3, 0.02)
+        assert inserts + updates == 100
+        assert deletes == 2
+
+    def test_zero_total(self):
+        assert split_edit_counts(0, 0.5, 0.5) == (0, 0, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            split_edit_counts(-1, 0.1, 0.1)
+
+
+class TestDatasets:
+    def test_named_config_lookup(self):
+        config = dataset("SCI_10K")
+        assert config.paper_name == "SCI_1M"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(WorkloadError):
+            dataset("SCI_1B")
+
+    def test_load_workload_roundtrip(self, sci_tiny):
+        db = Database()
+        cvd = load_workload(db, "w", sci_tiny)
+        # Every version's contents match the generator's membership, with
+        # payloads derived from the generator rids.
+        version = sci_tiny.versions[-1]
+        rows = cvd.model.fetch_version(version.vid)
+        assert len(rows) == len(version.members)
+        payloads = {row[1:] for row in rows}
+        expected = {sci_tiny.payload(r) for r in version.members}
+        assert payloads == expected
+
+    def test_version_graph_mirrors_generator(self, sci_cvd, sci_tiny):
+        for version in sci_tiny.versions:
+            assert sci_cvd.version(version.vid).parents == version.parents
+
+
+class TestProteinData:
+    def test_unique_primary_keys(self):
+        rows = generate_interactions(200, seed=3)
+        keys = {(r[0], r[1]) for r in rows}
+        assert len(keys) == 200
+
+    def test_rescore_changes_only_coexpression(self):
+        rows = generate_interactions(50)
+        rescored = rescore_coexpression(rows, fraction=1.0)
+        assert all(a[:4] == b[:4] for a, b in zip(rows, rescored))
+        assert any(a[4] != b[4] for a, b in zip(rows, rescored))
+
+    def test_prune_threshold(self):
+        rows = [("a", "b", 0, 0, 10), ("c", "d", 100, 0, 0)]
+        assert prune_low_confidence(rows, threshold=50) == [rows[1]]
+
+    def test_discover_appends_unique(self):
+        rows = generate_interactions(20)
+        grown = discover_interactions(rows, 30)
+        assert len(grown) == 50
+        keys = {(r[0], r[1]) for r in grown}
+        assert len(keys) == 50
