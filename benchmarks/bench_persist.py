@@ -1,0 +1,245 @@
+"""Durable-store benchmark: WAL+snapshot commits vs the pickle baseline.
+
+The legacy CLI persisted by pickling the whole OrpheusDB object after
+every command — O(database) bytes per commit.  The repro.persist store
+appends one delta-encoded, fsync'd WAL record instead — O(changed
+records) bytes — and amortizes full-state writes into checkpoints.
+
+Measured here, per dataset size, against a *long-lived* store (the
+library/server path, one `Store.open` across all commits):
+
+* persistence latency of the commit step on the two paths (the
+  acceptance target is the WAL path >= 5x faster on a 10k-record CVD);
+* bytes written per commit (WAL record vs full pickle);
+* cold-reopen time: pickle load vs WAL replay vs snapshot load.
+
+Scope note: the per-process CLI additionally writes a full snapshot when
+a *checkout* command exits (staging is snapshot-only state), so a CLI
+checkout+commit cycle pays one snapshot + one O(delta) append versus the
+legacy path's two full pickles; the O(delta) claim is about the commit
+step and the long-lived-store path, not the checkout command.
+"""
+
+from __future__ import annotations
+
+import pickle
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+if __package__ in (None, ""):
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import print_header
+from repro.core.orpheus import OrpheusDB
+from repro.persist import Store
+
+SCHEMA = [("k", "int"), ("v", "int")]
+SWEEP_SIZES = [1_000, 5_000, 10_000]
+COMMITS = 5
+
+
+def _init_cvd(orpheus: OrpheusDB, num_rows: int) -> None:
+    orpheus.init(
+        "t",
+        SCHEMA,
+        rows=[(i, i) for i in range(num_rows)],
+        primary_key=("k",),
+    )
+
+
+def _one_commit(orpheus: OrpheusDB, step: int, num_rows: int) -> None:
+    """Check out the latest version, add one row, commit (an O(1) delta)."""
+    latest = max(orpheus.cvd("t").graph.version_ids())
+    table = f"work_{step}"
+    orpheus.checkout("t", latest, table_name=table)
+    orpheus.run(
+        f"INSERT INTO {table} VALUES (NULL, {num_rows + step}, {step})"
+    )
+    orpheus.commit(table, message=f"step {step}")
+
+
+def _atomic_pickle(orpheus: OrpheusDB, path: Path) -> int:
+    """The legacy persistence path (temp file + rename); returns bytes."""
+    from repro.persist.fsutil import atomic_write_bytes
+
+    data = pickle.dumps(orpheus)
+    atomic_write_bytes(path, data)
+    return len(data)
+
+
+class _TimedJournal:
+    """Wraps a store's journal to time each fsync'd append."""
+
+    def __init__(self, store: Store):
+        self.store = store
+        self.times: list[float] = []
+
+    def append(self, record: dict) -> None:
+        started = time.perf_counter()
+        self.store.append(record)
+        self.times.append(time.perf_counter() - started)
+
+
+def measure(num_rows: int, commits: int = COMMITS) -> dict:
+    """Latency and bytes for both persistence paths at one size.
+
+    ``*_persist_s`` isolates the durability work one checkout+edit+commit
+    cycle pays.  The legacy CLI rewrote the whole pickle after *every*
+    mutating command — twice per cycle (checkout, then commit) — while a
+    long-lived store appends a single O(delta) WAL record at commit (the
+    checkout journals nothing here; only the per-process CLI snapshots
+    staging at command exit, which this benchmark deliberately excludes —
+    see the module docstring).  ``*_command_s`` is the whole cycle
+    including the in-memory staging work, identical on both paths.
+    """
+    from statistics import median
+
+    out: dict = {"num_rows": num_rows}
+    with tempfile.TemporaryDirectory() as raw:
+        root = Path(raw)
+
+        # Pickle baseline: persist = rewrite the whole object per command.
+        orpheus = OrpheusDB()
+        _init_cvd(orpheus, num_rows)
+        pickle_path = root / "state.pickle"
+        _atomic_pickle(orpheus, pickle_path)
+        command_times = []
+        persist_times = []
+        for step in range(commits):
+            started = time.perf_counter()
+            latest = max(orpheus.cvd("t").graph.version_ids())
+            table = f"work_{step}"
+            orpheus.checkout("t", latest, table_name=table)
+            persist_started = time.perf_counter()
+            _atomic_pickle(orpheus, pickle_path)  # post-checkout save
+            persisted = time.perf_counter() - persist_started
+            orpheus.run(
+                f"INSERT INTO {table} VALUES (NULL, {num_rows + step}, {step})"
+            )
+            orpheus.commit(table, message=f"step {step}")
+            persist_started = time.perf_counter()
+            out["pickle_bytes"] = _atomic_pickle(orpheus, pickle_path)
+            persisted += time.perf_counter() - persist_started
+            persist_times.append(persisted)
+            command_times.append(time.perf_counter() - started)
+        out["pickle_command_s"] = median(command_times)
+        out["pickle_persist_s"] = median(persist_times)
+        started = time.perf_counter()
+        with pickle_path.open("rb") as handle:
+            pickle.load(handle)
+        out["pickle_reopen_s"] = time.perf_counter() - started
+
+        # WAL store: persist = one fsync'd delta record per commit.
+        store = Store.open(root / "store", checkpoint_interval=0)
+        _init_cvd(store.orpheus, num_rows)
+        timed = _TimedJournal(store)
+        store.orpheus.attach_journal(timed)
+        command_times = []
+        wal_deltas = []
+        persist_times = []
+        for step in range(commits):
+            before = store.wal_size_bytes()
+            appended = len(timed.times)
+            started = time.perf_counter()
+            _one_commit(store.orpheus, step, num_rows)
+            command_times.append(time.perf_counter() - started)
+            wal_deltas.append(store.wal_size_bytes() - before)
+            persist_times.append(sum(timed.times[appended:]))
+        out["wal_command_s"] = median(command_times)
+        out["wal_persist_s"] = median(persist_times)
+        out["wal_bytes"] = max(wal_deltas)
+        store.orpheus.attach_journal(store)
+        store.close(sync=False)
+        started = time.perf_counter()
+        Store.open(root / "store", checkpoint_interval=0).close(sync=False)
+        out["wal_replay_reopen_s"] = time.perf_counter() - started
+
+        # And reopen once a checkpoint has compacted the log.
+        checkpointed = Store.open(root / "store", checkpoint_interval=0)
+        checkpointed.checkpoint()
+        checkpointed.close()
+        started = time.perf_counter()
+        Store.open(root / "store", checkpoint_interval=0).close(sync=False)
+        out["snapshot_reopen_s"] = time.perf_counter() - started
+    return out
+
+
+# ------------------------------------------------------------------- tests
+
+
+def test_benchmark_wal_commit(benchmark):
+    """One checkout+insert+commit cycle against the durable store."""
+    with tempfile.TemporaryDirectory() as raw:
+        store = Store.open(Path(raw) / "store", checkpoint_interval=0)
+        _init_cvd(store.orpheus, 10_000)
+        counter = [0]
+
+        def cycle():
+            _one_commit(store.orpheus, counter[0], 10_000)
+            counter[0] += 1
+
+        benchmark.pedantic(cycle, rounds=3, iterations=1)
+        store.close(sync=False)
+
+
+class TestAcceptance:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return measure(10_000, commits=3)
+
+    def test_wal_persist_at_least_5x_faster_than_pickle(self, results):
+        """The durability step of a repeated commit: one O(delta) fsync'd
+        append vs rewriting the whole pickled state."""
+        assert results["pickle_persist_s"] >= 5 * results["wal_persist_s"], (
+            results
+        )
+
+    def test_wal_does_not_slow_the_whole_command(self, results):
+        # Generous bound: the two paths share all in-memory staging work,
+        # so only measurement noise separates them.
+        assert results["wal_command_s"] <= 1.5 * results["pickle_command_s"], (
+            results
+        )
+
+    def test_wal_appends_delta_not_database(self, results):
+        # The pickled state carries every version's payload; one WAL commit
+        # record carries one insert plus a drop/tail membership delta.
+        assert results["wal_bytes"] * 50 < results["pickle_bytes"], results
+
+    def test_snapshot_reopen_not_slower_than_wal_replay(self, results):
+        assert (
+            results["snapshot_reopen_s"]
+            < results["wal_replay_reopen_s"] + results["pickle_reopen_s"] + 1.0
+        )
+
+
+# -------------------------------------------------------------------- main
+
+
+def main() -> None:
+    print_header("repro.persist: WAL+snapshot store vs whole-object pickle")
+    columns = [
+        ("pickle_persist_s", lambda v: f"{v * 1000:9.2f} ms"),
+        ("wal_persist_s", lambda v: f"{v * 1000:9.2f} ms"),
+        ("pickle_bytes", lambda v: f"{v / 1024:9.1f} KB"),
+        ("wal_bytes", lambda v: f"{v / 1024:9.1f} KB"),
+        ("pickle_reopen_s", lambda v: f"{v * 1000:9.2f} ms"),
+        ("wal_replay_reopen_s", lambda v: f"{v * 1000:9.2f} ms"),
+        ("snapshot_reopen_s", lambda v: f"{v * 1000:9.2f} ms"),
+    ]
+    header = f"{'rows':>8}" + "".join(f"{name:>22}" for name, _fmt in columns)
+    print(header)
+    for num_rows in SWEEP_SIZES:
+        row = measure(num_rows)
+        cells = "".join(f"{fmt(row[name]):>22}" for name, fmt in columns)
+        speedup = row["pickle_persist_s"] / max(row["wal_persist_s"], 1e-9)
+        print(f"{num_rows:>8}{cells}   ({speedup:.1f}x persist speedup)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,15 +1,24 @@
 """Git-style command line for OrpheusDB (paper Section 2.2).
 
-Because the embedded engine is in-process, the CLI persists the whole
-OrpheusDB state between invocations by pickling it to a store file
-(``--store``, default ``.orpheusdb``).  Commands mirror the paper's:
+Because the embedded engine is in-process, the CLI keeps the OrpheusDB
+state durable between invocations through :class:`repro.persist.Store`
+(``--store``, default ``.orpheusdb``): durable commands (``init``,
+``commit``, ``drop``, users, durable DML, ``optimize``) append one
+fsync'd record to a write-ahead log — a commit is O(changed records) —
+while staging commands (``checkout``, edits to staged tables) are
+working-tree state: they persist via a snapshot written on clean exit
+and are deliberately lost by crashes.  Snapshots also compact the log
+(``orpheus checkpoint``, or automatically every ``--checkpoint-every``
+records).  A ``--store`` path that is an existing *file* is treated as
+a legacy whole-object pickle and is rewritten atomically (temp file +
+rename).  Commands mirror the paper's:
 
     orpheus init -n proteins -f data.csv -s protein1:text,protein2:text,...
     orpheus checkout proteins -v 3 -t my_table
     orpheus commit -t my_table -m "cleaned up"
     orpheus run "SELECT count(*) FROM VERSION 3 OF CVD proteins"
     orpheus diff proteins 2 3
-    orpheus ls / drop / log / optimize / create_user / config / whoami
+    orpheus ls / drop / log / optimize / checkpoint / create_user / ...
 """
 
 from __future__ import annotations
@@ -21,6 +30,8 @@ from pathlib import Path
 
 from repro.core.orpheus import OrpheusDB
 from repro.errors import ReproError
+from repro.persist import Store
+from repro.persist.fsutil import atomic_write_bytes
 
 
 def _load(store: Path) -> OrpheusDB:
@@ -31,8 +42,8 @@ def _load(store: Path) -> OrpheusDB:
 
 
 def _save(orpheus: OrpheusDB, store: Path) -> None:
-    with store.open("wb") as handle:
-        pickle.dump(orpheus, handle)
+    """Atomically rewrite a legacy pickle store (temp file + rename)."""
+    atomic_write_bytes(store, pickle.dumps(orpheus))
 
 
 def _parse_schema(text: str) -> list[tuple[str, str]]:
@@ -73,7 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--store",
         default=".orpheusdb",
-        help="path of the persisted database state (default: .orpheusdb)",
+        help="path of the persisted database state (default: .orpheusdb); "
+        "a directory (or new path) uses the WAL+snapshot store, an "
+        "existing file the legacy pickle format",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=256,
+        metavar="N",
+        help="write a snapshot and compact the WAL after N journaled "
+        "records (default 256; 0 disables automatic checkpoints)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -119,6 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("log", help="show the version graph of a CVD")
     p.add_argument("cvd")
 
+    sub.add_parser(
+        "checkpoint",
+        help="write a snapshot now and compact the write-ahead log",
+    )
+
     p = sub.add_parser("optimize", help="partition a CVD with LyreSplit")
     p.add_argument("cvd")
     p.add_argument(
@@ -142,15 +168,56 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    store = Path(args.store)
-    orpheus = _load(store)
+    store_path = Path(args.store)
+    if store_path.is_file():
+        return _main_legacy(args, store_path)
+    return _main_store(args, store_path)
+
+
+def _main_store(args: argparse.Namespace, path: Path) -> int:
+    """Run one command against the WAL+snapshot store (the default)."""
     try:
-        dirty = _dispatch(orpheus, args)
+        # interval 0 disables all automatic checkpoints, WAL-size trigger
+        # included (the Store couples the byte default to the interval).
+        store = Store.open(path, checkpoint_interval=args.checkpoint_every)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    for warning in store.recovery_warnings:
+        print(f"recovery: {warning}", file=sys.stderr)
+    try:
+        if args.command == "checkpoint":
+            snapshot = store.checkpoint()
+            print(f"checkpointed to {snapshot.name}")
+        else:
+            _dispatch(store.orpheus, args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        # Skip the shutdown checkpoint: staging touched by the failed
+        # command is discarded, like the legacy no-save-on-error path.
+        store.close(sync=False)
+        return 1
+    store.close()
+    return 0
+
+
+def _main_legacy(args: argparse.Namespace, path: Path) -> int:
+    """Run one command against a legacy whole-object pickle file."""
+    orpheus = _load(path)
+    try:
+        if args.command == "checkpoint":
+            # A forced save is the closest legacy equivalent; save first
+            # so the success message never precedes a failed write.
+            _save(orpheus, path)
+            print(f"saved legacy store {path}")
+            dirty = False
+        else:
+            dirty = _dispatch(orpheus, args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     if dirty:
-        _save(orpheus, store)
+        _save(orpheus, path)
     return 0
 
 

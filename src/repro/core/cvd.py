@@ -257,6 +257,19 @@ class CVD:
 
     # --------------------------------------------------------------- commit
 
+    def parent_record_order(self, parents: Sequence[int]) -> dict[int, Row]:
+        """rid -> payload over the given parents, first parent winning.
+
+        The *iteration order* of the result is deterministic for a given
+        database state; the write-ahead log's delta-encoded commit records
+        rely on recovery reproducing exactly this order.
+        """
+        parent_records: dict[int, Row] = {}
+        for parent in parents:
+            for rid, payload in self.model.records_of(parent).items():
+                parent_records.setdefault(rid, payload)
+        return parent_records
+
     def commit_rows(
         self,
         parents: Sequence[int],
@@ -265,6 +278,7 @@ class CVD:
         checkout_time: int | None = None,
         commit_time: int | None = None,
         rows_have_rid: bool = True,
+        resolved: dict | None = None,
     ) -> int:
         """Commit staged rows as a new version.
 
@@ -272,11 +286,12 @@ class CVD:
         (the checkout-table path; ``rid`` may be NULL for user-inserted
         rows), or bare data tuples (the CSV path), in which case unchanged
         rows are recognized by exact value match against the parents.
+
+        When ``resolved`` is a dict it receives the physical resolution of
+        the commit (``member_rids``, ``new_records``, ``parent_order``) so
+        the caller can journal it (repro.persist).
         """
-        parent_records: dict[int, Row] = {}
-        for parent in parents:
-            for rid, payload in self.model.records_of(parent).items():
-                parent_records.setdefault(rid, payload)
+        parent_records = self.parent_record_order(parents)
         value_index: dict[Row, int] = {}
         if not rows_have_rid:
             for rid, payload in parent_records.items():
@@ -310,6 +325,10 @@ class CVD:
                 for rid in member_rids
             ]
         )
+        if resolved is not None:
+            resolved["member_rids"] = list(member_rids)
+            resolved["new_records"] = dict(new_records)
+            resolved["parent_order"] = list(parent_records)
         return self.ingest_version(
             parents,
             member_rids,

@@ -108,6 +108,21 @@ class DataModel(ABC):
         """Mapping rid -> data-attribute tuple for one version."""
         return {row[0]: tuple(row[1:]) for row in self.fetch_version(vid)}
 
+    # ---------------------------------------------------------- persistence
+
+    def extra_state(self) -> dict:
+        """JSON-able Python-side state beyond the backing tables.
+
+        Most models keep everything in the database and return ``{}``; the
+        delta and partitioned models override this so snapshot/recover
+        round-trips (repro.persist) restore their in-memory bookkeeping.
+        """
+        return {}
+
+    def restore_extra_state(self, state: dict) -> None:
+        """Inverse of :meth:`extra_state`; called after the backing tables
+        have been restored."""
+
     # ---------------------------------------------------------- inspection
 
     @abstractmethod

@@ -152,6 +152,21 @@ class DeltaModel(DataModel):
             self._membership[vid] = members
         self.db.table(self.precedent_table).insert_many(precedent_rows)
 
+    # --------------------------------------------------------- persistence
+
+    def extra_state(self) -> dict:
+        return {
+            "membership": [
+                [vid, sorted(members)]
+                for vid, members in sorted(self._membership.items())
+            ]
+        }
+
+    def restore_extra_state(self, state: dict) -> None:
+        self._membership = {
+            vid: frozenset(members) for vid, members in state["membership"]
+        }
+
     # ------------------------------------------------------------ checkout
 
     def _chain_of(self, vid: int) -> list[int]:

@@ -23,6 +23,12 @@ class TablePerVersionModel(DataModel):
     def _table_for(self, vid: int) -> str:
         return f"{self.cvd_name}__v{vid}"
 
+    def extra_state(self) -> dict:
+        return {"version_ids": list(self._version_ids)}
+
+    def restore_extra_state(self, state: dict) -> None:
+        self._version_ids = list(state["version_ids"])
+
     def create_storage(self) -> None:
         self._version_ids = []
 

@@ -18,6 +18,7 @@ design and this keeps tests and benchmark traces reproducible.
 from __future__ import annotations
 
 import csv as _csv
+import re as _re
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
@@ -32,12 +33,30 @@ from repro.errors import (
     VersioningError,
 )
 from repro.storage.engine import Database, Result
+from repro.storage.parser import ast_nodes as _ast
+from repro.storage.parser.parser import parse_sql
 from repro.storage.schema import Column, TableSchema
 from repro.storage.types import DataType, parse_type_name
 
 
 class OrpheusDB:
-    """A session against one backing database, managing many CVDs."""
+    """A session against one backing database, managing many CVDs.
+
+    When a journal (see :class:`repro.persist.Store`) is attached via
+    :meth:`attach_journal`, every *durable* operation — ``init``, ``commit``,
+    ``drop``, user management, ``optimize``, and SQL DML against non-staged
+    tables — emits a logical record after it succeeds.  Staging state
+    (checkouts and DML on staged tables) is working-tree state: it is never
+    journaled, only captured by snapshots, so a crash loses uncommitted
+    checkouts but never a committed version.
+    """
+
+    # Class-level defaults so instances unpickled from releases that
+    # predate the journal hooks still resolve these attributes.
+    _journal = None
+    _replaying = False
+    _ephemeral_dirty = False
+    _pending_barrier = False
 
     def __init__(self, db: Database | None = None, default_model: str = "split_by_rlist"):
         self.db = db or Database()
@@ -48,18 +67,59 @@ class OrpheusDB:
         self.translator = QueryTranslator(self.cvd)
         self._clock = 0
         self._checkout_counts: dict[str, dict[int, int]] = {}
+        self._journal = None
+        self._replaying = False
+        self._ephemeral_dirty = False
         # A default user so single-user scripts need no ceremony.
         self.access.create_user("default")
         self.access.login("default")
+
+    # -------------------------------------------------------------- journal
+
+    def attach_journal(self, journal) -> None:
+        """Wire a journal: any object with ``append(record: dict)``."""
+        self._journal = journal
+
+    def detach_journal(self) -> None:
+        self._journal = None
+
+    def _emit(self, record: dict) -> None:
+        """Journal one logical operation (no-op without a journal)."""
+        if self._journal is None or self._replaying:
+            return
+        if self._pending_barrier:
+            # An earlier operation left in-memory effects the journal does
+            # not carry; replaying this record on top of a journal-built
+            # state could diverge (or brick recovery), so have the journal
+            # checkpoint right after it.
+            record["barrier"] = True
+            self._pending_barrier = False
+        record["clock"] = self._clock
+        try:
+            self._journal.append(record)
+        except Exception:
+            # The operation already applied in memory but was never
+            # journaled (e.g. disk full); if the session carries on, the
+            # next successful record must checkpoint rather than let
+            # recovery replay it against a state missing this one.
+            self._pending_barrier = True
+            raise
+
+    def _mark_ephemeral(self) -> None:
+        """Record that non-journaled (staging) state changed, so a clean
+        shutdown should checkpoint."""
+        self._ephemeral_dirty = True
 
     # ---------------------------------------------------------------- users
 
     def create_user(self, username: str) -> None:
         self.access.create_user(username)
+        self._emit({"op": "create_user", "username": username})
 
     def config(self, username: str) -> None:
         """Log in as ``username`` (the paper's ``config`` command)."""
         self.access.login(username)
+        self._emit({"op": "config", "username": username})
 
     def whoami(self) -> str:
         return self.access.whoami()
@@ -111,6 +171,16 @@ class OrpheusDB:
         if rows:
             cvd.init_version(rows, message=message)
         self._cvds[name] = cvd
+        self._emit(
+            {
+                "op": "init",
+                "name": name,
+                "schema": schema.to_dict(),
+                "rows": [list(row) for row in rows],
+                "model": model or self.default_model,
+                "message": message,
+            }
+        )
         return cvd
 
     def init_from_table(
@@ -148,6 +218,7 @@ class OrpheusDB:
             )
         cvd.drop_storage()
         del self._cvds[name]
+        self._emit({"op": "drop", "name": name})
 
     # -------------------------------------------------------------- checkout
 
@@ -160,6 +231,8 @@ class OrpheusDB:
         counts = self._checkout_counts.setdefault(cvd_name, {})
         for vid in vids:
             counts[vid] = counts.get(vid, 0) + 1
+        # Checkouts are working-tree state: not journaled, snapshot-only.
+        self._mark_ephemeral()
 
     def checkout(
         self,
@@ -232,9 +305,10 @@ class OrpheusDB:
         cvd = self.cvd(staged.cvd_name)
         table = self.db.table(table_name)
         staged_schema = schema or self._staged_data_schema(table.schema)
-        if staged_schema.column_names != cvd.data_schema.column_names or [
+        evolved = staged_schema.column_names != cvd.data_schema.column_names or [
             c.dtype for c in staged_schema.columns
-        ] != [c.dtype for c in cvd.data_schema.columns]:
+        ] != [c.dtype for c in cvd.data_schema.columns]
+        if evolved:
             self._evolve_schema(cvd, staged_schema)
         rows = list(table.rows())
         has_rid = "rid" in table.schema
@@ -257,18 +331,27 @@ class OrpheusDB:
                 _conform_row(list(row), table.schema.column_names, cvd.data_schema)
                 for row in rows
             ]
+        commit_time = self._tick()
+        resolved: dict = {}
         vid = cvd.commit_rows(
             staged.parent_vids,
             rows,
             message=message,
             checkout_time=staged.checkout_time,
-            commit_time=self._tick(),
+            commit_time=commit_time,
             rows_have_rid=has_rid,
+            resolved=resolved,
         )
         # Commit cleans up the staging area (Section 2.3).
         self.db.drop_table(table_name)
         self.provenance.remove(table_name)
         self.access.revoke(table_name)
+        self._emit_commit(
+            cvd, vid, staged, resolved,
+            message=message,
+            commit_time=commit_time,
+            schema=staged_schema if evolved else None,
+        )
         return vid
 
     def commit_csv(
@@ -287,24 +370,82 @@ class OrpheusDB:
                 [Column(n, parse_type_name(t)) for n, t in schema]
             )
         staged_schema = schema or cvd.data_schema
-        if staged_schema.column_names != cvd.data_schema.column_names:
+        evolved = staged_schema.column_names != cvd.data_schema.column_names
+        if evolved:
             self._evolve_schema(cvd, staged_schema)
         rows = _read_csv_rows(path, staged_schema)
         rows = [
             _conform_row(list(row), staged_schema.column_names, cvd.data_schema)
             for row in rows
         ]
+        commit_time = self._tick()
+        resolved: dict = {}
         vid = cvd.commit_rows(
             staged.parent_vids,
             rows,
             message=message,
             checkout_time=staged.checkout_time,
-            commit_time=self._tick(),
+            commit_time=commit_time,
             rows_have_rid=False,
+            resolved=resolved,
         )
         self.provenance.remove(str(path))
         self.access.revoke(str(path))
+        self._emit_commit(
+            cvd, vid, staged, resolved,
+            message=message,
+            commit_time=commit_time,
+            schema=staged_schema if evolved else None,
+        )
         return vid
+
+    def _emit_commit(
+        self,
+        cvd: CVD,
+        vid: int,
+        staged: StagedCheckout,
+        resolved: dict,
+        message: str,
+        commit_time: int,
+        schema: TableSchema | None,
+    ) -> None:
+        """Journal the physical resolution of a commit.
+
+        The record carries the exact ordered membership and the new record
+        payloads, so recovery re-applies it byte-identically without the
+        staged table.  The journal compacts the membership against
+        ``parent_order`` into an O(delta) encoding.
+
+        For partitioned storage the record also pins the partition the
+        commit landed in: placement normally comes from a live policy
+        (installed by the optimizer) that recovery cannot reconstruct, so
+        replay must force the acknowledged placement instead of re-deciding.
+        """
+        partition = None
+        partition_of = getattr(cvd.model, "partition_of", None)
+        if partition_of is not None:
+            partition = partition_of(vid)
+        self._emit(
+            {
+                "op": "commit",
+                "cvd": cvd.name,
+                "vid": vid,
+                "parents": list(staged.parent_vids),
+                "member_rids": list(resolved["member_rids"]),
+                "parent_order": list(resolved["parent_order"]),
+                "new_records": [
+                    [rid, list(payload)]
+                    for rid, payload in resolved["new_records"].items()
+                ],
+                "staged": staged.name,
+                "staged_is_file": staged.is_file,
+                "partition": partition,
+                "schema": schema.to_dict() if schema is not None else None,
+                "message": message,
+                "checkout_time": staged.checkout_time,
+                "commit_time": commit_time,
+            }
+        )
 
     def _staged_data_schema(self, table_schema: TableSchema) -> TableSchema:
         columns = [c for c in table_schema.columns if c.name != "rid"]
@@ -331,8 +472,57 @@ class OrpheusDB:
     # ------------------------------------------------------------------ SQL
 
     def run(self, sql: str, params: Sequence[Any] = ()) -> Result:
-        """Execute SQL, translating versioned constructs first."""
-        return self.db.execute(self.translator.translate(sql), params)
+        """Execute SQL, translating versioned constructs first.
+
+        Mutating statements against durable tables are journaled; DML that
+        touches only staged checkout tables is working-tree state and is
+        captured by snapshots instead.
+        """
+        translated = self.translator.translate(sql)
+        statements = parse_sql(translated, params)
+        try:
+            result = self.db.execute_statements(statements)
+        except Exception:
+            if self._journal is not None and not self._replaying:
+                mutating, targets = _statement_targets(statements)
+                staged = set(self.provenance.staged_names())
+                if mutating and not (
+                    targets and all(t in staged for t in targets)
+                ):
+                    # Statements apply one at a time, so a mid-script
+                    # failure may have mutated *durable* state that was
+                    # never journaled; flag it so the next journaled
+                    # record checkpoints instead of building on divergent
+                    # replay.  Staged-only scripts are exempt: staging is
+                    # snapshot-only state and never replayed.
+                    self._pending_barrier = True
+            raise
+        if self._journal is not None and not self._replaying:
+            self._classify_and_journal_run(sql, translated, params, statements)
+        return result
+
+    def _classify_and_journal_run(
+        self,
+        sql: str,
+        translated: str,
+        params: Sequence[Any],
+        statements: Sequence[_ast.Statement],
+    ) -> None:
+        mutating, targets = _statement_targets(statements)
+        if not mutating:
+            return
+        staged = set(self.provenance.staged_names())
+        if targets and all(t in staged for t in targets):
+            self._mark_ephemeral()
+            return
+        record = {"op": "run", "sql": sql, "params": list(params)}
+        if staged and _references_any(translated, staged):
+            # DML writing durable tables while *reading* staged state cannot
+            # be replayed from the log once staging is gone; the barrier asks
+            # the journal to checkpoint immediately so the effect is captured
+            # by a snapshot instead.
+            record["barrier"] = True
+        self._emit(record)
 
     # ------------------------------------------------- version-graph shortcuts
 
@@ -394,6 +584,7 @@ class OrpheusDB:
         storage_threshold: float = 2.0,
         tolerance: float = 1.5,
         weighted: bool = False,
+        _frequencies: dict[int, int] | None = None,
     ):
         """Partition a CVD with LyreSplit (the ``optimize`` command).
 
@@ -406,9 +597,9 @@ class OrpheusDB:
         from repro.partition.online import PartitionOptimizer
 
         cvd = self.cvd(cvd_name)
-        frequencies = (
-            self.checkout_frequencies(cvd_name) if weighted else None
-        )
+        frequencies = _frequencies
+        if frequencies is None and weighted:
+            frequencies = self.checkout_frequencies(cvd_name)
         optimizer = PartitionOptimizer(
             cvd,
             storage_multiple=storage_threshold,
@@ -416,7 +607,63 @@ class OrpheusDB:
             frequencies=frequencies or None,
         )
         optimizer.run_full_partitioning()
+        self._emit(
+            {
+                "op": "optimize",
+                "cvd": cvd_name,
+                "storage_threshold": storage_threshold,
+                "tolerance": tolerance,
+                # Checkout counts are not journaled, so recovery replays the
+                # optimization with the frequencies resolved at call time.
+                "frequencies": (
+                    sorted(frequencies.items()) if frequencies else None
+                ),
+            }
+        )
         return optimizer
+
+
+_MUTATING_STATEMENTS = (
+    _ast.Insert,
+    _ast.Update,
+    _ast.Delete,
+    _ast.CreateTable,
+    _ast.DropTable,
+    _ast.CreateIndex,
+    _ast.DropIndex,
+    _ast.AlterTableAddColumn,
+    _ast.ClusterTable,
+)
+
+
+def _references_any(sql: str, names: set[str]) -> bool:
+    """Whether the SQL text mentions any of the names as a whole word.
+
+    A conservative token-level check (false positives only cost an extra
+    checkpoint), used to spot durable DML that reads staged tables.
+    """
+    return any(
+        _re.search(rf"\b{_re.escape(name)}\b", sql) for name in names
+    )
+
+
+def _statement_targets(
+    statements: Sequence[_ast.Statement],
+) -> tuple[bool, list[str]]:
+    """(any statement mutates?, tables written by the mutating statements)."""
+    mutating = False
+    targets: list[str] = []
+    for statement in statements:
+        if isinstance(statement, _ast.Select):
+            if statement.into_table:
+                mutating = True
+                targets.append(statement.into_table)
+        elif isinstance(statement, _MUTATING_STATEMENTS):
+            mutating = True
+            targets.append(statement.table)
+        else:  # pragma: no cover - future statement kinds: be conservative
+            mutating = True
+    return mutating, targets
 
 
 def _conform_row(

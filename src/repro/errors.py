@@ -80,3 +80,11 @@ class InfeasibleBudgetError(PartitionError):
 
 class WorkloadError(ReproError):
     """The benchmark workload generator was given invalid parameters."""
+
+
+class PersistenceError(ReproError):
+    """Base class for errors raised by the durable store (repro.persist)."""
+
+
+class RecoveryError(PersistenceError):
+    """A snapshot or write-ahead log could not be recovered."""

@@ -113,6 +113,43 @@ class PartitionedRlistModel(DataModel):
         self.db.drop_table(self._versioning_table(index), if_exists=True)
         del self._partitions[index]
 
+    # --------------------------------------------------------- persistence
+
+    def extra_state(self) -> dict:
+        return {
+            "partitions": [
+                {
+                    "index": state.index,
+                    "vids": sorted(state.vids),
+                    "rids": sorted(state.rids),
+                }
+                for state in self.partition_states()
+            ],
+            "assignment": sorted(self._assignment.items()),
+            "members": [
+                [vid, sorted(members)]
+                for vid, members in sorted(self._members.items())
+            ],
+            "next_partition": self._next_partition,
+        }
+
+    def restore_extra_state(self, state: dict) -> None:
+        # The placement policy is a live callable installed by the optimizer
+        # and is deliberately not serialized; without one, add_version falls
+        # back to the closest-parent placement rule.
+        self._partitions = {
+            p["index"]: PartitionState(
+                p["index"], set(p["vids"]), set(p["rids"])
+            )
+            for p in state["partitions"]
+        }
+        self._assignment = {vid: index for vid, index in state["assignment"]}
+        self._members = {
+            vid: frozenset(members) for vid, members in state["members"]
+        }
+        self._next_partition = state["next_partition"]
+        self.placement_policy = None
+
     # ----------------------------------------------------------- structure
 
     def partition_states(self) -> list[PartitionState]:

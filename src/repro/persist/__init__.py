@@ -1,0 +1,41 @@
+"""repro.persist — the durable store behind the OrpheusDB middleware.
+
+OrpheusDB is a *bolt-on* versioning layer: the paper keeps CVDs durable by
+living inside a DBMS.  This package gives the reproduction's embedded,
+in-memory engine the same property with a classic two-part design:
+
+* :mod:`repro.persist.wal` — a write-ahead log of logical operations
+  (``init``, ``commit``, ``drop``, user management, durable SQL DML,
+  ``optimize``) appended with CRC framing and ``fsync`` before a command is
+  acknowledged.  Commit records are delta-encoded against the parent
+  version, so a commit appends O(changed records) bytes rather than
+  rewriting the database.
+* :mod:`repro.persist.snapshot` — a checkpoint format serializing the full
+  engine catalog (every table as its own segment file) plus the middleware
+  state (version graphs, membership, provenance, access control, attribute
+  catalogs, data-model bookkeeping) via temp-file + atomic rename.
+* :mod:`repro.persist.store` — :class:`Store`, which ties the two together:
+  ``Store.open`` loads the latest valid snapshot and replays the WAL tail,
+  and a checkpoint policy compacts the log after enough appends.
+
+Durability contract: journaled operations survive any crash after the
+command that acknowledged them returns.  Most ops are durable the moment
+their WAL append returns; DML that writes durable tables while *reading*
+staged state carries a barrier flag that triggers an immediate checkpoint,
+since its effect cannot be replayed once staging is gone.  Staging state
+itself (uncommitted checkouts and edits to staged tables) is working-tree
+state — captured by checkpoints, lost by crashes — mirroring how git never
+versions your working tree.
+"""
+
+from repro.persist.snapshot import load_snapshot, write_snapshot
+from repro.persist.store import Store
+from repro.persist.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "Store",
+    "WriteAheadLog",
+    "WalRecord",
+    "write_snapshot",
+    "load_snapshot",
+]

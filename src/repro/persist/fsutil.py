@@ -1,0 +1,38 @@
+"""Filesystem durability primitives shared across the persist layer.
+
+The write-temp / flush / fsync / rename / fsync-directory dance is subtle
+enough that hand-rolled copies drift (a missed directory fsync silently
+weakens durability), so it lives here once.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def fsync_dir(path: Path) -> None:
+    """fsync a directory so renames/creations within it are durable."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Durably replace ``path`` with ``data``: temp file + fsync + rename.
+
+    A crash at any point leaves either the old file or the new one, never
+    a torn mixture.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    fsync_dir(path.parent)

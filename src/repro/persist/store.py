@@ -1,0 +1,461 @@
+"""The durable store: snapshot + WAL tail, with crash recovery.
+
+On-disk layout of one store directory::
+
+    .orpheusdb/
+      CURRENT            JSON pointer at the active snapshot directory
+      wal.log            CRC-framed logical records since that snapshot
+      snapshots/
+        snap-00000001/   manifest.json + per-table segment files
+
+:meth:`Store.open` is the recovery path: load the snapshot named by
+``CURRENT`` (or start empty), then replay every WAL record with a higher
+lsn.  Each mutating OrpheusDB call appends one fsync'd record via the
+attached journal, so a crash at any instant loses at most the operation
+whose append had not yet returned.  After ``checkpoint_interval`` appends
+(or an explicit :meth:`checkpoint`) the store writes a fresh snapshot and
+compacts the log.
+
+Commit records are delta-encoded: membership is stored as (records dropped
+from the parents, records appended) whenever the staged table preserved the
+parents' record order — the common case — so a commit appends O(changed
+records) bytes, not O(version) and certainly not O(database).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+from repro.core.orpheus import OrpheusDB
+from repro.errors import PersistenceError, RecoveryError, ReproError
+from repro.storage.schema import TableSchema
+
+from repro.persist.fsutil import atomic_write_bytes, fsync_dir
+from repro.persist.snapshot import load_snapshot, write_snapshot
+from repro.persist.wal import WriteAheadLog
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
+CURRENT_NAME = "CURRENT"
+WAL_NAME = "wal.log"
+SNAPSHOTS_DIR = "snapshots"
+LOCK_NAME = "LOCK"
+#: Snapshot directories retained after a checkpoint.  Recovery only ever
+#: uses the one named by CURRENT — the WAL is compacted past older
+#: snapshots, so they cannot be rolled forward automatically — but the
+#: predecessor is kept for manual salvage if the active snapshot is lost
+#: to disk corruption (accepting the loss of the ops after it).
+KEEP_SNAPSHOTS = 2
+
+
+class Store:
+    """One durable OrpheusDB instance rooted at a directory."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        checkpoint_interval: int = 256,
+        checkpoint_bytes: int | None = None,
+    ):
+        self.path = Path(path)
+        # Negative values would make `records_since >= interval` always
+        # true (a full snapshot per record); clamp to "disabled".
+        self.checkpoint_interval = max(0, checkpoint_interval)
+        #: Also checkpoint once the WAL exceeds this size — record counts
+        #: alone let one huge record (a bulk init) be re-replayed on every
+        #: open for up to ``checkpoint_interval`` commands.  0 disables;
+        #: the default (None) follows checkpoint_interval, so interval=0
+        #: means "no automatic checkpoints at all" without every caller
+        #: remembering to zero both knobs.
+        if checkpoint_bytes is None:
+            checkpoint_bytes = (
+                4 * 1024 * 1024 if self.checkpoint_interval else 0
+            )
+        self.checkpoint_bytes = max(0, checkpoint_bytes)
+        self.wal = WriteAheadLog(self.path / WAL_NAME)
+        self.orpheus: OrpheusDB | None = None
+        self.recovery_warnings: list[str] = []
+        self._next_lsn = 1
+        self._records_since_checkpoint = 0
+        self._in_checkpoint = False
+        self._lock_handle = None
+
+    # ----------------------------------------------------------------- open
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        checkpoint_interval: int = 256,
+        checkpoint_bytes: int | None = None,
+    ) -> "Store":
+        """Create or recover the store at ``path`` and attach its journal."""
+        store = cls(
+            path,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_bytes=checkpoint_bytes,
+        )
+        store._recover()
+        return store
+
+    def _recover(self) -> None:
+        if self.path.exists() and not self.path.is_dir():
+            raise PersistenceError(
+                f"{self.path} is a file, not a store directory (a legacy "
+                f"pickle store?)"
+            )
+        created = not self.path.exists()
+        # exist_ok: a concurrent opener may create the directory between
+        # the check and here — let the lock below deliver the clean error.
+        self.path.mkdir(parents=True, exist_ok=True)
+        if created:
+            fsync_dir(self.path.parent)
+        (self.path / SNAPSHOTS_DIR).mkdir(exist_ok=True)
+        fsync_dir(self.path)
+        self._acquire_lock()
+        torn_bytes = self.wal.truncate_torn_tail()
+        if torn_bytes:
+            self.recovery_warnings.append(
+                f"dropped {torn_bytes} bytes of torn WAL tail "
+                f"(a crash mid-append)"
+            )
+        snapshot_name = self._read_current()
+        if snapshot_name is not None:
+            orpheus, snap_lsn = load_snapshot(
+                self.path / SNAPSHOTS_DIR / snapshot_name
+            )
+        else:
+            orpheus, snap_lsn = OrpheusDB(), 0
+        self.orpheus = orpheus
+        last_lsn = snap_lsn
+        replayed = 0
+        orpheus._replaying = True
+        try:
+            for record in self.wal.records():
+                if record.lsn <= snap_lsn:
+                    continue
+                self._apply(record.payload)
+                last_lsn = record.lsn
+                replayed += 1
+        finally:
+            orpheus._replaying = False
+        self._next_lsn = last_lsn + 1
+        self._records_since_checkpoint = replayed
+        orpheus.attach_journal(self)
+        # A large replayed tail means every future open pays that replay
+        # again until something checkpoints — do it now instead.
+        if replayed and self._should_auto_checkpoint():
+            self.checkpoint()
+
+    def _acquire_lock(self) -> None:
+        """Take an exclusive advisory lock on the store directory.
+
+        Two stores appending to one WAL would write duplicate lsns and one
+        side's fsync-acknowledged records would vanish at the other's
+        checkpoint compaction — so a second opener must fail fast.  The
+        lock dies with the process (crashes never wedge the store).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            return
+        handle = open(self.path / LOCK_NAME, "a+")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise PersistenceError(
+                f"store {self.path} is in use by another process"
+            ) from None
+        self._lock_handle = handle
+
+    def _release_lock(self) -> None:
+        if self._lock_handle is not None:
+            self._lock_handle.close()  # closing the fd drops the flock
+            self._lock_handle = None
+
+    def _read_current(self) -> str | None:
+        current = self.path / CURRENT_NAME
+        if not current.exists():
+            return None
+        try:
+            return json.loads(current.read_text(encoding="utf-8"))["snapshot"]
+        except (OSError, ValueError, KeyError) as exc:
+            raise RecoveryError(
+                f"unreadable CURRENT pointer {current}: {exc}"
+            ) from exc
+
+    # -------------------------------------------------------------- journal
+
+    def append(self, record: dict) -> None:
+        """Journal one logical record (called by OrpheusDB after the
+        operation succeeds); fsyncs before returning."""
+        if record.get("op") == "commit":
+            record = _compact_commit(record)
+        self.wal.append(self._next_lsn, record)
+        self._next_lsn += 1
+        self._records_since_checkpoint += 1
+        if self._in_checkpoint:
+            return
+        if record.get("barrier"):
+            # The operation's effect depends on staging the WAL does not
+            # carry (e.g. INSERT INTO durable SELECT ... FROM staged):
+            # snapshot right away so the acknowledged state is durable.
+            self.checkpoint()
+        elif self._should_auto_checkpoint():
+            self.checkpoint()
+
+    def _should_auto_checkpoint(self) -> bool:
+        if self._in_checkpoint:
+            return False
+        if (
+            self.checkpoint_interval
+            and self._records_since_checkpoint >= self.checkpoint_interval
+        ):
+            return True
+        return bool(
+            self.checkpoint_bytes
+            and self.wal_size_bytes() >= self.checkpoint_bytes
+        )
+
+    @property
+    def last_lsn(self) -> int:
+        return self._next_lsn - 1
+
+    def wal_size_bytes(self) -> int:
+        try:
+            return (self.path / WAL_NAME).stat().st_size
+        except OSError:
+            return 0
+
+    # ----------------------------------------------------------- checkpoint
+
+    def checkpoint(self) -> Path:
+        """Snapshot the full state, repoint CURRENT, compact the WAL."""
+        if self.orpheus is None:
+            raise PersistenceError("store is not open")
+        self._in_checkpoint = True
+        try:
+            snapshot = write_snapshot(
+                self.orpheus, self.path / SNAPSHOTS_DIR, self.last_lsn
+            )
+            self._write_current(snapshot.name)
+            self.wal.compact(self.last_lsn)
+            self._records_since_checkpoint = 0
+            self.orpheus._ephemeral_dirty = False
+            self._prune_snapshots(keep=snapshot.name)
+            return snapshot
+        finally:
+            self._in_checkpoint = False
+
+    def _write_current(self, snapshot_name: str) -> None:
+        atomic_write_bytes(
+            self.path / CURRENT_NAME,
+            json.dumps({"snapshot": snapshot_name}).encode("utf-8"),
+        )
+
+    def _prune_snapshots(self, keep: str) -> None:
+        """Best-effort removal of snapshots older than the retention set."""
+        root = self.path / SNAPSHOTS_DIR
+        names = sorted(
+            (
+                entry.name
+                for entry in root.iterdir()
+                if entry.name.startswith("snap-")
+            ),
+            reverse=True,
+        )
+        for name in names[KEEP_SNAPSHOTS:]:
+            if name == keep or name.endswith(".tmp"):
+                continue
+            try:
+                shutil.rmtree(root / name)
+            except OSError:  # pragma: no cover - pruning is advisory
+                pass
+
+    def sync(self) -> None:
+        """Checkpoint if non-journaled (staging) state changed.
+
+        Called on clean shutdown so uncommitted checkouts survive normal
+        process exits while still being lost by crashes.
+        """
+        if self.orpheus is not None and self.orpheus._ephemeral_dirty:
+            self.checkpoint()
+
+    def close(self, sync: bool = True) -> None:
+        if sync and self.orpheus is not None:
+            self.sync()
+        if self.orpheus is not None:
+            self.orpheus.detach_journal()
+        self.wal.close()
+        self._release_lock()
+
+    def __enter__(self) -> "Store":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Keep staging durable on a clean exit; on an exception we still
+        # close the log but skip the checkpoint (the state may be suspect).
+        self.close(sync=exc_type is None)
+
+    # --------------------------------------------------------------- replay
+
+    def _apply(self, payload: dict) -> None:
+        orpheus = self.orpheus
+        op = payload.get("op")
+        try:
+            if op == "create_user":
+                orpheus.create_user(payload["username"])
+            elif op == "config":
+                orpheus.config(payload["username"])
+            elif op == "init":
+                orpheus.init(
+                    payload["name"],
+                    TableSchema.from_dict(payload["schema"]),
+                    payload["rows"],
+                    model=payload["model"],
+                    message=payload["message"],
+                )
+            elif op == "drop":
+                orpheus.drop(payload["name"])
+            elif op == "commit":
+                self._apply_commit(payload)
+            elif op == "run":
+                if payload.get("barrier"):
+                    # Barrier records read staged state; their effect lives
+                    # in the snapshot the barrier checkpoint wrote, so the
+                    # narrow crash window between append and checkpoint may
+                    # leave them legitimately unreplayable — record it.
+                    try:
+                        orpheus.run(payload["sql"], payload["params"])
+                    except ReproError as exc:
+                        self.recovery_warnings.append(
+                            f"run replay skipped ({exc}): {payload['sql']!r}"
+                        )
+                else:
+                    # Durable-only DML must replay; a failure means the
+                    # recovered state diverged and falls through to the
+                    # RecoveryError escalation below.
+                    orpheus.run(payload["sql"], payload["params"])
+            elif op == "optimize":
+                frequencies = payload["frequencies"]
+                orpheus.optimize(
+                    payload["cvd"],
+                    storage_threshold=payload["storage_threshold"],
+                    tolerance=payload["tolerance"],
+                    _frequencies=(
+                        {vid: count for vid, count in frequencies}
+                        if frequencies
+                        else None
+                    ),
+                )
+            else:
+                raise RecoveryError(f"unknown WAL operation {op!r}")
+        except RecoveryError:
+            raise
+        except ReproError as exc:
+            raise RecoveryError(
+                f"WAL replay of {op!r} failed: {exc}"
+            ) from exc
+        orpheus._clock = payload["clock"]
+
+    def _apply_commit(self, payload: dict) -> None:
+        orpheus = self.orpheus
+        cvd = orpheus.cvd(payload["cvd"])
+        if payload["schema"] is not None:
+            orpheus._evolve_schema(
+                cvd, TableSchema.from_dict(payload["schema"])
+            )
+        parents = list(payload["parents"])
+        member_rids = _expand_members(cvd, parents, payload["members"])
+        new_records = {}
+        for rid, values in payload["new_records"]:
+            new_records[rid] = cvd.data_schema.coerce_row(values)
+        if new_records:
+            cvd._next_rid = max(cvd._next_rid, max(new_records) + 1)
+        forced_partition = payload.get("partition")
+        model = cvd.model
+        old_policy = None
+        force_placement = forced_partition is not None and hasattr(
+            model, "placement_policy"
+        )
+        if force_placement:
+            # The live placement policy died with the crashed process;
+            # replay must land the version exactly where the acknowledged
+            # commit did, not re-decide with a fallback rule.
+            existing = {state.index for state in model.partition_states()}
+            target = forced_partition if forced_partition in existing else None
+            old_policy = model.placement_policy
+            model.placement_policy = lambda _vid, _members, _parents: target
+        try:
+            vid = cvd.ingest_version(
+                parents,
+                member_rids,
+                new_records,
+                message=payload["message"],
+                checkout_time=payload["checkout_time"],
+                commit_time=payload["commit_time"],
+            )
+        finally:
+            if force_placement:
+                model.placement_policy = old_policy
+        if vid != payload["vid"]:
+            raise RecoveryError(
+                f"commit replay produced version {vid}, journal says "
+                f"{payload['vid']} — non-deterministic state"
+            )
+        if force_placement and model.partition_of(vid) != forced_partition:
+            raise RecoveryError(
+                f"commit replay placed version {vid} in partition "
+                f"{model.partition_of(vid)}, journal says {forced_partition}"
+            )
+        staged_name = payload["staged"]
+        if not payload["staged_is_file"] and orpheus.db.has_table(staged_name):
+            orpheus.db.drop_table(staged_name)
+        if staged_name in orpheus.provenance.staged_names():
+            orpheus.provenance.remove(staged_name)
+        orpheus.access.revoke(staged_name)
+
+
+# ------------------------------------------------------------ commit coding
+
+
+def _compact_commit(record: dict) -> dict:
+    """Delta-encode a commit's membership against its parents' record order.
+
+    The encoded form ``{"drop": [...], "tail": [...]}`` applies when the
+    staged table kept the parents' record order (deletions tombstone in
+    place, inserts append — the engine's heap behaviour), which recovery can
+    reproduce because :meth:`CVD.parent_record_order` is deterministic.
+    Anything else falls back to the explicit member list.
+    """
+    record = dict(record)
+    member_rids = record.pop("member_rids")
+    parent_order = record.pop("parent_order")
+    new_rids = {rid for rid, _values in record["new_records"]}
+    member_set = set(member_rids)
+    prefix = [rid for rid in parent_order if rid in member_set]
+    cut = len(prefix)
+    if member_rids[:cut] == prefix and all(
+        rid in new_rids for rid in member_rids[cut:]
+    ):
+        record["members"] = {
+            "drop": [rid for rid in parent_order if rid not in member_set],
+            "tail": member_rids[cut:],
+        }
+    else:
+        record["members"] = {"full": member_rids}
+    return record
+
+
+def _expand_members(cvd, parents: list[int], encoded: dict) -> list[int]:
+    if "full" in encoded:
+        return list(encoded["full"])
+    parent_order = list(cvd.parent_record_order(parents))
+    dropped = set(encoded["drop"])
+    return [rid for rid in parent_order if rid not in dropped] + list(
+        encoded["tail"]
+    )

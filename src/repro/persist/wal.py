@@ -1,0 +1,189 @@
+"""Write-ahead log: CRC-framed, fsync'd, append-only logical records.
+
+Frame layout (little-endian), one frame per logical record::
+
+    magic   4 bytes   b"OWL1"
+    lsn     8 bytes   unsigned log sequence number, strictly increasing
+    length  4 bytes   payload byte count
+    crc     4 bytes   CRC-32 of lsn + length + payload (header corruption
+                      of the lsn would otherwise silently skew replay's
+                      snapshot-lsn filtering)
+    payload           UTF-8 JSON object
+
+Append writes one frame and fsyncs before returning — that is the
+durability point of every journaled operation.  Reads stop at the first
+torn or corrupt frame (a crash mid-append leaves a partial tail, which is
+expected and harmless): everything before it is the recovered log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import PersistenceError
+from repro.persist.fsutil import fsync_dir as _fsync_dir
+
+MAGIC = b"OWL1"
+_HEADER = struct.Struct("<4sQII")  # magic, lsn, length, crc
+_META = struct.Struct("<QI")  # lsn, length — the header bytes the CRC covers
+#: Upper bound on one record's payload; a guard against reading garbage
+#: lengths from a corrupt header, not a practical limit (1 GiB).
+MAX_PAYLOAD = 1 << 30
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One recovered log record."""
+
+    lsn: int
+    payload: dict
+
+
+def _frame_crc(lsn: int, body: bytes) -> int:
+    return zlib.crc32(body, zlib.crc32(_META.pack(lsn, len(body))))
+
+
+def encode_frame(lsn: int, payload: dict) -> bytes:
+    """Serialize one record to its on-disk frame."""
+    try:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise PersistenceError(
+            f"WAL record is not JSON-serializable: {exc}"
+        ) from exc
+    if len(body) > MAX_PAYLOAD:
+        # The reader treats oversized frames as corruption and recovery
+        # would truncate them (and everything after); refuse to write what
+        # we would later destroy.
+        raise PersistenceError(
+            f"WAL record of {len(body)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte frame limit; checkpoint instead of "
+            f"journaling bulk loads this large"
+        )
+    return _HEADER.pack(MAGIC, lsn, len(body), _frame_crc(lsn, body)) + body
+
+
+class WriteAheadLog:
+    """Append-only log file with CRC framing and torn-tail recovery."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle = None
+
+    # ---------------------------------------------------------------- write
+
+    def _open_for_append(self):
+        if self._handle is None or self._handle.closed:
+            created = not self.path.exists()
+            self._handle = open(self.path, "ab")
+            if created:
+                # Make the new file's directory entry durable too —
+                # fsyncing only the data leaves a fresh log vanishable.
+                _fsync_dir(self.path.parent)
+        return self._handle
+
+    def append(self, lsn: int, payload: dict) -> int:
+        """Write one frame and fsync; returns the frame's byte length."""
+        frame = encode_frame(lsn, payload)
+        handle = self._open_for_append()
+        handle.write(frame)
+        handle.flush()
+        os.fsync(handle.fileno())
+        return len(frame)
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+
+    # ----------------------------------------------------------------- read
+
+    def _frames(self) -> Iterator[tuple[int, WalRecord]]:
+        """(byte offset past the frame, record) pairs; stops at the first
+        torn or corrupt frame."""
+        if not self.path.exists():
+            return
+        offset = 0
+        with open(self.path, "rb") as handle:
+            while True:
+                header = handle.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    return  # clean EOF or torn header
+                magic, lsn, length, crc = _HEADER.unpack(header)
+                if magic != MAGIC or length > MAX_PAYLOAD:
+                    return
+                body = handle.read(length)
+                if len(body) < length or _frame_crc(lsn, body) != crc:
+                    return  # torn or corrupt header/payload
+                try:
+                    payload = json.loads(body.decode("utf-8"))
+                except ValueError:
+                    return
+                offset += _HEADER.size + length
+                yield offset, WalRecord(lsn, payload)
+
+    def records(self) -> Iterator[WalRecord]:
+        """Valid records in append order; stops at the first bad frame."""
+        for _offset, record in self._frames():
+            yield record
+
+    def valid_end_offset(self) -> int:
+        """Byte offset just past the last valid frame (0 when empty)."""
+        offset = 0
+        for offset, _record in self._frames():
+            pass
+        return offset
+
+    def truncate_torn_tail(self) -> int:
+        """Cut any torn/corrupt tail off the log; returns bytes dropped.
+
+        Must run before appending to a recovered log: 'ab' mode writes
+        after the garbage, where no reader would ever reach the records —
+        they would be acknowledged yet unrecoverable.
+        """
+        if not self.path.exists():
+            return 0
+        size = self.path.stat().st_size
+        offset = self.valid_end_offset()
+        if offset >= size:
+            return 0
+        self.close()
+        with open(self.path, "r+b") as handle:
+            handle.truncate(offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return size - offset
+
+    def last_lsn(self) -> int:
+        """Highest valid lsn in the log (0 when empty/missing)."""
+        last = 0
+        for record in self.records():
+            last = record.lsn
+        return last
+
+    # ----------------------------------------------------------- compaction
+
+    def compact(self, keep_after_lsn: int) -> int:
+        """Drop every record with ``lsn <= keep_after_lsn`` (post-checkpoint).
+
+        Rewrites the log to a temp file and atomically renames it into
+        place, so a crash mid-compaction leaves the old log intact.
+        Returns the number of records retained.
+        """
+        kept = [r for r in self.records() if r.lsn > keep_after_lsn]
+        self.close()
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            for record in kept:
+                handle.write(encode_frame(record.lsn, record.payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        _fsync_dir(self.path.parent)
+        return len(kept)

@@ -86,6 +86,43 @@ class Database:
     def table_names(self) -> list[str]:
         return sorted(self._tables)
 
+    def tables(self) -> Iterable[Table]:
+        """All tables in creation order (the snapshot writer's view)."""
+        return self._tables.values()
+
+    def restore_table(
+        self,
+        name: str,
+        schema: TableSchema,
+        rows: Iterable[Sequence[Any]],
+        clustered_on: str | None = None,
+        enforce_primary_key: bool = True,
+        index_specs: Sequence[dict] = (),
+    ) -> Table:
+        """Recreate one table from serialized state (snapshot restore).
+
+        Rows bypass per-row uniqueness probes (they come from a consistent
+        snapshot); indexes beyond the automatic primary-key index are rebuilt
+        from their serialized definitions.
+        """
+        table = self.create_table(
+            name,
+            schema,
+            clustered_on=clustered_on,
+            enforce_primary_key=enforce_primary_key,
+        )
+        table.load_rows(rows)
+        for spec in index_specs:
+            if spec["name"] in table.indexes:
+                continue
+            table.create_index(
+                spec["name"],
+                spec["columns"],
+                unique=spec["unique"],
+                ordered=spec["ordered"],
+            )
+        return table
+
     def create_table(
         self,
         name: str,
@@ -140,8 +177,15 @@ class Database:
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
         """Run one or more statements; returns the last statement's result."""
+        return self.execute_statements(parse_sql(sql, params))
+
+    def execute_statements(
+        self, statements: Sequence[ast.Statement]
+    ) -> Result:
+        """Run pre-parsed statements (lets callers parse once and also
+        inspect the AST, e.g. for journaling)."""
         result = Result()
-        for statement in parse_sql(sql, params):
+        for statement in statements:
             result = self._execute_statement(statement)
         return result
 

@@ -90,6 +90,30 @@ class TableSchema:
     def project_positions(self, names: Iterable[str]) -> list[int]:
         return [self.position(name) for name in names]
 
+    def to_dict(self) -> dict:
+        """JSON-able description of this schema (the persist segment format).
+
+        Types are encoded by their stable :class:`DataType` value string, so
+        the on-disk format survives enum reordering.
+        """
+        return {
+            "columns": [
+                [c.name, c.dtype.value, c.not_null] for c in self.columns
+            ],
+            "primary_key": list(self.primary_key),
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "TableSchema":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            [
+                Column(name, DataType(type_name), bool(not_null))
+                for name, type_name, not_null in state["columns"]
+            ],
+            tuple(state.get("primary_key", ())),
+        )
+
     def with_column(self, column: Column) -> "TableSchema":
         """A copy of this schema with one appended column."""
         return TableSchema(self.columns + [column], self.primary_key)

@@ -134,6 +134,49 @@ class Table:
         self.stats.rows_written += 1
         return slot
 
+    def load_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Append already-consistent rows (the snapshot-restore fast path).
+
+        Skips uniqueness probes and I/O-stat charging: the rows come from a
+        snapshot of this same table, so constraints were enforced when they
+        were first inserted and restore must not pollute benchmark counters.
+        """
+        count = 0
+        for values in rows:
+            row = self.schema.coerce_row(values)
+            slot = len(self._rows)
+            self._rows.append(row)
+            self._live_count += 1
+            for index in self.indexes.values():
+                index.insert(row, slot)
+            count += 1
+        return count
+
+    def dump_rows(self) -> Iterator[Row]:
+        """Live rows in slot order without charging I/O stats.
+
+        The snapshot-writer counterpart of :meth:`load_rows`: checkpoints
+        must not inflate the ``records_scanned`` counters the benchmarks
+        are built on.
+        """
+        for row in self._rows:
+            if row is not None:
+                yield row
+
+    def index_specs(self) -> list[dict]:
+        """JSON-able definitions of every index, for stable serialization."""
+        from repro.storage.index import OrderedIndex
+
+        return [
+            {
+                "name": index.name,
+                "columns": list(index.columns),
+                "unique": index.unique,
+                "ordered": isinstance(index, OrderedIndex),
+            }
+            for index in self.indexes.values()
+        ]
+
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk insert; returns the number of rows added."""
         count = 0

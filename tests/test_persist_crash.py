@@ -1,0 +1,217 @@
+"""Crash recovery: committed versions survive, uncommitted staging dies.
+
+A "crash" abandons the Store without :meth:`close` — exactly the state a
+killed process leaves behind, since every journal append fsyncs before the
+operation is acknowledged.  With no checkpoint taken, recovery must come
+from the write-ahead log alone.
+"""
+
+import pytest
+
+from repro.core.datamodels import MODEL_REGISTRY
+from repro.persist import Store
+from repro.persist.wal import WriteAheadLog
+
+from test_persist_roundtrip import build_history, materialize_all
+
+ALL_MODELS = sorted(MODEL_REGISTRY)
+
+
+def crash(store):
+    """Simulate a kill: drop the handles without close/checkpoint.
+
+    A killed process's fds are closed by the OS — which also releases the
+    store's advisory lock — but nothing is flushed beyond what each append
+    already fsync'd.
+    """
+    store.wal.close()
+    store._release_lock()
+
+
+@pytest.mark.parametrize("model", ALL_MODELS)
+class TestCrashAfterWalAppend:
+    def test_committed_versions_survive_byte_identical(self, tmp_path, model):
+        store = Store.open(tmp_path / "store", checkpoint_interval=0)
+        build_history(store.orpheus, model)
+        expected = materialize_all(store.orpheus)
+        expected_log = store.orpheus.version_log("proteins")
+        crash(store)
+
+        recovered = Store.open(tmp_path / "store", checkpoint_interval=0)
+        # No checkpoint ever ran: recovery really replayed the WAL tail.
+        assert not (recovered.path / "CURRENT").exists()
+        assert materialize_all(recovered.orpheus) == expected
+        assert recovered.orpheus.version_log("proteins") == expected_log
+
+    def test_uncommitted_staging_does_not_survive(self, tmp_path, model):
+        store = Store.open(tmp_path / "store", checkpoint_interval=0)
+        orpheus = store.orpheus
+        build_history(orpheus, model)
+        orpheus.checkout("proteins", 4, table_name="in_flight")
+        orpheus.run("UPDATE in_flight SET neighborhood = -1")
+        assert orpheus.provenance.staged_names() == ["in_flight"]
+        crash(store)
+
+        orpheus = Store.open(tmp_path / "store", checkpoint_interval=0).orpheus
+        assert orpheus.provenance.staged_names() == []
+        assert not orpheus.db.has_table("in_flight")
+        # ...but every committed version is intact.
+        assert orpheus.cvd("proteins").version_count == 4
+
+    def test_commit_after_recovery_continues_history(self, tmp_path, model):
+        store = Store.open(tmp_path / "store", checkpoint_interval=0)
+        build_history(store.orpheus, model)
+        crash(store)
+
+        store = Store.open(tmp_path / "store", checkpoint_interval=0)
+        orpheus = store.orpheus
+        orpheus.checkout("proteins", 4, table_name="w5")
+        vid = orpheus.commit("w5", message="after crash")
+        assert vid == 5
+        assert orpheus.cvd("proteins").version(5).parents == (4,)
+
+
+class TestCrashScenarios:
+    def test_torn_commit_record_rolls_back_only_that_commit(self, tmp_path):
+        store = Store.open(tmp_path / "store", checkpoint_interval=0)
+        orpheus = store.orpheus
+        orpheus.init(
+            "t", [("k", "text"), ("v", "int")], rows=[("a", 1), ("b", 2)]
+        )
+        orpheus.checkout("t", 1, table_name="w")
+        orpheus.run("UPDATE w SET v = 10 WHERE k = 'a'")
+        orpheus.commit("w", message="durable")
+        orpheus.checkout("t", 2, table_name="w2")
+        orpheus.run("DELETE FROM w2 WHERE k = 'b'")
+        orpheus.commit("w2", message="torn away")
+        crash(store)
+
+        # Tear the tail of the last (commit) frame: the classic partial
+        # write of a crash mid-append.
+        wal_path = tmp_path / "store" / "wal.log"
+        wal_path.write_bytes(wal_path.read_bytes()[:-4])
+
+        orpheus = Store.open(tmp_path / "store", checkpoint_interval=0).orpheus
+        assert orpheus.cvd("t").version_count == 2
+        assert orpheus.version_log("t")[-1]["message"] == "durable"
+
+    def test_ops_journaled_after_torn_tail_recovery_survive(self, tmp_path):
+        """Recovery truncates the torn tail, so records appended by the
+        next session land at the valid end of the log, not after garbage
+        no reader would ever reach."""
+        store = Store.open(tmp_path / "store", checkpoint_interval=0)
+        store.orpheus.create_user("before")
+        crash(store)
+        wal_path = tmp_path / "store" / "wal.log"
+        with open(wal_path, "ab") as handle:
+            handle.write(b"OWL1\x00\x01partial")  # crash mid-append
+
+        second = Store.open(tmp_path / "store", checkpoint_interval=0)
+        assert second.recovery_warnings  # the torn tail was reported
+        second.orpheus.create_user("after")
+        crash(second)
+
+        third = Store.open(tmp_path / "store", checkpoint_interval=0)
+        assert third.orpheus.access.has_user("before")
+        assert third.orpheus.access.has_user("after")
+
+    def test_crash_between_snapshot_and_compaction(self, tmp_path):
+        """CURRENT repointed but the WAL still holds pre-snapshot records:
+        replay must skip them (lsn <= snapshot lsn), not double-apply."""
+        store = Store.open(tmp_path / "store", checkpoint_interval=0)
+        orpheus = store.orpheus
+        orpheus.init("t", [("v", "int")], rows=[(1,)])
+        orpheus.checkout("t", 1, table_name="w")
+        orpheus.commit("w", message="second")
+        pre_compaction = (tmp_path / "store" / "wal.log").read_bytes()
+        store.checkpoint()
+        crash(store)
+        # Undo the compaction, as if the crash hit between the CURRENT
+        # rename and the WAL rewrite.
+        (tmp_path / "store" / "wal.log").write_bytes(pre_compaction)
+
+        orpheus = Store.open(tmp_path / "store", checkpoint_interval=0).orpheus
+        assert orpheus.cvd("t").version_count == 2  # not four
+
+    def test_crash_mid_snapshot_leaves_previous_state(self, tmp_path):
+        store = Store.open(tmp_path / "store", checkpoint_interval=0)
+        store.orpheus.init("t", [("v", "int")], rows=[(1,)])
+        store.checkpoint()
+        store.orpheus.create_user("late")
+        # A half-written snapshot directory that never got renamed.
+        half = tmp_path / "store" / "snapshots" / "snap-00000099.tmp"
+        half.mkdir()
+        (half / "manifest.json").write_text("{ truncated")
+        crash(store)
+
+        recovered = Store.open(tmp_path / "store", checkpoint_interval=0)
+        assert recovered.orpheus.access.has_user("late")
+        assert recovered.orpheus.cvd("t").version_count == 1
+
+    def test_durable_dml_reading_staged_state_survives_crash(self, tmp_path):
+        """INSERT INTO durable SELECT ... FROM staged cannot be replayed
+        once staging is gone; the barrier checkpoint must make its effect
+        durable anyway."""
+        store = Store.open(tmp_path / "store", checkpoint_interval=0)
+        orpheus = store.orpheus
+        orpheus.init("t", [("k", "text"), ("v", "int")], rows=[("a", 1)])
+        orpheus.checkout("t", 1, table_name="wk")
+        orpheus.run("CREATE TABLE durable (k TEXT, v INT)")
+        orpheus.run("INSERT INTO durable SELECT k, v FROM wk")
+        crash(store)
+
+        recovered = Store.open(tmp_path / "store", checkpoint_interval=0)
+        assert recovered.recovery_warnings == []
+        rows = recovered.orpheus.run("SELECT k, v FROM durable").rows
+        assert rows == [("a", 1)]
+
+    def test_partition_placement_survives_crash(self, tmp_path):
+        """A commit into partitioned storage is placed by a live policy the
+        crash destroys; replay must land the version in the partition the
+        acknowledged commit used, not re-decide with the fallback rule."""
+        store = Store.open(tmp_path / "store", checkpoint_interval=0)
+        orpheus = store.orpheus
+        build_history(orpheus, "split_by_rlist")
+        orpheus.optimize("proteins")
+        store.checkpoint()  # compacts the optimize record away
+        orpheus.checkout("proteins", 4, table_name="w5")
+        vid = orpheus.commit("w5", message="placed by live policy")
+        model = orpheus.cvd("proteins").model
+        expected_partition = model.partition_of(vid)
+        expected_rows = orpheus.cvd("proteins").checkout_rows([vid])
+        crash(store)
+
+        recovered = Store.open(tmp_path / "store", checkpoint_interval=0)
+        cvd = recovered.orpheus.cvd("proteins")
+        assert cvd.model.partition_of(vid) == expected_partition
+        assert cvd.checkout_rows([vid]) == expected_rows
+
+    def test_wal_grows_by_delta_not_database(self, tmp_path):
+        """Each commit's WAL append is O(changed records): appending one
+        row to an ever-growing CVD must not grow the per-commit record."""
+        store = Store.open(tmp_path / "store", checkpoint_interval=0)
+        orpheus = store.orpheus
+        orpheus.init(
+            "t",
+            [("k", "int"), ("v", "int")],
+            rows=[(i, i) for i in range(500)],
+            primary_key=("k",),
+        )
+        sizes = []
+        for step in range(4):
+            before = store.wal_size_bytes()
+            orpheus.checkout("t", step + 1, table_name="w")
+            orpheus.run(
+                f"INSERT INTO w VALUES (NULL, {1000 + step}, {step})"
+            )
+            orpheus.commit("w", message=f"step {step}")
+            sizes.append(store.wal_size_bytes() - before)
+        crash(store)
+        # Every commit record is small and flat, while the version itself
+        # holds 500+ records (a full-membership record would be ~10x this).
+        assert max(sizes) < 1200, sizes
+        assert max(sizes) < 1.5 * min(sizes), sizes
+
+        recovered = Store.open(tmp_path / "store", checkpoint_interval=0)
+        assert recovered.orpheus.cvd("t").version_count == 5
+        assert recovered.orpheus.cvd("t").version(5).num_records == 504
