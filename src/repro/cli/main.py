@@ -197,7 +197,14 @@ def _main_store(args: argparse.Namespace, path: Path) -> int:
         # command is discarded, like the legacy no-save-on-error path.
         store.close(sync=False)
         return 1
-    store.close()
+    try:
+        # The success-path close may itself run a shutdown checkpoint
+        # (staging changed), which can fail on a full disk — surface that
+        # as a clean error instead of a traceback.
+        store.close()
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 

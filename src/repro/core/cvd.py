@@ -26,6 +26,7 @@ from repro.core.version import Version
 from repro.core.version_graph import VersionGraph
 from repro.errors import ConstraintViolationError, VersionNotFoundError
 from repro.storage.engine import Database
+from repro.storage.ridset import RidSet
 from repro.storage.schema import Column, TableSchema
 from repro.storage.types import DataType
 
@@ -46,7 +47,10 @@ class CVD:
         model_cls = resolve_model(model) if isinstance(model, str) else model
         self.model: DataModel = model_cls(db, name, data_schema)
         self.graph = VersionGraph()
-        self.membership: dict[int, frozenset[int]] = {}
+        #: rid membership per version as packed bitmaps; every membership-
+        #: heavy operation (multi-version checkout, diff, commit checks,
+        #: partition cost evaluation) is set algebra over these.
+        self.membership: dict[int, RidSet] = {}
         self.attributes = AttributeCatalog(db, name)
         self._next_vid = 1
         self._next_rid = 1
@@ -117,7 +121,7 @@ class CVD:
     def version(self, vid: int) -> Version:
         return self.graph.version(vid)
 
-    def member_rids(self, vid: int) -> frozenset[int]:
+    def member_rids(self, vid: int) -> RidSet:
         try:
             return self.membership[vid]
         except KeyError:
@@ -145,13 +149,13 @@ class CVD:
         in ``new_records`` must come from :meth:`allocate_rid`; every other
         member rid must belong to at least one parent.
         """
-        members = frozenset(member_rids)
+        members = RidSet(member_rids)
         for parent in parents:
             self.member_rids(parent)  # raises if the parent is unknown
-        inherited = members - set(new_records)
-        parent_union: set[int] = set()
-        for parent in parents:
-            parent_union |= self.membership[parent]
+        inherited = members - RidSet(new_records)
+        parent_union = RidSet.union_all(
+            self.membership[parent] for parent in parents
+        )
         stray = inherited - parent_union
         if stray:
             raise ConstraintViolationError(
@@ -161,7 +165,7 @@ class CVD:
         vid = self._allocate_vid()
         self.model.add_version(vid, list(member_rids), new_records, parents)
         edge_weights = {
-            parent: len(members & self.membership[parent])
+            parent: members.intersection_count(self.membership[parent])
             for parent in parents
         }
         version = Version(
@@ -213,9 +217,9 @@ class CVD:
         self.model.bulk_load(entries, payloads)
         metadata_rows = []
         for vid, parents, member_rids in entries:
-            members = frozenset(member_rids)
+            members = RidSet(member_rids)
             edge_weights = {
-                parent: len(members & self.membership[parent])
+                parent: members.intersection_count(self.membership[parent])
                 for parent in parents
             }
             self.graph.add_version(
@@ -357,7 +361,15 @@ class CVD:
 
     def checkout_rows(self, vids: Sequence[int]) -> list[Row]:
         """Rows ``(rid, *data)`` of one or more versions merged by PK
-        precedence: the first version listed wins conflicts (Section 2.2)."""
+        precedence: the first version listed wins conflicts (Section 2.2).
+
+        The merge is bitmap-driven: each version only contributes the rids
+        no earlier version supplied (``members - taken``, one big-int op),
+        and only those rows are fetched — one batched slot-fetch per
+        version instead of materializing every version in full and probing
+        a dict per row.  PK conflicts among the survivors are still
+        resolved per row, since distinct rids can carry the same key.
+        """
         if len(vids) == 1:
             return self.model.fetch_version(vids[0])
         key_columns = self.data_schema.primary_key or tuple(
@@ -368,15 +380,21 @@ class CVD:
         ]  # +1 skips the rid column
         merged: list[Row] = []
         taken_keys: set[tuple] = set()
-        taken_rids: set[int] = set()
+        taken_rids = RidSet()
         for vid in vids:
-            for row in self.model.fetch_version(vid):
+            candidates = self.member_rids(vid) - taken_rids
+            if not candidates:
+                continue
+            for row in self.model.fetch_rows(vid, candidates):
                 key = tuple(row[p] for p in positions)
-                if key in taken_keys or row[0] in taken_rids:
+                if key in taken_keys:
                     continue
                 taken_keys.add(key)
-                taken_rids.add(row[0])
                 merged.append(row)
+            # A rid rejected on a key conflict stays rejected (same rid ⇒
+            # same payload ⇒ same key), so the whole candidate set is
+            # settled either way and never refetched.
+            taken_rids |= candidates
         return merged
 
     def checkout_into(self, vids: Sequence[int], table_name: str) -> None:
@@ -392,17 +410,16 @@ class CVD:
     # ----------------------------------------------------------------- diff
 
     def diff(self, vid_a: int, vid_b: int) -> tuple[list[Row], list[Row]]:
-        """Records in ``vid_a`` but not ``vid_b``, and vice versa."""
+        """Records in ``vid_a`` but not ``vid_b``, and vice versa.
+
+        The two exclusive rid sets are bitmap differences; only their rows
+        are fetched (batched), so a small diff between two large versions
+        never materializes either version.
+        """
         members_a = self.member_rids(vid_a)
         members_b = self.member_rids(vid_b)
-        rows_a = {
-            row[0]: row
-            for row in self.model.fetch_version(vid_a)
-            if row[0] not in members_b
-        }
-        rows_b = {
-            row[0]: row
-            for row in self.model.fetch_version(vid_b)
-            if row[0] not in members_a
-        }
-        return list(rows_a.values()), list(rows_b.values())
+        only_a = members_a - members_b
+        only_b = members_b - members_a
+        rows_a = self.model.fetch_rows(vid_a, only_a) if only_a else []
+        rows_b = self.model.fetch_rows(vid_b, only_b) if only_b else []
+        return rows_a, rows_b

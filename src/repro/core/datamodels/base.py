@@ -21,9 +21,10 @@ their work through it, exactly like the paper's middleware drives PostgreSQL.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, ClassVar, Mapping, Sequence
+from typing import Any, ClassVar, Iterable, Mapping, Sequence
 
 from repro.storage.engine import Database
+from repro.storage.ridset import RidSet
 from repro.storage.schema import Column, TableSchema
 from repro.storage.types import DataType
 
@@ -107,6 +108,55 @@ class DataModel(ABC):
     def records_of(self, vid: int) -> dict[int, Row]:
         """Mapping rid -> data-attribute tuple for one version."""
         return {row[0]: tuple(row[1:]) for row in self.fetch_version(vid)}
+
+    def member_ridset(self, vid: int) -> RidSet:
+        """Version ``vid``'s membership as a packed bitmap.
+
+        The generic form derives it from :meth:`fetch_version`; models
+        whose versioning tables hold the rids directly (split-by-rlist and
+        friends) override it to skip materializing the data rows.
+        """
+        return RidSet(row[0] for row in self.fetch_version(vid))
+
+    def fetch_rows(self, vid: int, rids: Iterable[int]) -> list[Row]:
+        """Rows of version ``vid`` restricted to ``rids``, ascending by rid.
+
+        ``rids`` must be a subset of the version's membership (the caller
+        — multi-version checkout and diff — derives it from rid-set
+        algebra, so this holds by construction).  The generic form filters
+        :meth:`fetch_version`; models with a rid-keyed data table override
+        it with one batched index probe, which is what turns checkout and
+        diff into set-algebra plus a single slot fetch.
+        """
+        from repro.storage.arrays import to_ridset
+
+        wanted = to_ridset(rids)
+        rows = [row for row in self.fetch_version(vid) if row[0] in wanted]
+        rows.sort(key=lambda row: row[0])
+        return rows
+
+    def _fetch_rows_from_table(
+        self, table_name: str, rids: Iterable[int], data_width: int | None = None
+    ) -> list[Row]:
+        """Batched rid-index probe against one ``(rid, *data)`` table.
+
+        ``data_width`` trims trailing non-data columns (the combined
+        model's ``vlist``) from the fetched rows.
+        """
+        table = self.db.table(table_name)
+        index = table.index_on(["rid"])
+        ordered = rids if isinstance(rids, RidSet) else sorted(rids)
+        if index is None:  # pragma: no cover - all rid tables are indexed
+            wanted = RidSet(ordered)
+            rows = sorted(
+                (row for _slot, row in table.find_where(lambda r: r[0] in wanted)),
+                key=lambda row: row[0],
+            )
+        else:
+            rows = table.probe_many(index, ((rid,) for rid in ordered))
+        if data_width is not None:
+            rows = [row[: data_width + 1] for row in rows]
+        return rows
 
     # ---------------------------------------------------------- persistence
 

@@ -8,7 +8,7 @@ expensive array-rewrite behaviour Figure 3b quantifies.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.datamodels.base import DataModel, Row
 from repro.storage.schema import Column, TableSchema
@@ -92,6 +92,13 @@ class CombinedTableModel(DataModel):
             f"SELECT rid, {self._data_columns_sql()} "
             f"FROM {self.table_name} WHERE ARRAY[%s] <@ vlist",
             (vid,),
+        )
+
+    def fetch_rows(self, vid: int, rids: Iterable[int]) -> list[Row]:
+        # The rid is the combined table's primary key; probe it and trim
+        # the trailing vlist column.
+        return self._fetch_rows_from_table(
+            self.table_name, rids, data_width=len(self.data_schema)
         )
 
     def storage_bytes(self) -> int:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from repro.core.datamodels.base import DataModel, Row
+from repro.storage.ridset import RidSet
 from repro.storage.schema import Column, TableSchema
 from repro.storage.types import DataType
 
@@ -29,10 +30,10 @@ class DeltaModel(DataModel):
 
     def __init__(self, db, cvd_name, data_schema):
         super().__init__(db, cvd_name, data_schema)
-        # rid membership per version, maintained at commit time so base
-        # selection does not re-walk chains; the physical tables remain the
-        # authoritative store used by checkout.
-        self._membership: dict[int, frozenset[int]] = {}
+        # rid membership per version as packed bitmaps, maintained at
+        # commit time so base selection does not re-walk chains; the
+        # physical tables remain the authoritative store used by checkout.
+        self._membership: dict[int, RidSet] = {}
 
     @property
     def precedent_table(self) -> str:
@@ -76,22 +77,22 @@ class DeltaModel(DataModel):
         new_records: Mapping[int, Row],
         parent_vids: Sequence[int],
     ) -> None:
-        members = frozenset(member_rids)
+        members = RidSet(member_rids)
         base = self._pick_base(members, parent_vids)
-        base_members = self._membership.get(base, frozenset())
+        base_members = self._membership.get(base, RidSet())
         inserted = members - base_members
         deleted = base_members - members
         rows: list[tuple] = []
         width = len(self.data_schema)
-        missing = inserted - set(new_records)
-        recovered = self._recover_payloads(missing, parent_vids)
-        for rid in sorted(inserted):
+        missing = inserted - RidSet(new_records)
+        recovered = self._recover_payloads(set(missing), parent_vids)
+        for rid in inserted:  # RidSet iteration is ascending
             if rid in new_records:
                 payload = tuple(new_records[rid])
             else:
                 payload = recovered[rid]
             rows.append((rid,) + payload + (False,))
-        for rid in sorted(deleted):
+        for rid in deleted:
             rows.append((rid,) + (None,) * width + (True,))
         table = self.db.create_table(self._delta_table(vid), self._delta_schema())
         table.insert_many(rows)
@@ -102,11 +103,13 @@ class DeltaModel(DataModel):
         self._membership[vid] = members
 
     def _pick_base(
-        self, members: frozenset[int], parent_vids: Sequence[int]
+        self, members: RidSet, parent_vids: Sequence[int]
     ) -> int | None:
         best, best_common = None, -1
         for parent in parent_vids:
-            common = len(members & self._membership.get(parent, frozenset()))
+            common = members.intersection_count(
+                self._membership.get(parent, RidSet())
+            )
             if common > best_common:
                 best, best_common = parent, common
         return best
@@ -136,13 +139,13 @@ class DeltaModel(DataModel):
         width = len(self.data_schema)
         precedent_rows = []
         for vid, parents, member_rids in versions:
-            members = frozenset(member_rids)
+            members = RidSet(member_rids)
             base = self._pick_base(members, parents)
-            base_members = self._membership.get(base, frozenset())
+            base_members = self._membership.get(base, RidSet())
             rows: list[tuple] = []
-            for rid in sorted(members - base_members):
+            for rid in members - base_members:
                 rows.append((rid,) + tuple(payloads[rid]) + (False,))
-            for rid in sorted(base_members - members):
+            for rid in base_members - members:
                 rows.append((rid,) + (None,) * width + (True,))
             table = self.db.create_table(
                 self._delta_table(vid), self._delta_schema()
@@ -163,11 +166,18 @@ class DeltaModel(DataModel):
         }
 
     def restore_extra_state(self, state: dict) -> None:
+        # Boundary conversion: the snapshot keeps sorted int lists.
         self._membership = {
-            vid: frozenset(members) for vid, members in state["membership"]
+            vid: RidSet(members) for vid, members in state["membership"]
         }
 
     # ------------------------------------------------------------ checkout
+
+    def member_ridset(self, vid: int) -> RidSet:
+        try:
+            return self._membership[vid]
+        except KeyError:
+            raise LookupError(f"version {vid} has no membership entry") from None
 
     def _chain_of(self, vid: int) -> list[int]:
         """vid, base(vid), base(base(vid)), ... back to the root."""

@@ -8,10 +8,11 @@ and hash-joins it against the data table — the plan Section 3.2 analyses.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.datamodels.base import DataModel, Row
 from repro.storage import arrays
+from repro.storage.ridset import RidSet
 from repro.storage.schema import Column, TableSchema
 from repro.storage.types import DataType
 
@@ -104,6 +105,13 @@ class SplitByRlistModel(DataModel):
             (vid,),
         )
         return result.scalar() or ()
+
+    def member_ridset(self, vid: int) -> RidSet:
+        """Bitmap membership straight from the stored rlist (no data rows)."""
+        return RidSet(self.member_rids(vid))
+
+    def fetch_rows(self, vid: int, rids: Iterable[int]) -> list[Row]:
+        return self._fetch_rows_from_table(self.data_table, rids)
 
     def storage_bytes(self) -> int:
         return self.db.table(self.data_table).storage_bytes() + self.db.table(

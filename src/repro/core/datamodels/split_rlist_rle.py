@@ -17,6 +17,7 @@ from repro.core.compression import (
 )
 from repro.core.datamodels.split_rlist import SplitByRlistModel
 from repro.core.datamodels.base import Row
+from repro.storage.ridset import RidSet
 
 
 class SplitByRlistRangeModel(SplitByRlistModel):
@@ -66,6 +67,15 @@ class SplitByRlistRangeModel(SplitByRlistModel):
             (vid,),
         ).scalar()
         return decode_ranges(encoded or ())
+
+    def member_ridset(self, vid: int) -> RidSet:
+        """Bitmap membership built run-by-run from the range encoding —
+        a whole run materializes as one shifted mask, never per-rid."""
+        encoded = self.db.execute(
+            f"SELECT rlist FROM {self.versioning_table} WHERE vid = %s",
+            (vid,),
+        ).scalar()
+        return RidSet.from_ranges(encoded or ())
 
     def version_subquery_sql(self, vid: int) -> str:
         return (

@@ -8,7 +8,7 @@ wide data rows are no longer rewritten; checkout pays a join.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.datamodels.base import DataModel, Row
 from repro.storage.schema import Column, TableSchema
@@ -113,6 +113,9 @@ class SplitByVlistModel(DataModel):
             f"WHERE d.rid = tmp.rid_tmp",
             (vid,),
         )
+
+    def fetch_rows(self, vid: int, rids: Iterable[int]) -> list[Row]:
+        return self._fetch_rows_from_table(self.data_table, rids)
 
     def storage_bytes(self) -> int:
         return self.db.table(self.data_table).storage_bytes() + self.db.table(

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from repro.core.datamodels.base import DataModel, Row
+from repro.storage.ridset import RidSet
 
 
 class TablePerVersionModel(DataModel):
@@ -45,16 +46,20 @@ class TablePerVersionModel(DataModel):
         parent_vids: Sequence[int],
     ) -> None:
         # Inherited payloads come from the parents' tables; precedence is
-        # first-parent-wins, matching the middleware's merge rule.
+        # first-parent-wins, matching the middleware's merge rule.  The
+        # wanted set is a bitmap, resolved in one pass per parent table.
         inherited: dict[int, Row] = {}
-        wanted = set(member_rids) - set(new_records)
+        wanted = RidSet(member_rids) - RidSet(new_records)
         for parent in parent_vids:
             if not wanted:
                 break
+            hits: list[int] = []
             for row in self.fetch_version(parent):
                 if row[0] in wanted:
                     inherited[row[0]] = tuple(row[1:])
-                    wanted.discard(row[0])
+                    hits.append(row[0])
+            if hits:
+                wanted -= RidSet(hits)
         if wanted:
             missing = sorted(wanted)[:5]
             raise LookupError(

@@ -20,17 +20,18 @@ from dataclasses import dataclass
 
 from repro.errors import PartitionError
 from repro.partition.bipartite import BipartiteGraph, Partitioning
+from repro.storage.ridset import RidSet
 
 
 @dataclass
 class _Cluster:
     vids: set[int]
-    records: set[int]
+    records: RidSet
     signature: tuple[int, ...]
 
 
 def _min_hash_signature(
-    records: frozenset[int] | set[int], hash_seeds: list[tuple[int, int]], modulus: int
+    records, hash_seeds: list[tuple[int, int]], modulus: int
 ) -> tuple[int, ...]:
     if not records:
         return tuple(modulus for _ in hash_seeds)
@@ -65,7 +66,7 @@ def agglo_partition(
     clusters = [
         _Cluster(
             vids={vid},
-            records=set(bipartite.records_of(vid)),
+            records=bipartite.records_of(vid),
             signature=_min_hash_signature(
                 bipartite.records_of(vid), hash_seeds, modulus
             ),
@@ -91,9 +92,8 @@ def agglo_partition(
                 )
                 if common <= best_common:
                     continue
-                if (
-                    len(cluster.records | candidate.records) > capacity
-                ):
+                # One OR + popcount decides capacity; nothing materializes.
+                if cluster.records.union_count(candidate.records) > capacity:
                     continue
                 best_j, best_common = j, common
             if best_j >= 0:

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.errors import PartitionError
+from repro.storage.ridset import RidSet
 
 
 @dataclass(frozen=True)
@@ -67,16 +68,25 @@ class Partitioning:
 
 
 class BipartiteGraph:
-    """Version-record membership with the Section 4.1 cost model."""
+    """Version-record membership with the Section 4.1 cost model.
 
-    def __init__(self, membership: Mapping[int, frozenset[int]]):
+    Membership is held as packed :class:`RidSet` bitmaps, so every cost
+    evaluation — ``|R_k|`` per candidate partition, ``S``, ``Cavg`` — is a
+    chain of big-int unions and popcounts rather than hash-set unions.
+    This is what keeps re-evaluating LyreSplit candidates cheap during the
+    delta binary search.
+    """
+
+    def __init__(self, membership: Mapping[int, Iterable[int]]):
         if not membership:
             raise PartitionError("bipartite graph needs at least one version")
+        from repro.storage.arrays import to_ridset
+
         self._membership = {
-            vid: frozenset(rids) for vid, rids in membership.items()
+            vid: to_ridset(rids) for vid, rids in membership.items()
         }
-        self._all_records: frozenset[int] = frozenset().union(
-            *self._membership.values()
+        self._all_records: RidSet = RidSet.union_all(
+            self._membership.values()
         )
 
     @classmethod
@@ -102,18 +112,19 @@ class BipartiteGraph:
     def version_ids(self) -> list[int]:
         return list(self._membership)
 
-    def records_of(self, vid: int) -> frozenset[int]:
+    def records_of(self, vid: int) -> RidSet:
         try:
             return self._membership[vid]
         except KeyError:
             raise PartitionError(f"unknown version {vid}") from None
 
-    def partition_records(self, group: Iterable[int]) -> frozenset[int]:
+    def partition_records(self, group: Iterable[int]) -> RidSet:
         """Union of record sets of the versions in one partition."""
-        out: set[int] = set()
-        for vid in group:
-            out |= self.records_of(vid)
-        return frozenset(out)
+        return RidSet.union_all(self.records_of(vid) for vid in group)
+
+    def partition_record_count(self, group: Iterable[int]) -> int:
+        """``|R_k|`` as one union + popcount (no materialization)."""
+        return len(self.partition_records(group))
 
     # ----------------------------------------------------------------- cost
 
@@ -121,7 +132,7 @@ class BipartiteGraph:
         """``S = sum_k |R_k|`` in records."""
         self._validate_cover(partitioning)
         return sum(
-            len(self.partition_records(group))
+            self.partition_record_count(group)
             for group in partitioning.groups
         )
 
@@ -129,7 +140,7 @@ class BipartiteGraph:
         """``Cavg = sum_k |V_k|*|R_k| / n`` in records."""
         self._validate_cover(partitioning)
         total = sum(
-            len(group) * len(self.partition_records(group))
+            len(group) * self.partition_record_count(group)
             for group in partitioning.groups
         )
         return total / self.num_versions
@@ -138,7 +149,7 @@ class BipartiteGraph:
         """``C_i = |R_k|`` where vid lives in partition k."""
         for group in partitioning.groups:
             if vid in group:
-                return len(self.partition_records(group))
+                return self.partition_record_count(group)
         raise PartitionError(f"version {vid} is not in the partitioning")
 
     def weighted_checkout_cost(
@@ -147,7 +158,7 @@ class BipartiteGraph:
         """``Cw = sum_i f_i*C_i / sum_i f_i`` (Appendix C.2)."""
         self._validate_cover(partitioning)
         sizes = {
-            index: len(self.partition_records(group))
+            index: self.partition_record_count(group)
             for index, group in enumerate(partitioning.groups)
         }
         assignment = partitioning.assignment()

@@ -18,6 +18,7 @@ import random
 
 from repro.errors import PartitionError
 from repro.partition.bipartite import BipartiteGraph, Partitioning
+from repro.storage.ridset import RidSet
 
 
 def kmeans_partition(
@@ -36,17 +37,17 @@ def kmeans_partition(
     rng = random.Random(seed)
     seeds = rng.sample(version_ids, k)
     members: list[set[int]] = [{vid} for vid in seeds]
-    centroids: list[set[int]] = [
-        set(bipartite.records_of(vid)) for vid in seeds
-    ]
+    centroids: list[RidSet] = [bipartite.records_of(vid) for vid in seeds]
     assignment: dict[int, int] = {vid: i for i, vid in enumerate(seeds)}
-    # Initial assignment: nearest centroid by common-record count.
+    # Initial assignment: nearest centroid by common-record count
+    # (an AND + popcount per candidate centroid).
     for vid in version_ids:
         if vid in assignment:
             continue
         records = bipartite.records_of(vid)
         best = max(
-            range(k), key=lambda i: (len(records & centroids[i]), -i)
+            range(k),
+            key=lambda i: (records.intersection_count(centroids[i]), -i),
         )
         assignment[vid] = best
         members[best].add(vid)
@@ -59,12 +60,14 @@ def kmeans_partition(
             # Moving vid changes only the target partition's record union
             # (the source keeps its other members' records); minimizing the
             # total record count means minimizing the records vid adds.
-            best, best_added = current, len(records - centroids[current])
+            best, best_added = current, records.difference_count(
+                centroids[current]
+            )
             for i in range(k):
                 if i == current:
                     continue
-                added = len(records - centroids[i])
-                if len(centroids[i] | records) > capacity:
+                added = records.difference_count(centroids[i])
+                if centroids[i].union_count(records) > capacity:
                     continue
                 if added < best_added:
                     best, best_added = i, added
@@ -82,13 +85,12 @@ def kmeans_partition(
 def _update_centroids(
     bipartite: BipartiteGraph,
     members: list[set[int]],
-    centroids: list[set[int]],
+    centroids: list[RidSet],
 ) -> None:
     for i, group in enumerate(members):
-        union: set[int] = set()
-        for vid in group:
-            union |= bipartite.records_of(vid)
-        centroids[i] = union
+        centroids[i] = RidSet.union_all(
+            bipartite.records_of(vid) for vid in group
+        )
 
 
 def kmeans_budget_search(

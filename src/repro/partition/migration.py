@@ -16,9 +16,10 @@ paper's two-step description.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.partition.bipartite import Partitioning
+from repro.storage.ridset import RidSet
 
 
 @dataclass
@@ -45,26 +46,31 @@ class MigrationPlan:
 
 
 def _group_rids(
-    group: frozenset[int], members: Mapping[int, frozenset[int]]
-) -> set[int]:
-    out: set[int] = set()
-    for vid in group:
-        out |= members[vid]
-    return out
+    group: frozenset[int], members: Mapping[int, Iterable[int]]
+) -> RidSet:
+    return RidSet.union_all(members[vid] for vid in group)
 
 
 def plan_intelligent(
-    old_rid_sets: Sequence[set[int]],
+    old_rid_sets: Sequence[Iterable[int]],
     new_partitioning: Partitioning,
-    members: Mapping[int, frozenset[int]],
+    members: Mapping[int, Iterable[int]],
 ) -> MigrationPlan:
-    """Greedy closest-partition matching (the paper's ``intell`` scheme)."""
+    """Greedy closest-partition matching (the paper's ``intell`` scheme).
+
+    The all-pairs modification costs are symmetric-difference popcounts
+    over partition bitmaps — the O(partitions²) planning step never
+    materializes a rid set.
+    """
     new_groups = new_partitioning.groups
     new_rid_sets = [_group_rids(group, members) for group in new_groups]
+    from repro.storage.arrays import to_ridset
+
+    old_bitmaps = [to_ridset(rids) for rids in old_rid_sets]
     pairs: list[tuple[int, int, int]] = []  # (cost, new_i, old_j)
     for i, new_rids in enumerate(new_rid_sets):
-        for j, old_rids in enumerate(old_rid_sets):
-            cost = len(new_rids - old_rids) + len(old_rids - new_rids)
+        for j, old_rids in enumerate(old_bitmaps):
+            cost = len(new_rids ^ old_rids)
             pairs.append((cost, i, j))
     pairs.sort()
     reuse: dict[int, int] = {}
@@ -88,7 +94,7 @@ def plan_intelligent(
 
 def plan_naive(
     new_partitioning: Partitioning,
-    members: Mapping[int, frozenset[int]],
+    members: Mapping[int, Iterable[int]],
 ) -> MigrationPlan:
     """Drop everything and rebuild each new partition from scratch."""
     new_groups = new_partitioning.groups

@@ -38,6 +38,7 @@ from repro.partition.migration import (
     plan_naive,
 )
 from repro.partition.partition_manager import PartitionedRlistModel
+from repro.storage import arrays
 
 
 @dataclass
@@ -182,13 +183,14 @@ class PartitionOptimizer:
 
         def payloads(rids: Iterable[int]):
             wanted = set(rids)
-            out = {}
             data_table = self.cvd.db.table(old_model.data_table)
             rid_index = data_table.index_on(["rid"])
-            for rid in wanted:
-                rows = data_table.probe(rid_index, (rid,))
-                if rows:
-                    out[rid] = tuple(rows[0][1:])
+            out = {
+                row[0]: tuple(row[1:])
+                for row in data_table.probe_many(
+                    rid_index, ((rid,) for rid in wanted)
+                )
+            }
             missing = wanted - set(out)
             if missing:
                 raise PartitionError(
@@ -214,10 +216,17 @@ class PartitionOptimizer:
         placed = [p for p in parent_vids if p in self._model._assignment]
         if not placed:
             return None
+        members = arrays.to_ridset(members)
         best_parent = max(
-            placed, key=lambda p: (len(members & self._model.member_rids(p)), -p)
+            placed,
+            key=lambda p: (
+                members.intersection_count(self._model.member_rids(p)),
+                -p,
+            ),
         )
-        weight = len(members & self._model.member_rids(best_parent))
+        weight = members.intersection_count(
+            self._model.member_rids(best_parent)
+        )
         delta_star = self.delta_star if self.delta_star is not None else 1.0
         record_count = self.cvd.record_count
         storage = self._model.storage_cost_records

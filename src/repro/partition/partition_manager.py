@@ -24,17 +24,23 @@ from repro.core.datamodels.base import DataModel, Row
 from repro.errors import PartitionError, VersionNotFoundError
 from repro.partition.bipartite import Partitioning
 from repro.storage import arrays
+from repro.storage.ridset import RidSet
 from repro.storage.schema import Column, TableSchema
 from repro.storage.types import DataType
 
 
 @dataclass
 class PartitionState:
-    """Bookkeeping for one physical partition."""
+    """Bookkeeping for one physical partition.
+
+    ``rids`` is a packed bitmap, so the optimizer's per-commit storage
+    and Cavg reads are popcounts and the migration planner's insert/
+    delete costs are bitmap differences.
+    """
 
     index: int
     vids: set[int] = field(default_factory=set)
-    rids: set[int] = field(default_factory=set)
+    rids: RidSet = field(default_factory=RidSet)
 
     @property
     def num_versions(self) -> int:
@@ -57,7 +63,7 @@ class PartitionedRlistModel(DataModel):
         super().__init__(db, cvd_name, data_schema)
         self._partitions: dict[int, PartitionState] = {}
         self._assignment: dict[int, int] = {}  # vid -> partition index
-        self._members: dict[int, frozenset[int]] = {}
+        self._members: dict[int, RidSet] = {}
         self._next_partition = 0
         self.placement_policy: PlacementPolicy | None = None
 
@@ -139,13 +145,14 @@ class PartitionedRlistModel(DataModel):
         # back to the closest-parent placement rule.
         self._partitions = {
             p["index"]: PartitionState(
-                p["index"], set(p["vids"]), set(p["rids"])
+                p["index"], set(p["vids"]), RidSet(p["rids"])
             )
             for p in state["partitions"]
         }
         self._assignment = {vid: index for vid, index in state["assignment"]}
+        # Boundary conversion: extra_state keeps sorted int lists.
         self._members = {
-            vid: frozenset(members) for vid, members in state["members"]
+            vid: RidSet(members) for vid, members in state["members"]
         }
         self._next_partition = state["next_partition"]
         self.placement_policy = None
@@ -184,11 +191,14 @@ class PartitionedRlistModel(DataModel):
         )
         return total / len(self._assignment)
 
-    def member_rids(self, vid: int) -> frozenset[int]:
+    def member_rids(self, vid: int) -> RidSet:
         try:
             return self._members[vid]
         except KeyError:
             raise VersionNotFoundError(f"no version {vid}") from None
+
+    def member_ridset(self, vid: int) -> RidSet:
+        return self.member_rids(vid)
 
     # --------------------------------------------------------------- build
 
@@ -205,20 +215,19 @@ class PartitionedRlistModel(DataModel):
         """
         for group in partitioning.groups:
             state = self._create_partition()
-            group_rids: set[int] = set()
-            for vid in group:
-                group_rids |= membership[vid]
+            group_rids = RidSet.union_all(
+                membership[vid] for vid in group
+            )
             rows = payloads(sorted(group_rids))
             self.db.table(self._data_table(state.index)).insert_many(
-                (rid,) + tuple(rows[rid]) for rid in sorted(group_rids)
+                (rid,) + tuple(rows[rid]) for rid in group_rids
             )
             versioning = self.db.table(self._versioning_table(state.index))
             for vid in sorted(group):
-                versioning.insert(
-                    (vid, arrays.make_array(sorted(membership[vid])))
-                )
+                members = arrays.to_ridset(membership[vid])
+                versioning.insert((vid, members.to_array()))
                 self._assignment[vid] = state.index
-                self._members[vid] = frozenset(membership[vid])
+                self._members[vid] = members
             state.vids |= set(group)
             state.rids |= group_rids
 
@@ -231,7 +240,7 @@ class PartitionedRlistModel(DataModel):
         new_records: Mapping[int, Row],
         parent_vids: Sequence[int],
     ) -> None:
-        members = frozenset(member_rids)
+        members = RidSet(member_rids)
         target: int | None = None
         if self.placement_policy is not None:
             target = self.placement_policy(vid, members, parent_vids)
@@ -241,7 +250,7 @@ class PartitionedRlistModel(DataModel):
             state = self._create_partition()
         else:
             state = self._partitions[target]
-        missing = members - state.rids - set(new_records)
+        missing = members - state.rids - RidSet(new_records)
         copied = self._fetch_payloads(missing) if missing else {}
         data_table = self.db.table(self._data_table(state.index))
         inserts = dict(copied)
@@ -262,8 +271,12 @@ class PartitionedRlistModel(DataModel):
         self._members[vid] = members
 
     def _fetch_payloads(self, rids: Iterable[int]) -> dict[int, Row]:
-        """Resolve payloads of records living in other partitions."""
-        wanted = set(rids)
+        """Resolve payloads of records living in other partitions.
+
+        Bitmap intersection picks each partition's hits; the rows come
+        back through one batched rid-index probe per partition.
+        """
+        wanted = arrays.to_ridset(rids)
         out: dict[int, Row] = {}
         for state in self._partitions.values():
             if not wanted:
@@ -273,11 +286,9 @@ class PartitionedRlistModel(DataModel):
                 continue
             table = self.db.table(self._data_table(state.index))
             index = table.index_on(["rid"])
-            for rid in sorted(hits):
-                rows = table.probe(index, (rid,))
-                if rows:
-                    out[rid] = tuple(rows[0][1:])
-                    wanted.discard(rid)
+            for row in table.probe_many(index, ((rid,) for rid in hits)):
+                out[row[0]] = tuple(row[1:])
+            wanted -= hits
         if wanted:
             raise PartitionError(
                 f"records {sorted(wanted)[:5]} not found in any partition"
@@ -293,6 +304,11 @@ class PartitionedRlistModel(DataModel):
     def fetch_version(self, vid: int) -> list[Row]:
         index = self.partition_of(vid)
         return self.db.query(self._checkout_sql(vid, index, into=None))
+
+    def fetch_rows(self, vid: int, rids) -> list[Row]:
+        return self._fetch_rows_from_table(
+            self._data_table(self.partition_of(vid)), rids
+        )
 
     def _checkout_sql(self, vid: int, index: int, into: str | None) -> str:
         into_clause = f" INTO {into}" if into else ""
@@ -357,12 +373,14 @@ class PartitionedRlistModel(DataModel):
         surviving: set[int] = set()
         # Resolve every payload up front: later groups may need records that
         # the in-place edits below would otherwise have deleted already.
-        group_rid_sets: list[set[int]] = []
-        needed: set[int] = set()
+        # Group record sets and the overall needed set are pure bitmap
+        # algebra over the per-version memberships.
+        group_rid_sets: list[RidSet] = []
+        needed = RidSet()
         for i, group in enumerate(new_groups):
-            group_rids: set[int] = set()
-            for vid in group:
-                group_rids |= self._members[vid]
+            group_rids = RidSet.union_all(
+                self._members[vid] for vid in group
+            )
             group_rid_sets.append(group_rids)
             old_index = reuse.get(i)
             if old_index is not None:
@@ -381,17 +399,14 @@ class PartitionedRlistModel(DataModel):
                 data_table = self.db.table(self._data_table(old_index))
                 if to_insert:
                     data_table.insert_many(
-                        (rid,) + tuple(all_rows[rid])
-                        for rid in sorted(to_insert)
+                        (rid,) + tuple(all_rows[rid]) for rid in to_insert
                     )
                     inserted += len(to_insert)
                 if to_delete:
                     rid_index = data_table.index_on(["rid"])
-                    slots = [
-                        slot
-                        for rid in to_delete
-                        for slot in rid_index.lookup_key((rid,))
-                    ]
+                    _probes, slots = rid_index.lookup_many(
+                        (rid,) for rid in to_delete
+                    )
                     data_table.delete_slots(slots)
                     deleted += len(to_delete)
                 versioning = self.db.table(self._versioning_table(old_index))
@@ -402,7 +417,7 @@ class PartitionedRlistModel(DataModel):
             else:
                 state = self._create_partition()
                 self.db.table(self._data_table(state.index)).insert_many(
-                    (rid,) + tuple(all_rows[rid]) for rid in sorted(group_rids)
+                    (rid,) + tuple(all_rows[rid]) for rid in group_rids
                 )
                 inserted += len(group_rids)
                 state.vids = set(group)
@@ -410,9 +425,7 @@ class PartitionedRlistModel(DataModel):
                 target_index = state.index
             versioning = self.db.table(self._versioning_table(target_index))
             for vid in sorted(group):
-                versioning.insert(
-                    (vid, arrays.make_array(sorted(self._members[vid])))
-                )
+                versioning.insert((vid, self._members[vid].to_array()))
                 new_assignment[vid] = target_index
         for old_index in list(old_states):
             if old_index not in surviving and old_index in self._partitions:

@@ -40,6 +40,7 @@ from repro.core.version import Version
 from repro.core.version_graph import VersionGraph
 from repro.errors import RecoveryError
 from repro.storage.engine import Database
+from repro.storage.ridset import RidSet
 from repro.storage.schema import TableSchema
 from repro.storage.types import DataType
 
@@ -306,8 +307,10 @@ def _restore_cvd(db: Database, state: dict) -> CVD:
     cvd.model = model_cls(db, cvd.name, cvd.data_schema)
     cvd.model.restore_extra_state(state["model_state"])
     cvd.graph = _restore_graph(state["versions"], state["edges"])
+    # Boundary conversion: the manifest keeps the sorted int-array wire
+    # encoding; in memory membership lives as packed bitmaps.
     cvd.membership = {
-        vid: frozenset(members) for vid, members in state["membership"]
+        vid: RidSet(members) for vid, members in state["membership"]
     }
     cvd.attributes = AttributeCatalog(db, cvd.name)
     cvd.attributes._entries = [

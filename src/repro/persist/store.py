@@ -243,9 +243,14 @@ class Store:
                 self.orpheus, self.path / SNAPSHOTS_DIR, self.last_lsn
             )
             self._write_current(snapshot.name)
-            self.wal.compact(self.last_lsn)
+            # The store has appended every lsn up to last_lsn itself, so the
+            # compaction keeps nothing: truncate-to-empty without decoding.
+            self.wal.compact(self.last_lsn, known_end_lsn=self.last_lsn)
             self._records_since_checkpoint = 0
             self.orpheus._ephemeral_dirty = False
+            # Any un-journaled in-memory effect is captured by the snapshot
+            # just written, so the next record no longer needs a barrier.
+            self.orpheus._pending_barrier = False
             self._prune_snapshots(keep=snapshot.name)
             return snapshot
         finally:
@@ -332,8 +337,13 @@ class Store:
                     try:
                         orpheus.run(payload["sql"], payload["params"])
                     except ReproError as exc:
+                        # Statements apply one at a time, so the script's
+                        # leading statements may already have taken effect
+                        # before the failure — say so rather than implying
+                        # the whole record was skipped cleanly.
                         self.recovery_warnings.append(
-                            f"run replay skipped ({exc}): {payload['sql']!r}"
+                            f"barrier run replay failed and may be "
+                            f"partially applied ({exc}): {payload['sql']!r}"
                         )
                 else:
                     # Durable-only DML must replay; a failure means the

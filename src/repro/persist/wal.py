@@ -104,9 +104,13 @@ class WriteAheadLog:
 
     # ----------------------------------------------------------------- read
 
-    def _frames(self) -> Iterator[tuple[int, WalRecord]]:
-        """(byte offset past the frame, record) pairs; stops at the first
-        torn or corrupt frame."""
+    def _scan(self) -> Iterator[tuple[int, int, int, bytes]]:
+        """(frame start, frame end, lsn, payload bytes) per valid frame.
+
+        CRC-validates every frame but never JSON-decodes the payload —
+        the shared kernel under replay (which decodes) and compaction
+        (which copies raw bytes).  Stops at the first torn/corrupt frame.
+        """
         if not self.path.exists():
             return
         offset = 0
@@ -121,12 +125,19 @@ class WriteAheadLog:
                 body = handle.read(length)
                 if len(body) < length or _frame_crc(lsn, body) != crc:
                     return  # torn or corrupt header/payload
-                try:
-                    payload = json.loads(body.decode("utf-8"))
-                except ValueError:
-                    return
-                offset += _HEADER.size + length
-                yield offset, WalRecord(lsn, payload)
+                end = offset + _HEADER.size + length
+                yield offset, end, lsn, body
+                offset = end
+
+    def _frames(self) -> Iterator[tuple[int, WalRecord]]:
+        """(byte offset past the frame, record) pairs; stops at the first
+        torn or corrupt frame."""
+        for _start, end, lsn, body in self._scan():
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except ValueError:
+                return
+            yield end, WalRecord(lsn, payload)
 
     def records(self) -> Iterator[WalRecord]:
         """Valid records in append order; stops at the first bad frame."""
@@ -169,21 +180,64 @@ class WriteAheadLog:
 
     # ----------------------------------------------------------- compaction
 
-    def compact(self, keep_after_lsn: int) -> int:
+    def truncate_to_empty(self) -> None:
+        """Atomically replace the log with an empty file without reading it.
+
+        The checkpoint fast path: a checkpoint supersedes every record it
+        covers, so when the caller knows nothing survives there is no
+        reason to decode (or even scan) the old log first.
+        """
+        self.close()
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        _fsync_dir(self.path.parent)
+
+    def compact(
+        self, keep_after_lsn: int, known_end_lsn: int | None = None
+    ) -> int:
         """Drop every record with ``lsn <= keep_after_lsn`` (post-checkpoint).
 
         Rewrites the log to a temp file and atomically renames it into
         place, so a crash mid-compaction leaves the old log intact.
         Returns the number of records retained.
+
+        ``known_end_lsn`` is the highest lsn the caller knows the log holds
+        (the store tracks it); when it shows zero records survive, the log
+        is truncated to empty without being read at all.  The general path
+        copies the retained suffix as raw CRC-checked frames — lsns are
+        strictly increasing, so survivors are contiguous at the tail — and
+        never JSON-decodes a payload.
         """
-        kept = [r for r in self.records() if r.lsn > keep_after_lsn]
+        if known_end_lsn is not None and known_end_lsn <= keep_after_lsn:
+            self.truncate_to_empty()
+            return 0
+        first_kept: int | None = None
+        end = 0
+        kept = 0
+        for start, stop, lsn, _body in self._scan():
+            if lsn > keep_after_lsn:
+                if first_kept is None:
+                    first_kept = start
+                kept += 1
+            end = stop
         self.close()
         tmp = self.path.with_name(self.path.name + ".tmp")
         with open(tmp, "wb") as handle:
-            for record in kept:
-                handle.write(encode_frame(record.lsn, record.payload))
+            if first_kept is not None:
+                with open(self.path, "rb") as source:
+                    source.seek(first_kept)
+                    remaining = end - first_kept
+                    while remaining > 0:
+                        chunk = source.read(min(1 << 20, remaining))
+                        if not chunk:  # pragma: no cover - shrank mid-copy
+                            break
+                        handle.write(chunk)
+                        remaining -= len(chunk)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, self.path)
         _fsync_dir(self.path.parent)
-        return len(kept)
+        return kept

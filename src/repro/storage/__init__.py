@@ -6,10 +6,13 @@ Public surface:
 * :class:`~repro.storage.schema.TableSchema` / :class:`~repro.storage.schema.Column`
 * :class:`~repro.storage.types.DataType`
 * :mod:`~repro.storage.arrays` — the int-array operators (``<@``, append, unnest).
+* :class:`~repro.storage.ridset.RidSet` — packed bitmap rid sets, the
+  vectorized membership representation behind checkout/diff/partitioning.
 """
 
 from repro.storage.engine import Database, Result
 from repro.storage.iostats import IOStats
+from repro.storage.ridset import RidSet
 from repro.storage.schema import Column, TableSchema
 from repro.storage.types import DataType
 
@@ -17,6 +20,7 @@ __all__ = [
     "Database",
     "Result",
     "IOStats",
+    "RidSet",
     "Column",
     "TableSchema",
     "DataType",

@@ -7,23 +7,52 @@ single implementation used both by the SQL executor and by the data-model
 code that bypasses SQL.
 
 Arrays are represented as immutable tuples of ints so they can live inside
-hashable row tuples and be shared safely across table copies.
+hashable row tuples and be shared safely across table copies.  Every
+operator also accepts a :class:`~repro.storage.ridset.RidSet` on either
+side and takes a bitmap fast path when it does: containment and overlap
+become single big-int AND/compare ops instead of per-element hash probes.
+The SQL executor converts constant array operands of ``<@``/``@>``/``&&``
+to RidSets once per statement so the per-row evaluation hits these paths.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+from repro.storage.ridset import RidSet
+
 IntArray = tuple[int, ...]
 
 
 def make_array(values: Iterable[int]) -> IntArray:
-    """Build a canonical array value from any iterable of ints."""
+    """Build a canonical array value from any iterable of ints.
+
+    A :class:`RidSet` input yields its ascending rid order — the wire
+    encoding the persist layer relies on.
+    """
     return tuple(int(v) for v in values)
+
+
+def to_ridset(values: Iterable[int]) -> RidSet:
+    """Bitmap view of an array (identity for RidSet inputs)."""
+    if isinstance(values, RidSet):
+        return values
+    return RidSet(values)
 
 
 def contains(outer: Sequence[int], inner: Sequence[int]) -> bool:
     """``outer @> inner``: every element of ``inner`` appears in ``outer``."""
+    if isinstance(outer, RidSet):
+        if isinstance(inner, RidSet):
+            return inner.issubset(outer)
+        return all(v in outer for v in inner)
+    if isinstance(inner, RidSet):
+        if len(inner) <= 2:
+            return all(v in outer for v in inner)
+        # Probing a hash set beats rebuilding a bitmap of ``outer`` for
+        # every evaluated row.
+        outer_set = set(outer)
+        return all(v in outer_set for v in inner)
     if len(inner) <= 2:
         return all(v in outer for v in inner)
     outer_set = set(outer)
@@ -62,6 +91,15 @@ def unnest(array: Sequence[int]) -> Iterator[int]:
 
 def overlap(left: Sequence[int], right: Sequence[int]) -> bool:
     """``left && right``: true when the arrays share any element."""
+    if isinstance(left, RidSet) or isinstance(right, RidSet):
+        left_set = left if isinstance(left, RidSet) else None
+        if left_set is not None and isinstance(right, RidSet):
+            return not left_set.isdisjoint(right)
+        # One bitmap, one array: probe the bitmap per element (O(1) each).
+        bitmap, other = (
+            (left, right) if left_set is not None else (right, left)
+        )
+        return any(v in bitmap for v in other)
     if len(left) > len(right):
         left, right = right, left
     right_set = set(right)
@@ -75,5 +113,11 @@ def array_length(array: Sequence[int]) -> int:
 
 def intersect(left: Sequence[int], right: Sequence[int]) -> IntArray:
     """Order-preserving intersection (left order wins), used by diff shortcuts."""
+    if isinstance(left, RidSet):
+        if isinstance(right, RidSet):
+            return (left & right).to_array()
+        return (left & RidSet(right)).to_array()
+    if isinstance(right, RidSet):
+        return tuple(v for v in left if v in right)
     right_set = set(right)
     return tuple(v for v in left if v in right_set)

@@ -43,6 +43,67 @@ if TYPE_CHECKING:  # pragma: no cover
 
 Row = tuple[Any, ...]
 
+#: Operators whose constant array operands are worth converting to bitmaps.
+_ARRAY_SET_OPS = frozenset({"<@", "@>", "&&"})
+
+#: A bitmap's allocation is proportional to the largest element, so never
+#: bitmapize user-supplied constants beyond this rid (a 2 MiB bitmap).
+#: Real rids are dense sequential allocations far below it; anything
+#: larger falls back to the hash-probe path unchanged.
+_MAX_BITMAP_RID = 1 << 24
+
+
+def _constant_array(expr: Expression) -> tuple | None:
+    """The int tuple of a constant array expression, else ``None``."""
+    if isinstance(expr, Literal) and isinstance(expr.value, tuple):
+        values = expr.value
+    elif isinstance(expr, ArrayLiteral) and all(
+        isinstance(item, Literal) for item in expr.items
+    ):
+        values = tuple(item.value for item in expr.items)
+    else:
+        return None
+    if all(isinstance(v, int) and not isinstance(v, bool) for v in values):
+        return values
+    return None
+
+
+def _bitmapize_array_constants(expr: Expression) -> Expression:
+    """Rewrite constant array operands of ``<@``/``@>``/``&&`` to RidSets.
+
+    The conversion runs once per statement, so per-row evaluation of the
+    containment predicate probes a bitmap (O(1) per element) instead of
+    re-scanning or re-hashing the constant for every row.  Only applies to
+    non-negative int arrays — anything else is left for the generic path.
+    """
+    from repro.storage.ridset import RidSet
+
+    if isinstance(expr, BinaryOp):
+        if expr.op in _ARRAY_SET_OPS:
+            left, right = expr.left, expr.right
+            values = _constant_array(left)
+            if values is not None and all(
+                0 <= v <= _MAX_BITMAP_RID for v in values
+            ):
+                left = Literal(RidSet(values))
+            values = _constant_array(right)
+            if values is not None and all(
+                0 <= v <= _MAX_BITMAP_RID for v in values
+            ):
+                right = Literal(RidSet(values))
+            if left is not expr.left or right is not expr.right:
+                return BinaryOp(expr.op, left, right)
+            return expr
+        if expr.op in ("and", "or"):
+            return BinaryOp(
+                expr.op,
+                _bitmapize_array_constants(expr.left),
+                _bitmapize_array_constants(expr.right),
+            )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _bitmapize_array_constants(expr.operand))
+    return expr
+
 
 @dataclass
 class Relation:
@@ -100,6 +161,8 @@ class SelectExecutor:
         from repro.storage.planner import resolve_from
 
         select = self._resolve_subqueries_in_select(select)
+        if select.where is not None:
+            select.where = _bitmapize_array_constants(select.where)
         source, residual_where = resolve_from(self._db, select, self)
         env = source.env()
         if residual_where is not None:

@@ -45,6 +45,20 @@ class Index:
     def lookup_key(self, key: Key) -> list[int]:
         raise NotImplementedError
 
+    def lookup_many(self, keys) -> tuple[int, list[int]]:
+        """Batched lookup: (keys probed, matching slots in key order).
+
+        The generic form loops :meth:`lookup_key`; :class:`HashIndex`
+        overrides it with a single-dict-lookup loop, the inner kernel of
+        bitmap-driven slot fetches.
+        """
+        probes = 0
+        slots: list[int] = []
+        for key in keys:
+            probes += 1
+            slots.extend(self.lookup_key(key))
+        return probes, slots
+
     def clear(self) -> None:
         raise NotImplementedError
 
@@ -75,6 +89,17 @@ class HashIndex(Index):
 
     def lookup_key(self, key: Key) -> list[int]:
         return self._buckets.get(key, [])
+
+    def lookup_many(self, keys) -> tuple[int, list[int]]:
+        buckets = self._buckets
+        probes = 0
+        slots: list[int] = []
+        for key in keys:
+            probes += 1
+            hit = buckets.get(key)
+            if hit:
+                slots.extend(hit)
+        return probes, slots
 
     def clear(self) -> None:
         self._buckets.clear()

@@ -254,6 +254,23 @@ class Table:
             self.stats.records_scanned += 1
         return row
 
+    def fetch_slots(self, slots: Iterable[int]) -> list[Row]:
+        """Batched :meth:`get_slot`: live rows of the given heap slots.
+
+        One local-variable loop instead of per-call attribute lookups —
+        the slot-fetch half of bitmap-driven checkout/diff, where the rid
+        set algebra has already decided exactly which rows to read.
+        Charges one record per live row, like any other read path.
+        """
+        rows = self._rows
+        out = []
+        for slot in slots:
+            row = rows[slot]
+            if row is not None:
+                out.append(row)
+        self.stats.records_scanned += len(out)
+        return out
+
     def probe(self, index: Index, key: tuple) -> list[Row]:
         """Index lookup; charges one probe plus one record per match."""
         self.stats.index_probes += 1
@@ -265,6 +282,16 @@ class Table:
                 self.stats.records_scanned += 1
                 out.append(row)
         return out
+
+    def probe_many(self, index: Index, keys: Iterable[tuple]) -> list[Row]:
+        """Batched :meth:`probe` over many keys, in key-iteration order.
+
+        Charges one probe per key and one record per live match, identical
+        to a loop of single probes but without the per-call overhead.
+        """
+        probes, slots = index.lookup_many(keys)
+        self.stats.index_probes += probes
+        return self.fetch_slots(slots)
 
     def find_where(
         self, predicate: Callable[[Row], bool]

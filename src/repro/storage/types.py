@@ -126,6 +126,12 @@ def coerce(value: Any, dtype: DataType) -> Any:
                 if lowered in ("f", "false", "0", "no"):
                     return False
         elif dtype is DataType.INT_ARRAY:
+            from repro.storage.ridset import RidSet
+
+            if isinstance(value, RidSet):
+                # Boundary conversion: bitmaps are stored in their
+                # canonical ascending int-array wire form.
+                return value.to_array()
             if isinstance(value, (list, tuple)):
                 return tuple(int(v) for v in value)
             if isinstance(value, str):
