@@ -103,9 +103,7 @@ def sci_10k():
 
 def test_benchmark_lyresplit_full_search(benchmark, sci_10k):
     bip, tree = sci_10k
-    benchmark(
-        lambda: search_delta(tree, 2.0 * bip.num_records, bipartite=None)
-    )
+    benchmark(lambda: search_delta(tree, 2.0 * bip.num_records, bipartite=None))
 
 
 def test_benchmark_agglo_full_search(benchmark, sci_10k):
@@ -148,9 +146,7 @@ class TestFigure10Shape:
 
 
 def main(datasets=None) -> None:
-    print_header(
-        "Figures 10/11: partitioning algorithm running time (gamma = 2|R|)"
-    )
+    print_header("Figures 10/11: partitioning algorithm running time (gamma = 2|R|)")
     print(
         f"{'dataset':>10} {'algorithm':>10} {'total (s)':>12} "
         f"{'per iteration (s)':>20} {'capped':>8}"

@@ -60,18 +60,14 @@ def measure(dataset_name: str) -> dict:
 def test_benchmark_checkout_unpartitioned(benchmark):
     cvd = fresh_cvd("SCI_10K")
     vids = sample_versions(cvd, count=5)
-    benchmark.pedantic(
-        lambda: time_checkouts(cvd, vids), rounds=3, iterations=1
-    )
+    benchmark.pedantic(lambda: time_checkouts(cvd, vids), rounds=3, iterations=1)
 
 
 def test_benchmark_checkout_partitioned(benchmark):
     cvd = fresh_cvd("SCI_10K")
     PartitionOptimizer(cvd, storage_multiple=2.0).run_full_partitioning()
     vids = sample_versions(cvd, count=5)
-    benchmark.pedantic(
-        lambda: time_checkouts(cvd, vids), rounds=3, iterations=1
-    )
+    benchmark.pedantic(lambda: time_checkouts(cvd, vids), rounds=3, iterations=1)
 
 
 class TestFigure12Shape:
@@ -95,10 +91,7 @@ class TestFigure12Shape:
         """Past the knee of the trade-off curve both budgets sit near the
         per-version floor (Fig. 9's flattening): allow 2x jitter, since at
         this point per-checkout constant overhead dominates."""
-        assert (
-            sci["gamma=2.0"]["checkout_s"]
-            <= sci["gamma=1.5"]["checkout_s"] * 2.0
-        )
+        assert (sci["gamma=2.0"]["checkout_s"] <= sci["gamma=1.5"]["checkout_s"] * 2.0)
 
 
 def test_speedup_grows_with_scale():
@@ -119,9 +112,7 @@ def test_speedup_grows_with_scale():
 
 
 def main(datasets=None) -> None:
-    print_header(
-        "Figures 12/13: checkout time and storage, with/without partitioning"
-    )
+    print_header("Figures 12/13: checkout time and storage, with/without partitioning")
     print(
         f"{'dataset':>10} {'scheme':>12} {'checkout (ms)':>14} "
         f"{'storage (MB)':>13} {'S (records)':>12} {'parts':>6} {'speedup':>8}"

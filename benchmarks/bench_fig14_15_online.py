@@ -131,9 +131,7 @@ class TestOnlineShape:
 
 
 def main(dataset_name: str = STREAM_DATASET, limit: int | None = None) -> None:
-    print_header(
-        f"Figures 14/15: online maintenance + migration ({dataset_name})"
-    )
+    print_header(f"Figures 14/15: online maintenance + migration ({dataset_name})")
     for gamma in (1.5, 2.0):
         print(f"\n### gamma = {gamma}|R|")
         print(
@@ -148,16 +146,10 @@ def main(dataset_name: str = STREAM_DATASET, limit: int | None = None) -> None:
                     dataset_name, gamma, mu, strategy, limit_versions=limit
                 )
                 migrations = optimizer.trace.migrations
-                moved = [
-                    m.records_inserted + m.records_deleted for m in migrations
-                ]
+                moved = [m.records_inserted + m.records_deleted for m in migrations]
                 times = [m.wall_seconds * 1000 for m in migrations]
                 last = optimizer.trace.samples[-1]
-                ratio = (
-                    last.current_cavg / last.best_cavg
-                    if last.best_cavg
-                    else 1.0
-                )
+                ratio = (last.current_cavg / last.best_cavg if last.best_cavg else 1.0)
                 print(
                     f"{mu:>6} {strategy:>12} {len(migrations):>11} "
                     f"{sum(moved) / len(moved) if moved else 0:>15.0f} "

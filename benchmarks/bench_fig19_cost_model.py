@@ -41,9 +41,7 @@ CLUSTERINGS = ["rid", "pk"]
 NUM_ATTRIBUTES = 5
 
 
-def build_partition(
-    num_records: int, clustered_on: str, join_method: str
-) -> Database:
+def build_partition(num_records: int, clustered_on: str, join_method: str) -> Database:
     """One partition's data table plus a versioning table to fill."""
     db = Database(join_method=join_method)
     columns = [Column("rid", DataType.INTEGER)] + [
@@ -111,9 +109,7 @@ def linearity(points: list[tuple[int, float]]) -> float:
 @pytest.mark.parametrize("join_method", JOIN_METHODS)
 def test_benchmark_checkout_join(benchmark, join_method):
     db = build_partition(10_000, "rid", join_method)
-    benchmark.pedantic(
-        lambda: checkout_time(db, 1_000, 10_000), rounds=3, iterations=1
-    )
+    benchmark.pedantic(lambda: checkout_time(db, 1_000, 10_000), rounds=3, iterations=1)
 
 
 class TestCostModel:

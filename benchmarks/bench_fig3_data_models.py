@@ -28,7 +28,6 @@ if __package__ in (None, ""):
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from benchmarks._common import fresh_cvd, print_header
-from repro.core.datamodels import MODEL_REGISTRY
 
 MODELS = [
     "table_per_version",
@@ -154,9 +153,7 @@ def test_delta_commit_slow_with_heavy_modifications():
 
 
 def main() -> None:
-    print_header(
-        "Figure 3: data model comparison (checkout latest, commit back)"
-    )
+    print_header("Figure 3: data model comparison (checkout latest, commit back)")
     for metric, fmt in (
         ("storage_bytes", lambda v: f"{v / 1e6:10.1f} MB"),
         ("commit_s", lambda v: f"{v * 1000:10.1f} ms"),

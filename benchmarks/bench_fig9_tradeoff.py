@@ -124,9 +124,7 @@ def test_benchmark_agglo(benchmark, sci_setup):
 
 def test_benchmark_kmeans(benchmark, sci_setup):
     _cvd, bip, _tree = sci_setup
-    benchmark.pedantic(
-        lambda: kmeans_partition(bip, 8), rounds=2, iterations=1
-    )
+    benchmark.pedantic(lambda: kmeans_partition(bip, 8), rounds=2, iterations=1)
 
 
 class TestFigure9Shape:

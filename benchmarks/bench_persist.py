@@ -57,9 +57,7 @@ def _one_commit(orpheus: OrpheusDB, step: int, num_rows: int) -> None:
     latest = max(orpheus.cvd("t").graph.version_ids())
     table = f"work_{step}"
     orpheus.checkout("t", latest, table_name=table)
-    orpheus.run(
-        f"INSERT INTO {table} VALUES (NULL, {num_rows + step}, {step})"
-    )
+    orpheus.run(f"INSERT INTO {table} VALUES (NULL, {num_rows + step}, {step})")
     orpheus.commit(table, message=f"step {step}")
 
 
@@ -118,9 +116,7 @@ def measure(num_rows: int, commits: int = COMMITS) -> dict:
             persist_started = time.perf_counter()
             _atomic_pickle(orpheus, pickle_path)  # post-checkout save
             persisted = time.perf_counter() - persist_started
-            orpheus.run(
-                f"INSERT INTO {table} VALUES (NULL, {num_rows + step}, {step})"
-            )
+            orpheus.run(f"INSERT INTO {table} VALUES (NULL, {num_rows + step}, {step})")
             orpheus.commit(table, message=f"step {step}")
             persist_started = time.perf_counter()
             out["pickle_bytes"] = _atomic_pickle(orpheus, pickle_path)
@@ -169,6 +165,71 @@ def measure(num_rows: int, commits: int = COMMITS) -> dict:
     return out
 
 
+# ------------------------------------------- restore-then-commit placement
+
+
+def _commit_disjoint(orpheus, step: int, fresh_rows: int) -> int:
+    """Commit a version sharing no records with its parent.
+
+    Under the live online rule (Section 4.3) such a commit opens a fresh
+    partition; under the closest-parent fallback it piles into the
+    parent's partition, inflating every sibling's checkout cost.
+    """
+    latest = max(orpheus.cvd("t").graph.version_ids())
+    table = f"fresh_{step}"
+    orpheus.checkout("t", latest, table_name=table)
+    orpheus.run(f"DELETE FROM {table}")
+    base = 1_000_000 + step * fresh_rows
+    for i in range(fresh_rows):
+        orpheus.run(f"INSERT INTO {table} VALUES (NULL, {base + i}, {i})")
+    return orpheus.commit(table, message=f"disjoint {step}")
+
+
+def measure_restore_placement(
+    num_rows: int = 400, commits: int = 4, fresh_rows: int = 50
+) -> dict:
+    """Placement cost of restore-then-commit, with vs without the
+    optimizer-state restore.
+
+    Both runs recover the same checkpointed store (optimized CVD) and then
+    commit ``commits`` record-disjoint versions; the "without" run strips
+    the restored optimizer first, reproducing the PR-1/PR-2 fallback.  All
+    reported figures are deterministic record counts, not wall time.
+    """
+    out: dict = {"num_rows": num_rows, "commits": commits}
+    with tempfile.TemporaryDirectory() as raw:
+        root = Path(raw)
+        seeded = Store.open(root / "store", checkpoint_interval=0)
+        _init_cvd(seeded.orpheus, num_rows)
+        seeded.orpheus.optimize("t")
+        seeded.checkpoint()
+        seeded.close()
+
+        for label, strip_optimizer in (("with", False), ("without", True)):
+            work = Path(raw) / f"run_{label}"
+            import shutil
+
+            shutil.copytree(root / "store", work)
+            store = Store.open(work, checkpoint_interval=0)
+            orpheus = store.orpheus
+            if strip_optimizer:
+                # Reproduce a PR-1/PR-2 era restore: partition structure
+                # without the policy that placed into it.
+                orpheus.cvd("t").model.placement_policy = None
+                orpheus._optimizers.pop("t", None)
+            tip = 0
+            for step in range(commits):
+                tip = _commit_disjoint(orpheus, step, fresh_rows)
+            model = orpheus.cvd("t").model
+            orpheus.db.reset_stats()
+            orpheus.cvd("t").checkout_rows([tip])
+            out[f"scanned_{label}"] = orpheus.db.stats.records_scanned
+            out[f"cavg_{label}"] = model.checkout_cost_avg
+            out[f"partitions_{label}"] = len(model.partition_states())
+            store.close(sync=False)
+    return out
+
+
 # ------------------------------------------------------------------- tests
 
 
@@ -195,9 +256,7 @@ class TestAcceptance:
     def test_wal_persist_at_least_5x_faster_than_pickle(self, results):
         """The durability step of a repeated commit: one O(delta) fsync'd
         append vs rewriting the whole pickled state."""
-        assert results["pickle_persist_s"] >= 5 * results["wal_persist_s"], (
-            results
-        )
+        assert results["pickle_persist_s"] >= 5 * results["wal_persist_s"], (results)
 
     def test_wal_does_not_slow_the_whole_command(self, results):
         # Generous bound: the two paths share all in-memory staging work,
@@ -218,11 +277,44 @@ class TestAcceptance:
         )
 
 
+class TestRestorePlacementAcceptance:
+    """Deterministic (count-based) checks of the optimizer-state restore."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return measure_restore_placement()
+
+    def test_restored_policy_keeps_checkout_cost_bounded(self, results):
+        """Disjoint commits after a restore must not inflate checkout cost:
+        the live policy opens fresh partitions, the fallback piles them
+        into one ever-growing partition."""
+        assert results["partitions_with"] > results["partitions_without"]
+        assert results["cavg_with"] < results["cavg_without"], results
+        assert results["scanned_with"] < results["scanned_without"], results
+
+    def test_restored_policy_checkout_is_partition_local(self, results):
+        # The tip's checkout touches roughly its own fresh partition (the
+        # version plus its rlist), not records accumulated by siblings.
+        assert results["scanned_with"] <= 3 * 50 + 5, results
+
+
 # -------------------------------------------------------------------- main
 
 
 def main() -> None:
     print_header("repro.persist: WAL+snapshot store vs whole-object pickle")
+    placement = measure_restore_placement()
+    print(
+        "restore-then-commit placement (4 disjoint commits after reopen):\n"
+        f"  with optimizer-state restore: "
+        f"{placement['partitions_with']} partitions, "
+        f"Cavg {placement['cavg_with']:.1f}, "
+        f"tip checkout scans {placement['scanned_with']} records\n"
+        f"  without (PR-1/PR-2 fallback): "
+        f"{placement['partitions_without']} partitions, "
+        f"Cavg {placement['cavg_without']:.1f}, "
+        f"tip checkout scans {placement['scanned_without']} records\n"
+    )
     columns = [
         ("pickle_persist_s", lambda v: f"{v * 1000:9.2f} ms"),
         ("wal_persist_s", lambda v: f"{v * 1000:9.2f} ms"),

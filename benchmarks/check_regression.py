@@ -1,0 +1,162 @@
+"""Benchmark regression gate: compare a smoke run against the baseline.
+
+CI runs ``bench_checkout.py --smoke`` and then this script, which compares
+the fresh ``BENCH_checkout.json`` against the committed smoke baseline
+(``benchmarks/BENCH_checkout_smoke.json``).  Only *deterministic* figures
+are gated — logical-I/O operation counts and per-row ratios, which are
+machine-independent for a given code state and workload seed — so the gate
+fails on real plan/algorithm regressions and never on shared-runner noise.
+Wall-clock speedups in the same JSON stay advisory.
+
+Policy: a gated counter may not exceed its baseline by more than
+``--threshold`` (default 30%).  Improvements pass (and are reported);
+refresh the baseline afterwards with ``--update-baseline``.  Workload
+shape fields (version/record/row counts) must match exactly: if they
+drift, counters are not comparable and the gate fails loudly rather than
+comparing apples to oranges.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_checkout.json
+    python benchmarks/check_regression.py BENCH_checkout.json \
+        --baseline benchmarks/BENCH_checkout_smoke.json --threshold 0.3
+    python benchmarks/check_regression.py BENCH_checkout.json \
+        --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_checkout_smoke.json"
+DEFAULT_THRESHOLD = 0.30
+
+#: Deterministic fields that must match the baseline exactly — they define
+#: the workload; any drift means the counters below are incomparable.
+SHAPE_FIELDS = [
+    ("num_versions",),
+    ("num_records",),
+    ("bipartite_edges",),
+    ("checkout", "merged_rows"),
+    ("diff", "rows_only_a"),
+    ("diff", "rows_only_b"),
+    ("optimize", "partitions"),
+    ("optimize", "storage_cost"),
+]
+
+#: Deterministic op counts/ratios gated at the slowdown threshold.
+GATED_COUNTERS = [
+    "checkout_records_scanned",
+    "checkout_index_probes",
+    "checkout_total_touched",
+    "diff_records_scanned",
+    "diff_index_probes",
+    "diff_total_touched",
+    "optimize_search_iterations",
+    "touched_per_merged_row",
+]
+
+
+def _lookup(doc: dict, path: tuple):
+    value = doc
+    for key in path:
+        value = value[key]
+    return value
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Failure messages (empty = gate passes)."""
+    failures: list[str] = []
+    if current.get("mode") != baseline.get("mode"):
+        failures.append(
+            f"mode mismatch: run is {current.get('mode')!r}, baseline is "
+            f"{baseline.get('mode')!r} — compare like with like"
+        )
+        return failures
+    for path in SHAPE_FIELDS:
+        dotted = ".".join(path)
+        try:
+            got, want = _lookup(current, path), _lookup(baseline, path)
+        except KeyError:
+            failures.append(f"missing field {dotted} (schema drift?)")
+            continue
+        if got != want:
+            failures.append(
+                f"workload shape changed: {dotted} = {got}, baseline "
+                f"{want} — counters are not comparable; regenerate the "
+                f"baseline deliberately if this is intended"
+            )
+    if failures:
+        return failures
+    current_counters = current.get("counters", {})
+    baseline_counters = baseline.get("counters", {})
+    for name in GATED_COUNTERS:
+        if name not in baseline_counters:
+            failures.append(f"baseline lacks counter {name!r}")
+            continue
+        if name not in current_counters:
+            failures.append(f"run lacks counter {name!r} (schema drift?)")
+            continue
+        got = current_counters[name]
+        want = baseline_counters[name]
+        limit = want * (1.0 + threshold)
+        if got > limit:
+            failures.append(
+                f"REGRESSION {name}: {got:g} exceeds baseline {want:g} "
+                f"by more than {threshold:.0%} (limit {limit:g})"
+            )
+        elif want and got < want * (1.0 - threshold):
+            print(
+                f"improvement {name}: {got:g} vs baseline {want:g} "
+                f"(consider refreshing the baseline)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("result", type=Path, help="fresh BENCH_checkout.json to check")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional slowdown per counter (default 0.30)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the result over the baseline instead of checking",
+    )
+    args = parser.parse_args(argv)
+    current = json.loads(args.result.read_text(encoding="utf-8"))
+    if args.update_baseline:
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n", encoding="utf-8")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    failures = compare(current, baseline, args.threshold)
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    print(
+        f"benchmark gate passed: {len(GATED_COUNTERS)} deterministic "
+        f"counters within {args.threshold:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

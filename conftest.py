@@ -1,5 +1,26 @@
-"""Repo-root conftest so `benchmarks` resolves as a package from anywhere."""
+"""Repo-root conftest: import paths plus the hypothesis CI profile."""
+
+import os
 import sys
 from pathlib import Path
 
+from hypothesis import HealthCheck, settings
+
+# Make `benchmarks` resolve as a package from anywhere.
 sys.path.insert(0, str(Path(__file__).parent))
+
+# Profiles for the property-based suites.  CI runs derandomized (every run
+# reproduces the same examples — a red CI is always a real regression, and
+# PYTHONHASHSEED=0 in the workflow pins the remaining hash-order freedom)
+# with a higher example count than the interactive default.  Tests that
+# pin their own @settings(max_examples=...) keep their explicit budget.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=200,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

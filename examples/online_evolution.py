@@ -70,9 +70,7 @@ print(
 print("\nmaintenance trace (every 15th commit):")
 print("  versions   Cavg      C*avg    ratio")
 for sample in optimizer.trace.samples[::15]:
-    ratio = (
-        sample.current_cavg / sample.best_cavg if sample.best_cavg else 1.0
-    )
+    ratio = (sample.current_cavg / sample.best_cavg if sample.best_cavg else 1.0)
     print(
         f"  {sample.version_count:8d}  {sample.current_cavg:8.0f} "
         f"{sample.best_cavg:8.0f}  {ratio:5.2f}"

@@ -55,9 +55,7 @@ print(f"bob committed v{v_bob}")
 orpheus.config("carol")
 orpheus.checkout("string_db", v_alice, table_name="carol_work")
 for row in discover_interactions([], 25, seed=23):
-    orpheus.db.execute(
-        "INSERT INTO carol_work VALUES (NULL, %s, %s, %s, %s, %s)", row
-    )
+    orpheus.db.execute("INSERT INTO carol_work VALUES (NULL, %s, %s, %s, %s, %s)", row)
 v_carol = orpheus.commit("carol_work", message="carol: 25 new interactions")
 print(f"carol committed v{v_carol}")
 

@@ -52,9 +52,7 @@ def _parse_schema(text: str) -> list[tuple[str, str]]:
     for part in text.split(","):
         name, _, type_name = part.partition(":")
         if not name or not type_name:
-            raise ReproError(
-                f"bad schema entry {part!r}; expected name:type"
-            )
+            raise ReproError(f"bad schema entry {part!r}; expected name:type")
         out.append((name.strip(), type_name.strip()))
     return out
 
@@ -101,9 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("init", help="create a CVD from a CSV file")
     p.add_argument("-n", "--name", required=True)
     p.add_argument("-f", "--file", required=True, help="CSV input file")
-    p.add_argument(
-        "-s", "--schema", required=True, help="name:type,name:type,..."
-    )
+    p.add_argument("-s", "--schema", required=True, help="name:type,name:type,...")
     p.add_argument("--primary-key", default="", help="comma-separated columns")
     p.add_argument("--model", default="split_by_rlist")
 
@@ -143,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "checkpoint",
         help="write a snapshot now and compact the write-ahead log",
+    )
+
+    sub.add_parser(
+        "status",
+        help="report store durability state and per-CVD optimizer state",
     )
 
     p = sub.add_parser("optimize", help="partition a CVD with LyreSplit")
@@ -189,6 +190,9 @@ def _main_store(args: argparse.Namespace, path: Path) -> int:
         if args.command == "checkpoint":
             snapshot = store.checkpoint()
             print(f"checkpointed to {snapshot.name}")
+        elif args.command == "status":
+            _print_store_status(store)
+            _print_optimizer_status(store.orpheus)
         else:
             _dispatch(store.orpheus, args)
     except ReproError as error:
@@ -208,10 +212,74 @@ def _main_store(args: argparse.Namespace, path: Path) -> int:
     return 0
 
 
+def _print_store_status(store: Store) -> None:
+    snapshot = store.current_snapshot_name()
+    print(f"store: {store.path}")
+    print(f"  snapshot: {snapshot or 'none (WAL-only recovery)'}")
+    print(
+        f"  wal: {store.wal_size_bytes()} bytes, "
+        f"{store.records_since_checkpoint} records since checkpoint, "
+        f"last lsn {store.last_lsn}"
+    )
+
+
+def _print_optimizer_status(orpheus: OrpheusDB) -> None:
+    if not orpheus.ls():
+        print("no CVDs")
+        return
+    for name in orpheus.ls():
+        cvd = orpheus.cvd(name)
+        print(
+            f"cvd {name}: {cvd.version_count} versions, "
+            f"{cvd.record_count} records ({cvd.model.model_name})"
+        )
+        if cvd.model.model_name != "partitioned_rlist":
+            continue
+        optimizer = orpheus.optimizer_for(name)
+        if optimizer is None:
+            # A pre-optimizer-state store (format-1 snapshot) restores the
+            # partitions but not the policy that placed into them.
+            print(
+                "  optimizer: none — closest-parent fallback placement "
+                "(re-run optimize to resume online maintenance)"
+            )
+            continue
+        model = cvd.model
+        delta = (
+            f"{optimizer.delta_star:.4f}"
+            if optimizer.delta_star is not None
+            else "unset"
+        )
+        print("  optimizer: live (placement policy + online maintenance)")
+        print(
+            f"    delta* {delta}, storage "
+            f"{model.storage_cost_records}/{optimizer.gamma:.0f} records "
+            f"(gamma = {optimizer.storage_multiple:g} x |R|), "
+            f"Cavg {model.checkout_cost_avg:.1f}, "
+            f"mu {optimizer.tolerance:g}"
+        )
+        print(
+            f"    partitions {len(model.partition_states())}, trace "
+            f"{len(optimizer.trace.samples)} samples / "
+            f"{len(optimizer.trace.migrations)} migrations"
+        )
+        pending = optimizer.pending_migration
+        if pending is not None:
+            print(
+                f"    pending migration: {len(pending.groups)} groups "
+                f"({pending.strategy}, {pending.modifications} "
+                f"modifications) — will roll forward on next open"
+            )
+
+
 def _main_legacy(args: argparse.Namespace, path: Path) -> int:
     """Run one command against a legacy whole-object pickle file."""
     orpheus = _load(path)
     try:
+        if args.command == "status":
+            print(f"store: {path} (legacy pickle, no WAL/snapshot state)")
+            _print_optimizer_status(orpheus)
+            return 0
         if args.command == "checkpoint":
             # A forced save is the closest legacy equivalent; save first
             # so the success message never precedes a failed write.
@@ -232,9 +300,7 @@ def _dispatch(orpheus: OrpheusDB, args: argparse.Namespace) -> bool:
     """Run one command; returns True when state changed and must be saved."""
     command = args.command
     if command == "init":
-        primary_key = tuple(
-            c for c in args.primary_key.split(",") if c
-        )
+        primary_key = tuple(c for c in args.primary_key.split(",") if c)
         schema = _parse_schema(args.schema)
         if primary_key:
             from repro.storage.schema import Column, TableSchema
@@ -261,9 +327,7 @@ def _dispatch(orpheus: OrpheusDB, args: argparse.Namespace) -> bool:
             vid = orpheus.commit(args.table, message=args.message)
         else:
             schema = _parse_schema(args.schema) if args.schema else None
-            vid = orpheus.commit_csv(
-                args.file, message=args.message, schema=schema
-            )
+            vid = orpheus.commit_csv(args.file, message=args.message, schema=schema)
         print(f"committed as version {vid}")
         return True
     if command == "run":

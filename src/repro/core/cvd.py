@@ -57,9 +57,7 @@ class CVD:
         self.model.create_storage()
         self.attributes.create_storage()
         self._create_metadata_table()
-        self._current_attribute_ids = self.attributes.register_schema(
-            data_schema
-        )
+        self._current_attribute_ids = self.attributes.register_schema(data_schema)
 
     # ----------------------------------------------------------- metadata
 
@@ -153,9 +151,7 @@ class CVD:
         for parent in parents:
             self.member_rids(parent)  # raises if the parent is unknown
         inherited = members - RidSet(new_records)
-        parent_union = RidSet.union_all(
-            self.membership[parent] for parent in parents
-        )
+        parent_union = RidSet.union_all(self.membership[parent] for parent in parents)
         stray = inherited - parent_union
         if stray:
             raise ConstraintViolationError(
@@ -255,9 +251,7 @@ class CVD:
             coerced = self.data_schema.coerce_row(row)
             new_records[self.allocate_rid()] = coerced
         self._check_primary_key(new_records.values())
-        return self.ingest_version(
-            (), list(new_records), new_records, message=message
-        )
+        return self.ingest_version((), list(new_records), new_records, message=message)
 
     # --------------------------------------------------------------- commit
 

@@ -89,9 +89,7 @@ class DataModel(ABC):
         """
         seen: set[int] = set()
         for vid, parents, member_rids in versions:
-            new_records = {
-                rid: payloads[rid] for rid in member_rids if rid not in seen
-            }
+            new_records = {rid: payloads[rid] for rid in member_rids if rid not in seen}
             seen.update(new_records)
             self.add_version(vid, list(member_rids), new_records, parents)
 
@@ -172,6 +170,15 @@ class DataModel(ABC):
     def restore_extra_state(self, state: dict) -> None:
         """Inverse of :meth:`extra_state`; called after the backing tables
         have been restored."""
+
+    def bind_cvd(self, cvd) -> None:
+        """Late-restore hook: called once the owning CVD (graph, membership,
+        counters) is fully rebuilt around this model.
+
+        Most models need nothing; the partitioned model uses it to resume
+        its optimizer — whose state references the CVD — so a restored
+        store keeps the live placement policy instead of falling back.
+        """
 
     # ---------------------------------------------------------- inspection
 

@@ -112,6 +112,4 @@ class CombinedTableModel(DataModel):
 
     def all_versions_subquery_sql(self) -> str:
         columns = self._data_columns_sql()
-        return (
-            f"(SELECT unnest(vlist) AS vid, {columns} FROM {self.table_name})"
-        )
+        return (f"(SELECT unnest(vlist) AS vid, {columns} FROM {self.table_name})")

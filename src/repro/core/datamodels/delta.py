@@ -102,14 +102,10 @@ class DeltaModel(DataModel):
         )
         self._membership[vid] = members
 
-    def _pick_base(
-        self, members: RidSet, parent_vids: Sequence[int]
-    ) -> int | None:
+    def _pick_base(self, members: RidSet, parent_vids: Sequence[int]) -> int | None:
         best, best_common = None, -1
         for parent in parent_vids:
-            common = members.intersection_count(
-                self._membership.get(parent, RidSet())
-            )
+            common = members.intersection_count(self._membership.get(parent, RidSet()))
             if common > best_common:
                 best, best_common = parent, common
         return best
@@ -128,9 +124,7 @@ class DeltaModel(DataModel):
                     out[rid] = payload
                     wanted.discard(rid)
         if wanted:
-            raise LookupError(
-                f"records {sorted(wanted)[:5]} not found in any parent"
-            )
+            raise LookupError(f"records {sorted(wanted)[:5]} not found in any parent")
         return out
 
     def bulk_load(self, versions, payloads) -> None:
@@ -147,9 +141,7 @@ class DeltaModel(DataModel):
                 rows.append((rid,) + tuple(payloads[rid]) + (False,))
             for rid in base_members - members:
                 rows.append((rid,) + (None,) * width + (True,))
-            table = self.db.create_table(
-                self._delta_table(vid), self._delta_schema()
-            )
+            table = self.db.create_table(self._delta_table(vid), self._delta_schema())
             table.insert_many(rows)
             precedent_rows.append((vid, base))
             self._membership[vid] = members
@@ -198,9 +190,7 @@ class DeltaModel(DataModel):
         seen: set[int] = set()
         out: list[Row] = []
         for chain_vid in self._chain_of(vid):
-            for row in self.db.query(
-                f"SELECT * FROM {self._delta_table(chain_vid)}"
-            ):
+            for row in self.db.query(f"SELECT * FROM {self._delta_table(chain_vid)}"):
                 rid, tombstone = row[0], row[-1]
                 if rid in seen:
                     continue

@@ -70,9 +70,7 @@ class TablePerVersionModel(DataModel):
         )
         payload = dict(inherited)
         payload.update({rid: tuple(row) for rid, row in new_records.items()})
-        table.insert_many(
-            (rid,) + payload[rid] for rid in member_rids
-        )
+        table.insert_many((rid,) + payload[rid] for rid in member_rids)
         self._version_ids.append(vid)
 
     def bulk_load(self, versions, payloads) -> None:
@@ -81,15 +79,11 @@ class TablePerVersionModel(DataModel):
             table = self.db.create_table(
                 self._table_for(vid), self.storage_schema(), clustered_on="rid"
             )
-            table.insert_many(
-                (rid,) + tuple(payloads[rid]) for rid in member_rids
-            )
+            table.insert_many((rid,) + tuple(payloads[rid]) for rid in member_rids)
             self._version_ids.append(vid)
 
     def checkout_into(self, vid: int, table_name: str) -> None:
-        self.db.execute(
-            f"SELECT * INTO {table_name} FROM {self._table_for(vid)}"
-        )
+        self.db.execute(f"SELECT * INTO {table_name} FROM {self._table_for(vid)}")
 
     def fetch_version(self, vid: int) -> list[Row]:
         return self.db.query(f"SELECT * FROM {self._table_for(vid)}")
@@ -101,9 +95,7 @@ class TablePerVersionModel(DataModel):
         )
 
     def version_subquery_sql(self, vid: int) -> str:
-        return (
-            f"(SELECT {self._data_columns_sql()} FROM {self._table_for(vid)})"
-        )
+        return (f"(SELECT {self._data_columns_sql()} FROM {self._table_for(vid)})")
 
     def all_versions_subquery_sql(self) -> str:
         parts = [

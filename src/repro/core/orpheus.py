@@ -36,7 +36,7 @@ from repro.storage.engine import Database, Result
 from repro.storage.parser import ast_nodes as _ast
 from repro.storage.parser.parser import parse_sql
 from repro.storage.schema import Column, TableSchema
-from repro.storage.types import DataType, parse_type_name
+from repro.storage.types import parse_type_name
 
 
 class OrpheusDB:
@@ -57,8 +57,11 @@ class OrpheusDB:
     _replaying = False
     _ephemeral_dirty = False
     _pending_barrier = False
+    _optimizers = None
 
-    def __init__(self, db: Database | None = None, default_model: str = "split_by_rlist"):
+    def __init__(
+        self, db: Database | None = None, default_model: str = "split_by_rlist"
+    ):
         self.db = db or Database()
         self.default_model = default_model
         self._cvds: dict[str, CVD] = {}
@@ -70,6 +73,9 @@ class OrpheusDB:
         self._journal = None
         self._replaying = False
         self._ephemeral_dirty = False
+        #: Live partition optimizers by CVD name; each one owns its CVD's
+        #: placement policy and online-maintenance decisions.
+        self._optimizers = {}
         # A default user so single-user scripts need no ceremony.
         self.access.create_user("default")
         self.access.login("default")
@@ -188,9 +194,7 @@ class OrpheusDB:
     ) -> CVD:
         """Initialize a CVD from an existing database table."""
         table = self.db.table(table_name)
-        return self.init(
-            name, table.schema, list(table.rows()), model=model
-        )
+        return self.init(name, table.schema, list(table.rows()), model=model)
 
     def init_from_csv(
         self,
@@ -201,9 +205,7 @@ class OrpheusDB:
     ) -> CVD:
         """Initialize a CVD from a CSV file (header row required)."""
         if not isinstance(schema, TableSchema):
-            schema = TableSchema(
-                [Column(n, parse_type_name(t)) for n, t in schema]
-            )
+            schema = TableSchema([Column(n, parse_type_name(t)) for n, t in schema])
         rows = _read_csv_rows(Path(path), schema)
         return self.init(name, schema, rows, model=model)
 
@@ -218,6 +220,8 @@ class OrpheusDB:
             )
         cvd.drop_storage()
         del self._cvds[name]
+        if self._optimizers:
+            self._optimizers.pop(name, None)
         self._emit({"op": "drop", "name": name})
 
     # -------------------------------------------------------------- checkout
@@ -314,9 +318,7 @@ class OrpheusDB:
         has_rid = "rid" in table.schema
         if has_rid:
             rid_position = table.schema.position("rid")
-            data_positions = [
-                i for i in range(len(table.schema)) if i != rid_position
-            ]
+            data_positions = [i for i in range(len(table.schema)) if i != rid_position]
             rows = [
                 (row[rid_position],)
                 + _conform_row(
@@ -346,12 +348,15 @@ class OrpheusDB:
         self.db.drop_table(table_name)
         self.provenance.remove(table_name)
         self.access.revoke(table_name)
+        maintenance = self._evaluate_maintenance(cvd)
         self._emit_commit(
             cvd, vid, staged, resolved,
             message=message,
             commit_time=commit_time,
             schema=staged_schema if evolved else None,
+            maintenance=maintenance,
         )
+        self._apply_maintenance_trigger(maintenance)
         return vid
 
     def commit_csv(
@@ -366,9 +371,7 @@ class OrpheusDB:
         self.access.check_owner(str(path), self.whoami())
         cvd = self.cvd(staged.cvd_name)
         if schema is not None and not isinstance(schema, TableSchema):
-            schema = TableSchema(
-                [Column(n, parse_type_name(t)) for n, t in schema]
-            )
+            schema = TableSchema([Column(n, parse_type_name(t)) for n, t in schema])
         staged_schema = schema or cvd.data_schema
         evolved = staged_schema.column_names != cvd.data_schema.column_names
         if evolved:
@@ -391,12 +394,15 @@ class OrpheusDB:
         )
         self.provenance.remove(str(path))
         self.access.revoke(str(path))
+        maintenance = self._evaluate_maintenance(cvd)
         self._emit_commit(
             cvd, vid, staged, resolved,
             message=message,
             commit_time=commit_time,
             schema=staged_schema if evolved else None,
+            maintenance=maintenance,
         )
+        self._apply_maintenance_trigger(maintenance)
         return vid
 
     def _emit_commit(
@@ -408,6 +414,7 @@ class OrpheusDB:
         message: str,
         commit_time: int,
         schema: TableSchema | None,
+        maintenance=None,
     ) -> None:
         """Journal the physical resolution of a commit.
 
@@ -420,32 +427,40 @@ class OrpheusDB:
         commit landed in: placement normally comes from a live policy
         (installed by the optimizer) that recovery cannot reconstruct, so
         replay must force the acknowledged placement instead of re-deciding.
+        A live optimizer's post-commit maintenance sample piggybacks on the
+        same record (``maintain``) so a commit stays one fsync'd append.
         """
         partition = None
         partition_of = getattr(cvd.model, "partition_of", None)
         if partition_of is not None:
             partition = partition_of(vid)
-        self._emit(
-            {
-                "op": "commit",
-                "cvd": cvd.name,
-                "vid": vid,
-                "parents": list(staged.parent_vids),
-                "member_rids": list(resolved["member_rids"]),
-                "parent_order": list(resolved["parent_order"]),
-                "new_records": [
-                    [rid, list(payload)]
-                    for rid, payload in resolved["new_records"].items()
-                ],
-                "staged": staged.name,
-                "staged_is_file": staged.is_file,
-                "partition": partition,
-                "schema": schema.to_dict() if schema is not None else None,
-                "message": message,
-                "checkout_time": staged.checkout_time,
-                "commit_time": commit_time,
-            }
-        )
+        record = {
+            "op": "commit",
+            "cvd": cvd.name,
+            "vid": vid,
+            "parents": list(staged.parent_vids),
+            "member_rids": list(resolved["member_rids"]),
+            "parent_order": list(resolved["parent_order"]),
+            "new_records": [
+                [rid, list(payload)]
+                for rid, payload in resolved["new_records"].items()
+            ],
+            "staged": staged.name,
+            "staged_is_file": staged.is_file,
+            "partition": partition,
+            "schema": schema.to_dict() if schema is not None else None,
+            "message": message,
+            "checkout_time": staged.checkout_time,
+            "commit_time": commit_time,
+        }
+        if maintenance is not None:
+            _optimizer, sample, _best = maintenance
+            record["maintain"] = [
+                sample.version_count,
+                sample.current_cavg,
+                sample.best_cavg,
+            ]
+        self._emit(record)
 
     def _staged_data_schema(self, table_schema: TableSchema) -> TableSchema:
         columns = [c for c in table_schema.columns if c.name != "rid"]
@@ -486,9 +501,7 @@ class OrpheusDB:
             if self._journal is not None and not self._replaying:
                 mutating, targets = _statement_targets(statements)
                 staged = set(self.provenance.staged_names())
-                if mutating and not (
-                    targets and all(t in staged for t in targets)
-                ):
+                if mutating and not (targets and all(t in staged for t in targets)):
                     # Statements apply one at a time, so a mid-script
                     # failure may have mutated *durable* state that was
                     # never journaled; flag it so the next journaled
@@ -585,6 +598,7 @@ class OrpheusDB:
         tolerance: float = 1.5,
         weighted: bool = False,
         _frequencies: dict[int, int] | None = None,
+        _migration_wall_seconds: float | None = None,
     ):
         """Partition a CVD with LyreSplit (the ``optimize`` command).
 
@@ -592,21 +606,49 @@ class OrpheusDB:
         ``tolerance`` is the migration trigger mu.  With ``weighted`` the
         observed checkout frequencies drive the Appendix C.2 objective.
         Returns the :class:`~repro.partition.online.PartitionOptimizer` now
-        managing the CVD, which also handles subsequent online maintenance.
+        managing the CVD; once registered it also runs the Section 4.3
+        online-maintenance rule after every subsequent commit.  Re-running
+        ``optimize`` on an already-partitioned CVD re-tunes the registered
+        optimizer and migrates instead of rebuilding from scratch.
         """
+        from repro.errors import PartitionError
         from repro.partition.online import PartitionOptimizer
 
         cvd = self.cvd(cvd_name)
         frequencies = _frequencies
         if frequencies is None and weighted:
             frequencies = self.checkout_frequencies(cvd_name)
-        optimizer = PartitionOptimizer(
-            cvd,
-            storage_multiple=storage_threshold,
-            tolerance=tolerance,
-            frequencies=frequencies or None,
-        )
+        optimizer = self.optimizer_for(cvd_name)
+        if optimizer is None:
+            optimizer = PartitionOptimizer(
+                cvd,
+                storage_multiple=storage_threshold,
+                tolerance=tolerance,
+                frequencies=frequencies or None,
+            )
+            if cvd.model.model_name == "partitioned_rlist":
+                # Already-partitioned storage with no live optimizer (a
+                # pre-optimizer-state restore): adopt it and migrate
+                # instead of rebuilding partitions that already exist.
+                optimizer.adopt_model(cvd.model)
+        else:
+            if tolerance < 1.0:
+                raise PartitionError("tolerance mu must be >= 1")
+            optimizer.storage_multiple = storage_threshold
+            optimizer.tolerance = tolerance
+            if frequencies:
+                optimizer.frequencies = frequencies
+        self._register_optimizer(cvd_name, optimizer)
+        migrations_before = len(optimizer.trace.migrations)
         optimizer.run_full_partitioning()
+        migrated = len(optimizer.trace.migrations) > migrations_before
+        if migrated and _migration_wall_seconds is not None:
+            # Replay path: a re-optimize's embedded migration re-executes
+            # with meaningless timing; restore the acknowledged one so the
+            # recovered trace matches the live trace exactly.
+            optimizer.trace.migrations[-1].wall_seconds = (
+                _migration_wall_seconds
+            )
         self._emit(
             {
                 "op": "optimize",
@@ -618,9 +660,69 @@ class OrpheusDB:
                 "frequencies": (
                     sorted(frequencies.items()) if frequencies else None
                 ),
+                # Timing of the migration a re-optimize performed (if any),
+                # for exact trace restore on replay.
+                "migration_wall_seconds": (
+                    optimizer.trace.migrations[-1].wall_seconds
+                    if migrated
+                    else None
+                ),
             }
         )
         return optimizer
+
+    def optimizer_for(self, cvd_name: str):
+        """The live optimizer managing ``cvd_name`` (None = fallback rule)."""
+        registry = self._optimizers
+        return registry.get(cvd_name) if registry else None
+
+    def _register_optimizer(self, cvd_name: str, optimizer) -> None:
+        """Track an optimizer and wire its transition journaling."""
+        if self._optimizers is None:  # legacy-pickle instances lack the dict
+            self._optimizers = {}
+        self._optimizers[cvd_name] = optimizer
+        optimizer.journal = self._emit
+
+    def _evaluate_maintenance(self, cvd: CVD):
+        """Post-commit hook, phase 1: compute the online rule's sample.
+
+        Returns ``(optimizer, sample, best)`` when a live optimizer manages
+        the CVD (the sample then piggybacks on the commit's own WAL record)
+        or None.  Replay never recomputes maintenance — the live run
+        journaled every transition and recovery applies those instead.
+        """
+        optimizer = self.optimizer_for(cvd.name)
+        if optimizer is None or self._replaying:
+            return None
+        sample, best = optimizer.evaluate_maintenance()
+        return optimizer, sample, best
+
+    def _apply_maintenance_trigger(self, maintenance) -> None:
+        """Post-commit hook, phase 2: fire the tolerance check.
+
+        Runs after the commit record is journaled, so a triggered
+        migration's ``migration_start``/``migration_finish`` records land
+        behind the commit they react to and replay in the right order.
+        """
+        if maintenance is None:
+            return
+        optimizer, sample, best = maintenance
+        optimizer.apply_tolerance_trigger(sample, best)
+
+    def resume_inflight_migrations(self) -> list[str]:
+        """Roll forward any journaled-but-unfinished migration.
+
+        Called by recovery after the WAL tail replays: a crash between a
+        ``migration_start`` and its ``migration_finish`` leaves the decided
+        plan pending; executing it here (and journaling the finish) makes
+        the acknowledged decision stick.  Returns the affected CVD names.
+        """
+        resumed = []
+        for name, optimizer in sorted((self._optimizers or {}).items()):
+            if optimizer.pending_migration is not None:
+                optimizer.complete_pending_migration()
+                resumed.append(name)
+        return resumed
 
 
 _MUTATING_STATEMENTS = (
@@ -642,9 +744,7 @@ def _references_any(sql: str, names: set[str]) -> bool:
     A conservative token-level check (false positives only cost an extra
     checkpoint), used to spot durable DML that reads staged tables.
     """
-    return any(
-        _re.search(rf"\b{_re.escape(name)}\b", sql) for name in names
-    )
+    return any(_re.search(rf"\b{_re.escape(name)}\b", sql) for name in names)
 
 
 def _statement_targets(
@@ -666,9 +766,7 @@ def _statement_targets(
     return mutating, targets
 
 
-def _conform_row(
-    values: list[Any], names: list[str], target: TableSchema
-) -> tuple:
+def _conform_row(values: list[Any], names: list[str], target: TableSchema) -> tuple:
     """Re-order/pad a staged row onto the CVD's data schema by column name."""
     by_name = dict(zip(names, values))
     return tuple(by_name.get(column.name) for column in target.columns)

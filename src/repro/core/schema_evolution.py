@@ -41,9 +41,7 @@ class SchemaChangePlan:
 
     @property
     def is_noop(self) -> bool:
-        return not (
-            self.added_columns or self.widened_columns or self.removed_columns
-        )
+        return not (self.added_columns or self.widened_columns or self.removed_columns)
 
 
 class AttributeCatalog:
@@ -108,9 +106,7 @@ class AttributeCatalog:
             ids.append(entry.attr_id)
         return tuple(ids)
 
-    def reconcile(
-        self, current: TableSchema, staged: TableSchema
-    ) -> SchemaChangePlan:
+    def reconcile(self, current: TableSchema, staged: TableSchema) -> SchemaChangePlan:
         """Plan the single-pool evolution from ``current`` to ``staged``.
 
         The resulting schema keeps every current column (deletions are

@@ -131,9 +131,7 @@ class QueryTranslator:
     def _version_subquery(self, cvd_name: str, vids: list[int]) -> str:
         cvd = self._cvd_lookup(cvd_name)
         if cvd.model.supports_sql_rewriting:
-            parts = [
-                cvd.model.version_subquery_sql(vid).strip() for vid in vids
-            ]
+            parts = [cvd.model.version_subquery_sql(vid).strip() for vid in vids]
             if len(parts) == 1:
                 return parts[0]
             body = " UNION ALL ".join(part[1:-1] for part in parts)

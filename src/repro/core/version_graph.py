@@ -58,9 +58,7 @@ class VersionGraph:
         try:
             return self._edge_weights[(parent, child)]
         except KeyError:
-            raise VersioningError(
-                f"no derivation edge {parent} -> {child}"
-            ) from None
+            raise VersioningError(f"no derivation edge {parent} -> {child}") from None
 
     def edges(self) -> Iterator[tuple[int, int, int]]:
         """All (parent, child, weight) edges."""
@@ -82,9 +80,7 @@ class VersionGraph:
         if version.vid in self._versions:
             raise VersioningError(f"version {version.vid} already exists")
         if set(edge_weights) != set(version.parents):
-            raise VersioningError(
-                "edge weights must cover exactly the parent set"
-            )
+            raise VersioningError("edge weights must cover exactly the parent set")
         for parent in version.parents:
             self.version(parent)  # raises if missing
         self._versions[version.vid] = version

@@ -35,10 +35,7 @@ def _min_hash_signature(
 ) -> tuple[int, ...]:
     if not records:
         return tuple(modulus for _ in hash_seeds)
-    return tuple(
-        min((a * rid + b) % modulus for rid in records)
-        for a, b in hash_seeds
-    )
+    return tuple(min((a * rid + b) % modulus for rid in records) for a, b in hash_seeds)
 
 
 def _common_shingles(a: tuple[int, ...], b: tuple[int, ...]) -> int:
@@ -87,9 +84,7 @@ def agglo_partition(
                 if not alive[j]:
                     continue
                 candidate = clusters[j]
-                common = _common_shingles(
-                    cluster.signature, candidate.signature
-                )
+                common = _common_shingles(cluster.signature, candidate.signature)
                 if common <= best_common:
                     continue
                 # One OR + popcount decides capacity; nothing materializes.
@@ -123,9 +118,7 @@ def _sample_threshold(
     samples = 0
     for _ in range(sample_pairs):
         a, b = rng.sample(range(len(clusters)), 2)
-        total += _common_shingles(
-            clusters[a].signature, clusters[b].signature
-        )
+        total += _common_shingles(clusters[a].signature, clusters[b].signature)
         samples += 1
     return total // max(samples, 1)
 

@@ -14,7 +14,7 @@ Extremes (Observations 1 and 2): one-partition-per-version minimizes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.errors import PartitionError
@@ -82,12 +82,8 @@ class BipartiteGraph:
             raise PartitionError("bipartite graph needs at least one version")
         from repro.storage.arrays import to_ridset
 
-        self._membership = {
-            vid: to_ridset(rids) for vid, rids in membership.items()
-        }
-        self._all_records: RidSet = RidSet.union_all(
-            self._membership.values()
-        )
+        self._membership = {vid: to_ridset(rids) for vid, rids in membership.items()}
+        self._all_records: RidSet = RidSet.union_all(self._membership.values())
 
     @classmethod
     def from_cvd(cls, cvd) -> "BipartiteGraph":
@@ -131,10 +127,7 @@ class BipartiteGraph:
     def storage_cost(self, partitioning: Partitioning) -> int:
         """``S = sum_k |R_k|`` in records."""
         self._validate_cover(partitioning)
-        return sum(
-            self.partition_record_count(group)
-            for group in partitioning.groups
-        )
+        return sum(self.partition_record_count(group) for group in partitioning.groups)
 
     def checkout_cost(self, partitioning: Partitioning) -> float:
         """``Cavg = sum_k |V_k|*|R_k| / n`` in records."""
@@ -166,9 +159,7 @@ class BipartiteGraph:
             frequencies.get(vid, 1.0) * sizes[assignment[vid]]
             for vid in self._membership
         )
-        denominator = sum(
-            frequencies.get(vid, 1.0) for vid in self._membership
-        )
+        denominator = sum(frequencies.get(vid, 1.0) for vid in self._membership)
         return numerator / denominator
 
     # -------------------------------------------------------------- bounds
@@ -187,9 +178,7 @@ class BipartiteGraph:
         covered = partitioning.version_ids()
         missing = set(self._membership) - covered
         if missing:
-            raise PartitionError(
-                f"partitioning misses versions {sorted(missing)[:5]}"
-            )
+            raise PartitionError(f"partitioning misses versions {sorted(missing)[:5]}")
         extra = covered - set(self._membership)
         if extra:
             raise PartitionError(

@@ -10,7 +10,7 @@ weights, which is all LyreSplit needs — it never touches individual rids.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.version_graph import VersionGraph
@@ -38,9 +38,7 @@ class VersionTreeView:
     def __post_init__(self) -> None:
         for vid, parent in self.parent.items():
             if parent is not None and (parent, vid) not in self.weight:
-                raise PartitionError(
-                    f"missing weight for tree edge {parent} -> {vid}"
-                )
+                raise PartitionError(f"missing weight for tree edge {parent} -> {vid}")
 
     @property
     def num_versions(self) -> int:

@@ -31,9 +31,7 @@ def kmeans_partition(
     """Cluster versions into at most ``k`` partitions."""
     version_ids = bipartite.version_ids()
     if not 1 <= k <= len(version_ids):
-        raise PartitionError(
-            f"k must be between 1 and {len(version_ids)}, got {k}"
-        )
+        raise PartitionError(f"k must be between 1 and {len(version_ids)}, got {k}")
     rng = random.Random(seed)
     seeds = rng.sample(version_ids, k)
     members: list[set[int]] = [{vid} for vid in seeds]
@@ -88,9 +86,7 @@ def _update_centroids(
     centroids: list[RidSet],
 ) -> None:
     for i, group in enumerate(members):
-        centroids[i] = RidSet.union_all(
-            bipartite.records_of(vid) for vid in group
-        )
+        centroids[i] = RidSet.union_all(bipartite.records_of(vid) for vid in group)
 
 
 def kmeans_budget_search(

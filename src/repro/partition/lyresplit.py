@@ -86,9 +86,7 @@ def lyresplit(
         cuts += 1
         max_level = max(max_level, level + 1)
         child = edge[1]
-        sub_nodes = {
-            node for node in tree.subtree(child) if node in part.nodes
-        }
+        sub_nodes = {node for node in tree.subtree(child) if node in part.nodes}
         rem_nodes = part.nodes - sub_nodes
         stack.append((_stats_for(tree, part.root, rem_nodes), level + 1))
         stack.append((_stats_for(tree, child, sub_nodes), level + 1))
@@ -100,9 +98,7 @@ def lyresplit(
     )
 
 
-def _stats_for(
-    tree: VersionTreeView, root: int, nodes: set[int]
-) -> _PartitionStats:
+def _stats_for(tree: VersionTreeView, root: int, nodes: set[int]) -> _PartitionStats:
     records = tree.num_records[root]
     edges = 0
     for node in nodes:
@@ -175,9 +171,7 @@ def _subtree_aggregates(
         version_counts[node] = 1 + sum(
             version_counts[child] for child in in_part_children
         )
-        own_new = (
-            tree.new_record_count(node) if node != part.root else 0
-        )
+        own_new = (tree.new_record_count(node) if node != part.root else 0)
         newrec_sums[node] = own_new + sum(
             newrec_sums[child] for child in in_part_children
         )

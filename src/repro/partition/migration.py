@@ -44,10 +44,17 @@ class MigrationPlan:
     def num_scratch(self) -> int:
         return len(self.new_groups) - len(self.reuse)
 
+    def resolve_reuse(self, partition_indexes: Sequence[int]) -> dict[int, int]:
+        """Map the plan's positional ``reuse`` onto physical partition ids.
 
-def _group_rids(
-    group: frozenset[int], members: Mapping[int, Iterable[int]]
-) -> RidSet:
+        The planner numbers old partitions by their position in the rid-set
+        list it was handed; journaling and replay need the *actual* partition
+        indexes, which stay meaningful across a crash/restore boundary.
+        """
+        return {i: partition_indexes[j] for i, j in self.reuse.items()}
+
+
+def _group_rids(group: frozenset[int], members: Mapping[int, Iterable[int]]) -> RidSet:
     return RidSet.union_all(members[vid] for vid in group)
 
 
@@ -87,9 +94,7 @@ def plan_intelligent(
     for i, new_rids in enumerate(new_rid_sets):
         if i not in reuse:
             total += len(new_rids)
-    return MigrationPlan(
-        new_groups=new_groups, reuse=reuse, modifications=total
-    )
+    return MigrationPlan(new_groups=new_groups, reuse=reuse, modifications=total)
 
 
 def plan_naive(
@@ -98,7 +103,5 @@ def plan_naive(
 ) -> MigrationPlan:
     """Drop everything and rebuild each new partition from scratch."""
     new_groups = new_partitioning.groups
-    total = sum(
-        len(_group_rids(group, members)) for group in new_groups
-    )
+    total = sum(len(_group_rids(group, members)) for group in new_groups)
     return MigrationPlan(new_groups=new_groups, reuse={}, modifications=total)

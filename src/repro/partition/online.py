@@ -19,24 +19,30 @@
 The optimizer records a trace of (versions-committed, Cavg, C*avg) samples
 and every migration event, which is exactly what the online benchmarks
 plot.
+
+The optimizer's whole decision state is durable (repro.persist): it
+serializes to a JSON-able dict (:meth:`PartitionOptimizer.to_state`) that
+rides the partitioned model's ``extra_state`` in snapshots, and it emits
+typed journal records — ``maintain`` for every post-commit sample,
+``migration_start``/``migration_finish`` around every physical migration —
+through an attached ``journal`` hook so a WAL tail replays its transitions
+deterministically.  A migration is journaled as a *pending* plan before any
+physical work happens; a crash between start and finish leaves the plan
+recoverable, and :meth:`complete_pending_migration` rolls it forward.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.core.cvd import CVD
 from repro.errors import PartitionError
 from repro.partition.bipartite import BipartiteGraph, Partitioning
 from repro.partition.dag_reduction import reduce_to_tree
 from repro.partition.delta_search import search_delta
-from repro.partition.migration import (
-    MigrationPlan,
-    plan_intelligent,
-    plan_naive,
-)
+from repro.partition.migration import plan_intelligent, plan_naive
 from repro.partition.partition_manager import PartitionedRlistModel
 from repro.storage import arrays
 
@@ -68,6 +74,46 @@ class OptimizerTrace:
     migrations: list[MigrationEvent] = field(default_factory=list)
 
 
+@dataclass
+class PendingMigration:
+    """A migration whose plan is decided (and journaled) but whose physical
+    work may not have completed.
+
+    ``reuse`` maps new group positions to *physical* partition indexes (not
+    planner positions), so the plan stays executable after a crash/restore
+    rebuilt the partition states.  ``delta`` is the delta* the re-optimize
+    decision adopted alongside the plan.
+    """
+
+    groups: tuple[frozenset[int], ...]
+    reuse: dict[int, int]
+    strategy: str
+    modifications: int
+    delta: float | None
+    at_version_count: int
+
+    def to_state(self) -> dict:
+        return {
+            "groups": [sorted(group) for group in self.groups],
+            "reuse": sorted(self.reuse.items()),
+            "strategy": self.strategy,
+            "modifications": self.modifications,
+            "delta": self.delta,
+            "at_version_count": self.at_version_count,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PendingMigration":
+        return cls(
+            groups=tuple(frozenset(group) for group in state["groups"]),
+            reuse={int(i): int(j) for i, j in state["reuse"]},
+            strategy=state["strategy"],
+            modifications=state["modifications"],
+            delta=state["delta"],
+            at_version_count=state["at_version_count"],
+        )
+
+
 class PartitionOptimizer:
     """Owns partitioning decisions for one CVD."""
 
@@ -84,9 +130,7 @@ class PartitionOptimizer:
         if tolerance < 1.0:
             raise PartitionError("tolerance mu must be >= 1")
         if migration_strategy not in ("intelligent", "naive"):
-            raise PartitionError(
-                f"unknown migration strategy {migration_strategy!r}"
-            )
+            raise PartitionError(f"unknown migration strategy {migration_strategy!r}")
         self.cvd = cvd
         self.storage_multiple = storage_multiple
         self.tolerance = tolerance
@@ -99,6 +143,12 @@ class PartitionOptimizer:
         self.delta_star: float | None = None
         self.trace = OptimizerTrace()
         self._model: PartitionedRlistModel | None = None
+        #: A journaled-but-unfinished migration (crash-recovery state).
+        self.pending_migration: PendingMigration | None = None
+        #: Journal hook for optimizer transitions (wired by OrpheusDB);
+        #: receives ``maintain`` / ``migration_start`` / ``migration_finish``
+        #: records.  None outside a durable session.
+        self.journal: Callable[[dict], None] | None = None
 
     # -------------------------------------------------------------- budget
 
@@ -126,9 +176,7 @@ class PartitionOptimizer:
             return search_delta(
                 tree, self.gamma, bipartite=bipartite, edge_rule=self.edge_rule
             )
-        tree = reduce_to_tree(
-            self.cvd.graph, true_record_count=self.cvd.record_count
-        )
+        tree = reduce_to_tree(self.cvd.graph, true_record_count=self.cvd.record_count)
         # A coarser binary search suffices for the per-commit mu check;
         # the full-precision search runs when a migration actually fires.
         return search_delta(
@@ -171,7 +219,10 @@ class PartitionOptimizer:
         if self._model is None:
             self._install_partitioned_model(result.partitioning)
         else:
-            self.migrate(result.partitioning)
+            # A full re-optimize is journaled wholesale as one ``optimize``
+            # record (recovery re-runs the deterministic search), so the
+            # migration inside it must not be double-journaled.
+            self.migrate(result.partitioning, journal_events=False)
         return result
 
     def _install_partitioned_model(self, partitioning: Partitioning) -> None:
@@ -201,6 +252,7 @@ class PartitionOptimizer:
         new_model.build_from(self.cvd.membership, payloads, partitioning)
         old_model.drop_storage()
         new_model.placement_policy = self._place_version
+        new_model.optimizer = self
         self.cvd.model = new_model
         self._model = new_model
 
@@ -224,9 +276,7 @@ class PartitionOptimizer:
                 -p,
             ),
         )
-        weight = members.intersection_count(
-            self._model.member_rids(best_parent)
-        )
+        weight = members.intersection_count(self._model.member_rids(best_parent))
         delta_star = self.delta_star if self.delta_star is not None else 1.0
         record_count = self.cvd.record_count
         storage = self._model.storage_cost_records
@@ -244,64 +294,244 @@ class PartitionOptimizer:
             raise PartitionError(
                 "optimizer has no partitioned model; run run_full_partitioning"
             )
+        sample, best = self.evaluate_maintenance()
+        self._emit(
+            {
+                "op": "maintain",
+                "sample": [
+                    sample.version_count,
+                    sample.current_cavg,
+                    sample.best_cavg,
+                ],
+            }
+        )
+        self.apply_tolerance_trigger(sample, best)
+        return sample
+
+    def evaluate_maintenance(self):
+        """Compute and record the post-commit sample; journals nothing.
+
+        Returns (sample, best DeltaSearchResult) so the caller can journal
+        the sample piggybacked on its own record (OrpheusDB folds it into
+        the commit record — one fsync per commit, not two) and then run
+        :meth:`apply_tolerance_trigger`.
+        """
+        if self._model is None:
+            raise PartitionError(
+                "optimizer has no partitioned model; run run_full_partitioning"
+            )
         best = self.compute_partitioning(use_bipartite=False)
-        current = self._model.checkout_cost_avg
         sample = MaintenanceSample(
             version_count=self.cvd.version_count,
-            current_cavg=current,
+            current_cavg=self._model.checkout_cost_avg,
             best_cavg=best.checkout_cost,
         )
         self.trace.samples.append(sample)
+        return sample, best
+
+    def apply_tolerance_trigger(self, sample: MaintenanceSample, best) -> None:
+        """Fire the migration engine when ``Cavg > mu * C*avg``."""
         if (
             self.auto_migrate
             and best.checkout_cost > 0
-            and current > self.tolerance * best.checkout_cost
+            and sample.current_cavg > self.tolerance * best.checkout_cost
         ):
             self.delta_star = best.delta
             self.migrate(best.partitioning)
-        return sample
+
+    def replay_sample(self, sample: list) -> None:
+        """Append a journaled maintenance sample without recomputing it."""
+        self.trace.samples.append(MaintenanceSample(*sample))
 
     # ------------------------------------------------------------ migration
 
     def migrate(
-        self, new_partitioning: Partitioning, strategy: str | None = None
+        self,
+        new_partitioning: Partitioning,
+        strategy: str | None = None,
+        journal_events: bool = True,
     ) -> MigrationEvent:
-        """Reorganize physical partitions to ``new_partitioning``."""
+        """Reorganize physical partitions to ``new_partitioning``.
+
+        The plan is journaled (``migration_start``) and recorded as
+        :attr:`pending_migration` *before* the physical work, then executed
+        and journaled again (``migration_finish``) — so a crash at any point
+        either loses the unacknowledged decision entirely or leaves a
+        recoverable pending plan.
+        """
         assert self._model is not None
         strategy = strategy or self.migration_strategy
         members = self._model._members
+        states = self._model.partition_states()
         if strategy == "intelligent":
-            old_rid_sets = [
-                set(state.rids) for state in self._model.partition_states()
-            ]
-            old_indexes = [
-                state.index for state in self._model.partition_states()
-            ]
+            old_rid_sets = [set(state.rids) for state in states]
             plan = plan_intelligent(old_rid_sets, new_partitioning, members)
-            reuse = {
-                i: old_indexes[j] for i, j in plan.reuse.items()
-            }
+            reuse = plan.resolve_reuse([state.index for state in states])
         else:
             plan = plan_naive(new_partitioning, members)
             reuse = {}
+        pending = PendingMigration(
+            groups=tuple(plan.new_groups),
+            reuse=reuse,
+            strategy=strategy,
+            modifications=plan.modifications,
+            delta=self.delta_star,
+            at_version_count=self.cvd.version_count,
+        )
+        self.begin_migration(pending, journal_event=journal_events)
+        return self.complete_pending_migration(journal_event=journal_events)
+
+    def begin_migration(
+        self, pending: PendingMigration, journal_event: bool = True
+    ) -> None:
+        """Adopt a decided migration plan as in-flight (and journal it)."""
+        if self.pending_migration is not None:
+            raise PartitionError("a migration is already in flight")
+        if pending.delta is not None:
+            self.delta_star = pending.delta
+        self.pending_migration = pending
+        if journal_event:
+            self._emit({"op": "migration_start", "plan": pending.to_state()})
+
+    def complete_pending_migration(
+        self,
+        journal_event: bool = True,
+        expected_inserted: int | None = None,
+        expected_deleted: int | None = None,
+        wall_seconds: float | None = None,
+    ) -> MigrationEvent:
+        """Execute the in-flight plan; the replay/roll-forward entry point.
+
+        ``expected_*`` lets WAL replay verify the re-executed migration
+        matches the acknowledged one; ``wall_seconds`` substitutes the
+        journaled timing for the (meaningless) replay timing.
+        """
+        pending = self.pending_migration
+        if pending is None:
+            raise PartitionError("no migration is in flight")
+        assert self._model is not None
         started = time.perf_counter()
         inserted, deleted = self._model.replace_partitions(
-            list(plan.new_groups), reuse, self._payloads_from_partitions
+            list(pending.groups), pending.reuse, self._payloads_from_partitions
         )
+        elapsed = time.perf_counter() - started
+        if expected_inserted is not None and (
+            inserted != expected_inserted or deleted != expected_deleted
+        ):
+            raise PartitionError(
+                f"migration replay modified {inserted}+{deleted} records, "
+                f"journal says {expected_inserted}+{expected_deleted} — "
+                f"non-deterministic state"
+            )
         event = MigrationEvent(
-            at_version_count=self.cvd.version_count,
-            plan_modifications=plan.modifications,
+            at_version_count=pending.at_version_count,
+            plan_modifications=pending.modifications,
             records_inserted=inserted,
             records_deleted=deleted,
-            wall_seconds=time.perf_counter() - started,
-            strategy=strategy,
+            wall_seconds=elapsed if wall_seconds is None else wall_seconds,
+            strategy=pending.strategy,
         )
         self.trace.migrations.append(event)
+        # Clear before journaling: if the finish append triggers a
+        # checkpoint, the snapshot must not carry a still-pending plan on
+        # top of already-migrated partitions.
+        self.pending_migration = None
+        if journal_event:
+            self._emit(
+                {
+                    "op": "migration_finish",
+                    "inserted": event.records_inserted,
+                    "deleted": event.records_deleted,
+                    "wall_seconds": event.wall_seconds,
+                }
+            )
         return event
 
     def _payloads_from_partitions(self, rids: Iterable[int]):
         assert self._model is not None
         return self._model._fetch_payloads(rids)
+
+    # ---------------------------------------------------------- persistence
+
+    def _emit(self, record: dict) -> None:
+        """Journal one optimizer transition (no-op without a journal)."""
+        if self.journal is not None:
+            record["cvd"] = self.cvd.name
+            self.journal(record)
+
+    def to_state(self) -> dict:
+        """JSON-able decision state; rides the model's ``extra_state``."""
+        return {
+            "storage_multiple": self.storage_multiple,
+            "tolerance": self.tolerance,
+            "edge_rule": self.edge_rule,
+            "migration_strategy": self.migration_strategy,
+            "auto_migrate": self.auto_migrate,
+            "frequencies": (
+                sorted(self.frequencies.items()) if self.frequencies else None
+            ),
+            "delta_star": self.delta_star,
+            "trace": {
+                "samples": [
+                    [s.version_count, s.current_cavg, s.best_cavg]
+                    for s in self.trace.samples
+                ],
+                "migrations": [
+                    [
+                        m.at_version_count,
+                        m.plan_modifications,
+                        m.records_inserted,
+                        m.records_deleted,
+                        m.wall_seconds,
+                        m.strategy,
+                    ]
+                    for m in self.trace.migrations
+                ],
+            },
+            "pending_migration": (
+                self.pending_migration.to_state()
+                if self.pending_migration is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, cvd: CVD, state: dict) -> "PartitionOptimizer":
+        """Rebuild an optimizer onto ``cvd``'s already-restored partitioned
+        model, resuming the live placement policy."""
+        frequencies = state["frequencies"]
+        optimizer = cls(
+            cvd,
+            storage_multiple=state["storage_multiple"],
+            tolerance=state["tolerance"],
+            edge_rule=state["edge_rule"],
+            migration_strategy=state["migration_strategy"],
+            auto_migrate=state["auto_migrate"],
+            frequencies=(
+                {vid: count for vid, count in frequencies}
+                if frequencies
+                else None
+            ),
+        )
+        optimizer.delta_star = state["delta_star"]
+        trace = state["trace"]
+        optimizer.trace.samples = [
+            MaintenanceSample(*sample) for sample in trace["samples"]
+        ]
+        optimizer.trace.migrations = [
+            MigrationEvent(*event) for event in trace["migrations"]
+        ]
+        pending = state["pending_migration"]
+        if pending is not None:
+            optimizer.pending_migration = PendingMigration.from_state(pending)
+        optimizer.adopt_model(cvd.model)
+        return optimizer
+
+    def adopt_model(self, model: PartitionedRlistModel) -> None:
+        """Re-attach to an already-partitioned model (snapshot restore)."""
+        model.placement_policy = self._place_version
+        model.optimizer = self
+        self._model = model
 
     # ------------------------------------------------------------- metrics
 

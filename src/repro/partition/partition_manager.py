@@ -66,6 +66,11 @@ class PartitionedRlistModel(DataModel):
         self._members: dict[int, RidSet] = {}
         self._next_partition = 0
         self.placement_policy: PlacementPolicy | None = None
+        #: The PartitionOptimizer managing this model (None when the
+        #: partitioning was built without one); its decision state rides
+        #: this model's extra_state so snapshots restore the live policy.
+        self.optimizer = None
+        self._pending_optimizer_state: dict | None = None
 
     # ------------------------------------------------------------- naming
 
@@ -122,7 +127,7 @@ class PartitionedRlistModel(DataModel):
     # --------------------------------------------------------- persistence
 
     def extra_state(self) -> dict:
-        return {
+        state = {
             "partitions": [
                 {
                     "index": state.index,
@@ -138,11 +143,11 @@ class PartitionedRlistModel(DataModel):
             ],
             "next_partition": self._next_partition,
         }
+        if self.optimizer is not None:
+            state["optimizer"] = self.optimizer.to_state()
+        return state
 
     def restore_extra_state(self, state: dict) -> None:
-        # The placement policy is a live callable installed by the optimizer
-        # and is deliberately not serialized; without one, add_version falls
-        # back to the closest-parent placement rule.
         self._partitions = {
             p["index"]: PartitionState(
                 p["index"], set(p["vids"]), RidSet(p["rids"])
@@ -155,7 +160,23 @@ class PartitionedRlistModel(DataModel):
             vid: RidSet(members) for vid, members in state["members"]
         }
         self._next_partition = state["next_partition"]
+        # The placement policy is a bound method of the optimizer, which
+        # needs the fully restored CVD; stash its state until bind_cvd.
+        # Pre-optimizer-state stores (format-1 manifests) have no
+        # "optimizer" key: they restore with no policy and add_version
+        # falls back to the closest-parent placement rule.
         self.placement_policy = None
+        self.optimizer = None
+        self._pending_optimizer_state = state.get("optimizer")
+
+    def bind_cvd(self, cvd) -> None:
+        """Resume the live optimizer once the owning CVD is rebuilt."""
+        if self._pending_optimizer_state is None:
+            return
+        from repro.partition.online import PartitionOptimizer
+
+        PartitionOptimizer.from_state(cvd, self._pending_optimizer_state)
+        self._pending_optimizer_state = None
 
     # ----------------------------------------------------------- structure
 
@@ -186,9 +207,7 @@ class PartitionedRlistModel(DataModel):
         """Cavg from the live partition states (Equation 4.2)."""
         if not self._assignment:
             return 0.0
-        total = sum(
-            p.num_versions * p.num_records for p in self._partitions.values()
-        )
+        total = sum(p.num_versions * p.num_records for p in self._partitions.values())
         return total / len(self._assignment)
 
     def member_rids(self, vid: int) -> RidSet:
@@ -215,9 +234,7 @@ class PartitionedRlistModel(DataModel):
         """
         for group in partitioning.groups:
             state = self._create_partition()
-            group_rids = RidSet.union_all(
-                membership[vid] for vid in group
-            )
+            group_rids = RidSet.union_all(membership[vid] for vid in group)
             rows = payloads(sorted(group_rids))
             self.db.table(self._data_table(state.index)).insert_many(
                 (rid,) + tuple(rows[rid]) for rid in group_rids
@@ -325,9 +342,7 @@ class PartitionedRlistModel(DataModel):
         total = 0
         for index in self._partitions:
             total += self.db.table(self._data_table(index)).storage_bytes()
-            total += self.db.table(
-                self._versioning_table(index)
-            ).storage_bytes()
+            total += self.db.table(self._versioning_table(index)).storage_bytes()
         return total
 
     def version_subquery_sql(self, vid: int) -> str:
@@ -378,9 +393,7 @@ class PartitionedRlistModel(DataModel):
         group_rid_sets: list[RidSet] = []
         needed = RidSet()
         for i, group in enumerate(new_groups):
-            group_rids = RidSet.union_all(
-                self._members[vid] for vid in group
-            )
+            group_rids = RidSet.union_all(self._members[vid] for vid in group)
             group_rid_sets.append(group_rids)
             old_index = reuse.get(i)
             if old_index is not None:
@@ -404,9 +417,7 @@ class PartitionedRlistModel(DataModel):
                     inserted += len(to_insert)
                 if to_delete:
                     rid_index = data_table.index_on(["rid"])
-                    _probes, slots = rid_index.lookup_many(
-                        (rid,) for rid in to_delete
-                    )
+                    _probes, slots = rid_index.lookup_many((rid,) for rid in to_delete)
                     data_table.delete_slots(slots)
                     deleted += len(to_delete)
                 versioning = self.db.table(self._versioning_table(old_index))

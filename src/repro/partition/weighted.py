@@ -48,9 +48,7 @@ def weighted_lyresplit(
     chosen: dict[int, int] = {}
     for replica, vid in replica_owner.items():
         group_index = assignment[replica]
-        if vid not in chosen or group_records[group_index] < group_records[
-            chosen[vid]
-        ]:
+        if vid not in chosen or group_records[group_index] < group_records[chosen[vid]]:
             chosen[vid] = group_index
     groups: dict[int, set[int]] = {}
     for vid, group_index in chosen.items():
@@ -98,9 +96,7 @@ def _build_replica_tree(
                     anchor = last_replica[tree_parent]
                     parent[replica] = anchor
                     children[anchor].append(replica)
-                    weight[(anchor, replica)] = tree.weight[
-                        (tree_parent, vid)
-                    ]
+                    weight[(anchor, replica)] = tree.weight[(tree_parent, vid)]
             else:
                 parent[replica] = previous
                 children[previous].append(replica)
@@ -134,9 +130,7 @@ def search_delta_weighted(
     """
     records = bipartite.num_records
     if gamma < records:
-        raise PartitionError(
-            f"storage threshold {gamma} is below |R| = {records}"
-        )
+        raise PartitionError(f"storage threshold {gamma} is below |R| = {records}")
     low = tree.num_edges / (records * tree.num_versions)
     high = 1.0
     best: tuple[float, Partitioning, int, float] | None = None

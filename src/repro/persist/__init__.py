@@ -6,17 +6,21 @@ in-memory engine the same property with a classic two-part design:
 
 * :mod:`repro.persist.wal` — a write-ahead log of logical operations
   (``init``, ``commit``, ``drop``, user management, durable SQL DML,
-  ``optimize``) appended with CRC framing and ``fsync`` before a command is
-  acknowledged.  Commit records are delta-encoded against the parent
-  version, so a commit appends O(changed records) bytes rather than
-  rewriting the database.
+  ``optimize``, and the partition optimizer's transitions — ``maintain``
+  samples and ``migration_start``/``migration_finish``) appended with CRC
+  framing and ``fsync`` before a command is acknowledged.  Commit records
+  are delta-encoded against the parent version, so a commit appends
+  O(changed records) bytes rather than rewriting the database.
 * :mod:`repro.persist.snapshot` — a checkpoint format serializing the full
   engine catalog (every table as its own segment file) plus the middleware
   state (version graphs, membership, provenance, access control, attribute
-  catalogs, data-model bookkeeping) via temp-file + atomic rename.
+  catalogs, data-model bookkeeping incl. the optimizer's decision state)
+  via temp-file + atomic rename; versioned manifests with a
+  backward-compatible reader.
 * :mod:`repro.persist.store` — :class:`Store`, which ties the two together:
-  ``Store.open`` loads the latest valid snapshot and replays the WAL tail,
-  and a checkpoint policy compacts the log after enough appends.
+  ``Store.open`` loads the latest valid snapshot, replays the WAL tail,
+  and rolls forward any migration interrupted between its journaled start
+  and finish; a checkpoint policy compacts the log after enough appends.
 
 Durability contract: journaled operations survive any crash after the
 command that acknowledged them returns.  Most ops are durable the moment

@@ -46,7 +46,20 @@ from repro.storage.types import DataType
 
 from repro.persist.fsutil import fsync_dir as _fsync_dir
 
-FORMAT_VERSION = 1
+#: Manifest format history:
+#:
+#: 1 — PR-1/PR-2 stores: tables + middleware state; a partitioned model's
+#:     extra_state carries structure only, so restore drops the live
+#:     placement policy (closest-parent fallback until ``optimize`` reruns).
+#: 2 — adds optimizer decision state (delta*, budget knobs, trace, pending
+#:     migration plans) under the partitioned model's extra_state
+#:     ``"optimizer"`` key, restored by :meth:`DataModel.bind_cvd`.
+#:
+#: The writer always emits the current version; the reader accepts every
+#: version listed here — a format-1 manifest simply has no optimizer key
+#: and restores with the documented fallback.
+FORMAT_VERSION = 2
+SUPPORTED_FORMATS = (1, 2)
 MANIFEST_NAME = "manifest.json"
 
 
@@ -123,9 +136,7 @@ def _write_segment(path: Path, table) -> tuple[int, int]:
     count = 0
     with open(path, "wb") as handle:
         for row in table.dump_rows():
-            line = json.dumps(list(row), separators=(",", ":")).encode(
-                "utf-8"
-            ) + b"\n"
+            line = json.dumps(list(row), separators=(",", ":")).encode("utf-8") + b"\n"
             crc = zlib.crc32(line, crc)
             handle.write(line)
             count += 1
@@ -220,10 +231,11 @@ def load_snapshot(snapshot_dir: str | Path) -> tuple[OrpheusDB, int]:
         raise RecoveryError(
             f"unreadable snapshot manifest {manifest_path}: {exc}"
         ) from exc
-    if manifest.get("format") != FORMAT_VERSION:
+    if manifest.get("format") not in SUPPORTED_FORMATS:
         raise RecoveryError(
             f"snapshot {snapshot_dir} has unsupported format "
-            f"{manifest.get('format')!r}"
+            f"{manifest.get('format')!r} (this reader supports "
+            f"{list(SUPPORTED_FORMATS)})"
         )
     db = Database(join_method=manifest["join_method"])
     for entry in manifest["tables"]:
@@ -278,9 +290,7 @@ def _restore_orpheus(db: Database, state: dict) -> OrpheusDB:
     access_state = state["access"]
     orpheus.access._users = set(access_state["users"])
     orpheus.access._current = access_state["current"]
-    orpheus.access._owners = {
-        name: user for name, user in access_state["owners"]
-    }
+    orpheus.access._owners = {name: user for name, user in access_state["owners"]}
     for staged in state["provenance"]:
         orpheus.provenance.register(
             StagedCheckout(
@@ -292,9 +302,13 @@ def _restore_orpheus(db: Database, state: dict) -> OrpheusDB:
                 is_file=staged["is_file"],
             )
         )
+    orpheus._optimizers = {}
     for cvd_state in state["cvds"]:
         cvd = _restore_cvd(db, cvd_state)
         orpheus._cvds[cvd.name] = cvd
+        optimizer = getattr(cvd.model, "optimizer", None)
+        if optimizer is not None:
+            orpheus._register_optimizer(cvd.name, optimizer)
     return orpheus
 
 
@@ -320,6 +334,9 @@ def _restore_cvd(db: Database, state: dict) -> CVD:
     cvd._next_vid = state["next_vid"]
     cvd._next_rid = state["next_rid"]
     cvd._current_attribute_ids = tuple(state["current_attribute_ids"])
+    # Late-restore hook: the partitioned model resumes its optimizer (and
+    # with it the live placement policy) now that the CVD is complete.
+    cvd.model.bind_cvd(cvd)
     return cvd
 
 

@@ -73,9 +73,7 @@ class Store:
         #: means "no automatic checkpoints at all" without every caller
         #: remembering to zero both knobs.
         if checkpoint_bytes is None:
-            checkpoint_bytes = (
-                4 * 1024 * 1024 if self.checkpoint_interval else 0
-            )
+            checkpoint_bytes = (4 * 1024 * 1024 if self.checkpoint_interval else 0)
         self.checkpoint_bytes = max(0, checkpoint_bytes)
         self.wal = WriteAheadLog(self.path / WAL_NAME)
         self.orpheus: OrpheusDB | None = None
@@ -126,9 +124,7 @@ class Store:
             )
         snapshot_name = self._read_current()
         if snapshot_name is not None:
-            orpheus, snap_lsn = load_snapshot(
-                self.path / SNAPSHOTS_DIR / snapshot_name
-            )
+            orpheus, snap_lsn = load_snapshot(self.path / SNAPSHOTS_DIR / snapshot_name)
         else:
             orpheus, snap_lsn = OrpheusDB(), 0
         self.orpheus = orpheus
@@ -147,6 +143,14 @@ class Store:
         self._next_lsn = last_lsn + 1
         self._records_since_checkpoint = replayed
         orpheus.attach_journal(self)
+        # A migration whose start was journaled (or snapshotted as pending)
+        # but whose finish never made it to disk: the decision is
+        # acknowledged state, so roll the plan forward now.
+        for cvd_name in orpheus.resume_inflight_migrations():
+            self.recovery_warnings.append(
+                f"rolled forward an interrupted partition migration on "
+                f"CVD {cvd_name!r}"
+            )
         # A large replayed tail means every future open pays that replay
         # again until something checkpoints — do it now instead.
         if replayed and self._should_auto_checkpoint():
@@ -184,9 +188,7 @@ class Store:
         try:
             return json.loads(current.read_text(encoding="utf-8"))["snapshot"]
         except (OSError, ValueError, KeyError) as exc:
-            raise RecoveryError(
-                f"unreadable CURRENT pointer {current}: {exc}"
-            ) from exc
+            raise RecoveryError(f"unreadable CURRENT pointer {current}: {exc}") from exc
 
     # -------------------------------------------------------------- journal
 
@@ -224,6 +226,14 @@ class Store:
     @property
     def last_lsn(self) -> int:
         return self._next_lsn - 1
+
+    @property
+    def records_since_checkpoint(self) -> int:
+        return self._records_since_checkpoint
+
+    def current_snapshot_name(self) -> str | None:
+        """Name of the active snapshot (None before the first checkpoint)."""
+        return self._read_current()
 
     def wal_size_bytes(self) -> int:
         try:
@@ -361,24 +371,57 @@ class Store:
                         if frequencies
                         else None
                     ),
+                    # Absent on PR-1/PR-2 era records.
+                    _migration_wall_seconds=payload.get(
+                        "migration_wall_seconds"
+                    ),
                 )
+            elif op in ("maintain", "migration_start", "migration_finish"):
+                self._apply_optimizer_record(op, payload)
             else:
                 raise RecoveryError(f"unknown WAL operation {op!r}")
         except RecoveryError:
             raise
         except ReproError as exc:
-            raise RecoveryError(
-                f"WAL replay of {op!r} failed: {exc}"
-            ) from exc
+            raise RecoveryError(f"WAL replay of {op!r} failed: {exc}") from exc
         orpheus._clock = payload["clock"]
+
+    def _apply_optimizer_record(self, op: str, payload: dict) -> None:
+        """Replay one journaled optimizer transition.
+
+        The live run computed the decision; replay only applies what the
+        journal says — samples append to the trace, a ``migration_start``
+        re-adopts the pending plan, a ``migration_finish`` re-executes it
+        and verifies the physical result matches the acknowledged one.
+        """
+        from repro.partition.online import PendingMigration
+
+        optimizer = self.orpheus.optimizer_for(payload["cvd"])
+        if optimizer is None:
+            raise RecoveryError(
+                f"WAL {op!r} record for CVD {payload['cvd']!r} but no "
+                f"optimizer was restored — non-deterministic state"
+            )
+        if op == "maintain":
+            optimizer.replay_sample(payload["sample"])
+        elif op == "migration_start":
+            optimizer.begin_migration(
+                PendingMigration.from_state(payload["plan"]),
+                journal_event=False,
+            )
+        else:
+            optimizer.complete_pending_migration(
+                journal_event=False,
+                expected_inserted=payload["inserted"],
+                expected_deleted=payload["deleted"],
+                wall_seconds=payload["wall_seconds"],
+            )
 
     def _apply_commit(self, payload: dict) -> None:
         orpheus = self.orpheus
         cvd = orpheus.cvd(payload["cvd"])
         if payload["schema"] is not None:
-            orpheus._evolve_schema(
-                cvd, TableSchema.from_dict(payload["schema"])
-            )
+            orpheus._evolve_schema(cvd, TableSchema.from_dict(payload["schema"]))
         parents = list(payload["parents"])
         member_rids = _expand_members(cvd, parents, payload["members"])
         new_records = {}
@@ -398,8 +441,12 @@ class Store:
             # commit did, not re-decide with a fallback rule.
             existing = {state.index for state in model.partition_states()}
             target = forced_partition if forced_partition in existing else None
+
+            def pinned_placement(_vid, _members, _parents, _target=target):
+                return _target
+
             old_policy = model.placement_policy
-            model.placement_policy = lambda _vid, _members, _parents: target
+            model.placement_policy = pinned_placement
         try:
             vid = cvd.ingest_version(
                 parents,
@@ -428,6 +475,18 @@ class Store:
         if staged_name in orpheus.provenance.staged_names():
             orpheus.provenance.remove(staged_name)
         orpheus.access.revoke(staged_name)
+        # A live optimizer's maintenance sample rides the commit record
+        # (one fsync per commit); re-apply it to the restored trace.
+        maintain = payload.get("maintain")
+        if maintain is not None:
+            optimizer = orpheus.optimizer_for(payload["cvd"])
+            if optimizer is None:
+                raise RecoveryError(
+                    f"commit record for CVD {payload['cvd']!r} carries a "
+                    f"maintenance sample but no optimizer was restored — "
+                    f"non-deterministic state"
+                )
+            optimizer.replay_sample(maintain)
 
 
 # ------------------------------------------------------------ commit coding
@@ -466,6 +525,4 @@ def _expand_members(cvd, parents: list[int], encoded: dict) -> list[int]:
         return list(encoded["full"])
     parent_order = list(cvd.parent_record_order(parents))
     dropped = set(encoded["drop"])
-    return [rid for rid in parent_order if rid not in dropped] + list(
-        encoded["tail"]
-    )
+    return [rid for rid in parent_order if rid not in dropped] + list(encoded["tail"])

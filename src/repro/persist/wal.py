@@ -54,9 +54,7 @@ def encode_frame(lsn: int, payload: dict) -> bytes:
     try:
         body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
-        raise PersistenceError(
-            f"WAL record is not JSON-serializable: {exc}"
-        ) from exc
+        raise PersistenceError(f"WAL record is not JSON-serializable: {exc}") from exc
     if len(body) > MAX_PAYLOAD:
         # The reader treats oversized frames as corruption and recovery
         # would truncate them (and everything after); refuse to write what
@@ -195,9 +193,7 @@ class WriteAheadLog:
         os.replace(tmp, self.path)
         _fsync_dir(self.path.parent)
 
-    def compact(
-        self, keep_after_lsn: int, known_end_lsn: int | None = None
-    ) -> int:
+    def compact(self, keep_after_lsn: int, known_end_lsn: int | None = None) -> int:
         """Drop every record with ``lsn <= keep_after_lsn`` (post-checkpoint).
 
         Rewrites the log to a temp file and atomically renames it into

@@ -149,9 +149,7 @@ class Database:
             raise CatalogError(f"no table named {name!r}")
         del self._tables[name]
 
-    def create_table_from_relation(
-        self, name: str, relation: Relation
-    ) -> Table:
+    def create_table_from_relation(self, name: str, relation: Relation) -> Table:
         """Materialize a query result as a new table (``SELECT INTO``)."""
         columns = []
         seen: dict[str, int] = {}
@@ -179,9 +177,7 @@ class Database:
         """Run one or more statements; returns the last statement's result."""
         return self.execute_statements(parse_sql(sql, params))
 
-    def execute_statements(
-        self, statements: Sequence[ast.Statement]
-    ) -> Result:
+    def execute_statements(self, statements: Sequence[ast.Statement]) -> Result:
         """Run pre-parsed statements (lets callers parse once and also
         inspect the AST, e.g. for journaling)."""
         result = Result()
@@ -236,9 +232,7 @@ class Database:
     def _execute_create_table(self, statement: ast.CreateTable) -> Result:
         if statement.if_not_exists and self.has_table(statement.table):
             return Result()
-        columns = [
-            Column(c.name, c.dtype, c.not_null) for c in statement.columns
-        ]
+        columns = [Column(c.name, c.dtype, c.not_null) for c in statement.columns]
         self.create_table(
             statement.table,
             TableSchema(columns, statement.primary_key),
@@ -259,12 +253,8 @@ class Database:
             executor = SelectExecutor(self)
             source_rows = []
             for value_exprs in statement.rows or []:
-                resolved = [
-                    executor._resolve_subqueries(expr) for expr in value_exprs
-                ]
-                source_rows.append(
-                    tuple(expr.evaluate((), env) for expr in resolved)
-                )
+                resolved = [executor._resolve_subqueries(expr) for expr in value_exprs]
+                source_rows.append(tuple(expr.evaluate((), env) for expr in resolved))
         count = 0
         width = len(table.schema)
         for values in source_rows:

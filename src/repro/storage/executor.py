@@ -82,14 +82,10 @@ def _bitmapize_array_constants(expr: Expression) -> Expression:
         if expr.op in _ARRAY_SET_OPS:
             left, right = expr.left, expr.right
             values = _constant_array(left)
-            if values is not None and all(
-                0 <= v <= _MAX_BITMAP_RID for v in values
-            ):
+            if values is not None and all(0 <= v <= _MAX_BITMAP_RID for v in values):
                 left = Literal(RidSet(values))
             values = _constant_array(right)
-            if values is not None and all(
-                0 <= v <= _MAX_BITMAP_RID for v in values
-            ):
+            if values is not None and all(0 <= v <= _MAX_BITMAP_RID for v in values):
                 right = Literal(RidSet(values))
             if left is not expr.left or right is not expr.right:
                 return BinaryOp(expr.op, left, right)
@@ -147,9 +143,7 @@ class SelectExecutor:
         if select.union_all_with is not None:
             other = self.execute(select.union_all_with)
             if len(other.names) != len(relation.names):
-                raise ExecutionError(
-                    "UNION ALL branches have different column counts"
-                )
+                raise ExecutionError("UNION ALL branches have different column counts")
             relation = Relation(
                 relation.names,
                 relation.rows + other.rows,
@@ -183,9 +177,7 @@ class SelectExecutor:
             output, ordered_pairs = self._projected(select, source)
         output_env = output.env()
         if select.order_by:
-            ordered_pairs = self._order(
-                select.order_by, ordered_pairs, env, output_env
-            )
+            ordered_pairs = self._order(select.order_by, ordered_pairs, env, output_env)
             output = Relation(
                 output.names, [pair[1] for pair in ordered_pairs], output.types
             )
@@ -198,13 +190,9 @@ class SelectExecutor:
                     unique_rows.append(row)
             output = Relation(output.names, unique_rows, output.types)
         if select.offset is not None:
-            output = Relation(
-                output.names, output.rows[select.offset :], output.types
-            )
+            output = Relation(output.names, output.rows[select.offset :], output.types)
         if select.limit is not None:
-            output = Relation(
-                output.names, output.rows[: select.limit], output.types
-            )
+            output = Relation(output.names, output.rows[: select.limit], output.types)
         if select.into_table is not None:
             self._materialize_into(select.into_table, output)
         return output
@@ -293,9 +281,7 @@ class SelectExecutor:
         env = source.env()
         groups: dict[tuple, list[Row]] = {}
         for row in source.rows:
-            key = tuple(
-                expr.evaluate(row, env) for expr in select.group_by
-            )
+            key = tuple(expr.evaluate(row, env) for expr in select.group_by)
             groups.setdefault(key, []).append(row)
         if not groups and not select.group_by:
             groups[()] = []  # global aggregate over an empty input
@@ -367,13 +353,9 @@ class SelectExecutor:
         return expr
 
     @staticmethod
-    def _compute_aggregate(
-        call: FuncCall, group_rows: list[Row], env: EvalEnv
-    ) -> Any:
+    def _compute_aggregate(call: FuncCall, group_rows: list[Row], env: EvalEnv) -> Any:
         name = call.name
-        if name == "count" and (
-            not call.args or isinstance(call.args[0], Star)
-        ):
+        if name == "count" and (not call.args or isinstance(call.args[0], Star)):
             return len(group_rows)
         arg = call.args[0]
         values = [arg.evaluate(row, env) for row in group_rows]
@@ -455,16 +437,12 @@ class SelectExecutor:
             if relation.names and len(relation.names) != 1:
                 raise ExecutionError("IN subquery must return one column")
             values = frozenset(row[0] for row in relation.rows)
-            return InSet(
-                self._resolve_subqueries(expr.operand), values, expr.negated
-            )
+            return InSet(self._resolve_subqueries(expr.operand), values, expr.negated)
         if isinstance(expr, ArraySubquery):
             relation = self.execute(expr.query)
             if len(relation.names) != 1:
                 raise ExecutionError("ARRAY(subquery) must return one column")
-            return Literal(
-                arrays.make_array(row[0] for row in relation.rows)
-            )
+            return Literal(arrays.make_array(row[0] for row in relation.rows))
         if isinstance(expr, BinaryOp):
             return BinaryOp(
                 expr.op,

@@ -104,12 +104,12 @@ class ArrayLiteral(Expression):
     items: tuple[Expression, ...]
 
     def evaluate(self, row: Sequence[Any], env: EvalEnv) -> Any:
-        return arrays.make_array(
-            item.evaluate(row, env) for item in self.items
-        )
+        return arrays.make_array(item.evaluate(row, env) for item in self.items)
 
     def columns(self) -> set[str]:
-        return set().union(*(item.columns() for item in self.items)) if self.items else set()
+        if not self.items:
+            return set()
+        return set().union(*(item.columns() for item in self.items))
 
     def contains_aggregate(self) -> bool:
         return any(item.contains_aggregate() for item in self.items)
@@ -290,9 +290,7 @@ class InList(Expression):
         value = self.operand.evaluate(row, env)
         if value is None:
             return None
-        found = any(
-            item.evaluate(row, env) == value for item in self.items
-        )
+        found = any(item.evaluate(row, env) == value for item in self.items)
         return (not found) if self.negated else found
 
     def columns(self) -> set[str]:
@@ -389,9 +387,7 @@ class FuncCall(Expression):
         return out
 
     def contains_aggregate(self) -> bool:
-        return self.is_aggregate or any(
-            arg.contains_aggregate() for arg in self.args
-        )
+        return self.is_aggregate or any(arg.contains_aggregate() for arg in self.args)
 
 
 def conjuncts(expr: Expression | None) -> list[Expression]:

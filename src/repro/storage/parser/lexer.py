@@ -85,14 +85,10 @@ def tokenize(sql: str) -> list[Token]:
             tokens.append(Token(TokenType.IDENT, sql[i + 1 : j], i))
             i = j + 1
             continue
-        if char.isdigit() or (
-            char == "." and i + 1 < length and sql[i + 1].isdigit()
-        ):
+        if char.isdigit() or (char == "." and i + 1 < length and sql[i + 1].isdigit()):
             j = i
             seen_dot = False
-            while j < length and (
-                sql[j].isdigit() or (sql[j] == "." and not seen_dot)
-            ):
+            while j < length and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
                 if sql[j] == ".":
                     # Don't swallow "1." followed by an identifier (alias.col
                     # never follows a bare number in this dialect, but guard).

@@ -329,7 +329,8 @@ class _Parser:
         raise self._error("expected VALUES or SELECT after INSERT INTO")
 
     def _looks_like_column_list(self) -> bool:
-        """Disambiguate ``INSERT INTO t (a, b) VALUES`` from ``INSERT INTO t (SELECT...)``."""
+        """Disambiguate ``INSERT INTO t (a, b) VALUES`` from
+        ``INSERT INTO t (SELECT...)``."""
         return not self._peek(1).is_keyword("select")
 
     def _value_row(self) -> list[Expression]:
@@ -688,7 +689,5 @@ def parse_statement(sql: str, params: Sequence[Any] = ()) -> ast.Statement:
     """Parse exactly one statement, raising if zero or several are present."""
     statements = parse_sql(sql, params)
     if len(statements) != 1:
-        raise SQLSyntaxError(
-            f"expected exactly one statement, got {len(statements)}"
-        )
+        raise SQLSyntaxError(f"expected exactly one statement, got {len(statements)}")
     return statements[0]

@@ -88,15 +88,11 @@ def resolve_from(
         best_index, join_keys = _find_joinable(current, remaining, where_parts)
         nxt = remaining.pop(best_index)
         if join_keys:
-            current, where_parts = _equi_join(
-                db, current, nxt, where_parts, join_keys
-            )
+            current, where_parts = _equi_join(db, current, nxt, where_parts, join_keys)
         else:
             current = _cross_join(current, nxt)
     for join_clause in select.joins:
-        source, where_parts = _scan_item(
-            db, join_clause.item, where_parts, executor
-        )
+        source, where_parts = _scan_item(db, join_clause.item, where_parts, executor)
         current = _explicit_join(db, current, source, join_clause)
     current.materialize()
     return current.relation, combine_and(where_parts)
@@ -154,9 +150,7 @@ def _extract_eq_literals(
     return found, rest
 
 
-def _eq_literal_column(
-    expr: Expression, binding: str, table
-) -> tuple[str, Any] | None:
+def _eq_literal_column(expr: Expression, binding: str, table) -> tuple[str, Any] | None:
     if not (isinstance(expr, BinaryOp) and expr.op == "="):
         return None
     left, right = expr.left, expr.right
@@ -211,10 +205,7 @@ def _join_keys(
     for part in where_parts:
         if not (isinstance(part, BinaryOp) and part.op == "="):
             continue
-        if not (
-            isinstance(part.left, ColumnRef)
-            and isinstance(part.right, ColumnRef)
-        ):
+        if not (isinstance(part.left, ColumnRef) and isinstance(part.right, ColumnRef)):
             continue
         a, b = part.left.name, part.right.name
         if _resolvable(left_env, a) and _resolvable(right_env, b):
@@ -284,9 +275,7 @@ def _equi_join(
                 stats=stats,
             )
             right_width = len(right.relation.names)
-            rows = [
-                row[right_width:] + row[:right_width] for row in flipped
-            ]
+            rows = [row[right_width:] + row[:right_width] for row in flipped]
     else:
         # Hash join, building on the smaller side (Section 3.2's plan).
         left.materialize()
@@ -333,11 +322,7 @@ def _cross_join(left: _Source, right: _Source) -> _Source:
     right.materialize()
     names = left.relation.names + right.relation.names
     types = left.relation.types + right.relation.types
-    rows = [
-        lrow + rrow
-        for lrow in left.relation.rows
-        for rrow in right.relation.rows
-    ]
+    rows = [lrow + rrow for lrow in left.relation.rows for rrow in right.relation.rows]
     return _Source(Relation(names, rows, types), left.binding)
 
 

@@ -90,16 +90,12 @@ class RidSet:
         """
         pairs = list(encoded)
         if len(pairs) % 2 != 0:
-            raise ValueError(
-                f"range encoding must have even length, got {len(pairs)}"
-            )
+            raise ValueError(f"range encoding must have even length, got {len(pairs)}")
         bits = 0
         for position in range(0, len(pairs), 2):
             start, length = pairs[position], pairs[position + 1]
             if start < 0 or length < 1:
-                raise ValueError(
-                    f"bad range (start={start}, length={length})"
-                )
+                raise ValueError(f"bad range (start={start}, length={length})")
             bits |= ((1 << length) - 1) << start
         return cls._from_bits(bits)
 

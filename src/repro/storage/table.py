@@ -49,9 +49,7 @@ class Table:
         self._live_count = 0
         self.indexes: dict[str, Index] = {}
         if schema.primary_key and enforce_primary_key:
-            self.create_index(
-                f"{name}_pkey", list(schema.primary_key), unique=True
-            )
+            self.create_index(f"{name}_pkey", list(schema.primary_key), unique=True)
 
     # ------------------------------------------------------------------ stats
 
@@ -293,9 +291,7 @@ class Table:
         self.stats.index_probes += probes
         return self.fetch_slots(slots)
 
-    def find_where(
-        self, predicate: Callable[[Row], bool]
-    ) -> Iterator[tuple[int, Row]]:
+    def find_where(self, predicate: Callable[[Row], bool]) -> Iterator[tuple[int, Row]]:
         """Scan-and-filter used by engine internals."""
         for slot, row in self.scan():
             if predicate(row):

@@ -140,9 +140,7 @@ def coerce(value: Any, dtype: DataType) -> Any:
                     return ()
                 return tuple(int(part) for part in body.split(","))
     except (ValueError, TypeError) as exc:
-        raise TypeMismatchError(
-            f"cannot coerce {value!r} to {dtype}"
-        ) from exc
+        raise TypeMismatchError(f"cannot coerce {value!r} to {dtype}") from exc
     raise TypeMismatchError(f"cannot coerce {value!r} to {dtype}")
 
 

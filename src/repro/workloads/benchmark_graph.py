@@ -18,7 +18,7 @@ version-diff rule):
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import WorkloadError
@@ -181,13 +181,9 @@ class WorkloadBuilder:
             inserts + len(updated),
             keys=[self._logical_key[rid] for rid in updated],
         )
-        return self._push(
-            (parent,), frozenset(base) | frozenset(fresh), fresh
-        )
+        return self._push((parent,), frozenset(base) | frozenset(fresh), fresh)
 
-    def merge(
-        self, primary: int, secondary: int, inserts: int = 0
-    ) -> int:
+    def merge(self, primary: int, secondary: int, inserts: int = 0) -> int:
         """Merge two versions with primary-key precedence (Section 2.2):
         the primary's records win; the secondary contributes only records
         whose logical key the primary does not carry."""

@@ -91,9 +91,7 @@ def generate_cur(params: CurParameters, name: str = "CUR") -> VersionedWorkload:
         )
         if branches and rng.random() < 0.5:
             branch = rng.choice(branches)
-            branch["tip"] = builder.derive(
-                branch["tip"], inserts, updates, deletes
-            )
+            branch["tip"] = builder.derive(branch["tip"], inserts, updates, deletes)
             branch["age"] += 1
         else:
             mainline = builder.derive(mainline, inserts, updates, deletes)

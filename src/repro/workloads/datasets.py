@@ -98,9 +98,7 @@ def dataset(name: str) -> DatasetConfig:
 
 def workload_schema(workload: VersionedWorkload):
     """The generic integer schema benchmark records use (a1..aN)."""
-    return [
-        (f"a{j + 1}", "int") for j in range(workload.num_attributes)
-    ]
+    return [(f"a{j + 1}", "int") for j in range(workload.num_attributes)]
 
 
 def load_workload(

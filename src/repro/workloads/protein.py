@@ -70,20 +70,12 @@ def rescore_coexpression(
     return out
 
 
-def prune_low_confidence(
-    rows: Sequence[Row], threshold: int = 50
-) -> list[Row]:
+def prune_low_confidence(rows: Sequence[Row], threshold: int = 50) -> list[Row]:
     """Drop interactions whose every evidence channel is below ``threshold``."""
-    return [
-        row
-        for row in rows
-        if max(row[2], row[3], row[4]) >= threshold
-    ]
+    return [row for row in rows if max(row[2], row[3], row[4]) >= threshold]
 
 
-def discover_interactions(
-    rows: Sequence[Row], count: int, seed: int = 17
-) -> list[Row]:
+def discover_interactions(rows: Sequence[Row], count: int, seed: int = 17) -> list[Row]:
     """Append ``count`` newly observed interactions not already present."""
     existing = {(row[0], row[1]) for row in rows}
     rng = random.Random(seed)

@@ -39,9 +39,7 @@ class SciParameters:
         if self.num_versions < 1:
             raise WorkloadError("need at least one version")
         if self.num_branches < 0 or self.num_branches >= self.num_versions:
-            raise WorkloadError(
-                "num_branches must be in [0, num_versions - 1)"
-            )
+            raise WorkloadError("num_branches must be in [0, num_versions - 1)")
         if not 0 <= self.update_fraction <= 1:
             raise WorkloadError("update_fraction must be in [0, 1]")
 

@@ -106,9 +106,7 @@ class TestErrors:
         assert "error" in capsys.readouterr().err
 
     def test_bad_schema_string(self, store, csv_file, capsys):
-        assert run(
-            store, "init", "-n", "x", "-f", csv_file, "-s", "broken"
-        ) == 1
+        assert run(store, "init", "-n", "x", "-f", csv_file, "-s", "broken") == 1
 
     def test_commit_unstaged_table(self, initialized, capsys):
         assert run(initialized, "commit", "-t", "nope") == 1
@@ -188,9 +186,7 @@ class TestLegacyPickleStore:
             "init", "-n", "p", "-f", csv_file,
             "-s", "protein1:text,protein2:text,score:int",
         ) == 0
-        assert run(
-            str(path), "run", "SELECT count(*) FROM VERSION 1 OF CVD p"
-        ) == 0
+        assert run(str(path), "run", "SELECT count(*) FROM VERSION 1 OF CVD p") == 0
 
     def test_legacy_save_leaves_no_temp_file(self, legacy_store, csv_file):
         from pathlib import Path
@@ -212,14 +208,40 @@ class TestOptimizedStatePersistence:
     def test_commit_after_optimize_across_processes(self, initialized, capsys):
         """Partitioned state survives CLI invocations after `optimize`:
         the WAL replays the optimize op (or a snapshot restores the model
-        state), and commits keep working.  Note the live placement policy
-        itself does not survive a snapshot restore — commits then fall
-        back to closest-parent placement (see ROADMAP open items)."""
+        state plus the optimizer's decision state), and commits keep
+        working under the live placement policy."""
         assert run(initialized, "optimize", "p", "--gamma", "2.0") == 0
         assert run(initialized, "checkout", "p", "-v", "1", "-t", "w") == 0
         assert run(initialized, "commit", "-t", "w", "-m", "post") == 0
-        assert run(
-            initialized, "run", "SELECT count(*) FROM VERSION 2 OF CVD p"
-        ) == 0
+        assert run(initialized, "run", "SELECT count(*) FROM VERSION 2 OF CVD p") == 0
         out = capsys.readouterr().out
         assert "committed as version 2" in out
+
+
+class TestStatusCommand:
+    def test_status_before_optimize(self, initialized, capsys):
+        assert run(initialized, "status") == 0
+        out = capsys.readouterr().out
+        assert "store:" in out
+        assert "wal:" in out
+        assert "p: 1 versions, 2 records" in out
+        assert "optimizer" not in out  # unpartitioned CVDs have none
+
+    def test_status_reports_live_optimizer_across_processes(self, initialized, capsys):
+        """The optimizer state `status` reports comes from the store, so
+        it must survive the process boundary between CLI invocations."""
+        assert run(initialized, "optimize", "p") == 0
+        assert run(initialized, "checkout", "p", "-v", "1", "-t", "w") == 0
+        assert run(initialized, "commit", "-t", "w", "-m", "more") == 0
+        capsys.readouterr()
+        assert run(initialized, "status") == 0
+        out = capsys.readouterr().out
+        assert "(partitioned_rlist)" in out
+        assert "optimizer: live" in out
+        assert "delta*" in out
+        # One maintenance sample: the commit after optimize.
+        assert "1 samples" in out
+
+    def test_status_on_empty_store(self, store, capsys):
+        assert run(store, "status") == 0
+        assert "no CVDs" in capsys.readouterr().out

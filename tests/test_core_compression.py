@@ -13,7 +13,7 @@ from repro.core.compression import (
 )
 from repro.errors import StorageError
 from repro.storage.engine import Database
-from repro.workloads import dataset, load_workload
+from repro.workloads import load_workload
 
 rid_sets = st.sets(st.integers(min_value=0, max_value=500), max_size=80)
 
@@ -110,15 +110,11 @@ class TestCompressedModel:
             rows=[(i,) for i in range(20)],
             model="split_by_rlist_rle",
         )
-        assert orpheus.run(
-            "SELECT count(*) FROM VERSION 1 OF CVD c"
-        ).scalar() == 20
+        assert orpheus.run("SELECT count(*) FROM VERSION 1 OF CVD c").scalar() == 20
         orpheus.checkout("c", 1, table_name="w")
         orpheus.db.execute("DELETE FROM w WHERE x >= 10")
         v2 = orpheus.commit("w")
-        assert orpheus.run(
-            "SELECT count(*) FROM VERSION 2 OF CVD c"
-        ).scalar() == 10
+        assert orpheus.run("SELECT count(*) FROM VERSION 2 OF CVD c").scalar() == 10
         assert orpheus.run(
             "SELECT vid, count(*) AS n FROM ALL VERSIONS OF CVD c AS av "
             "GROUP BY vid ORDER BY vid"

@@ -28,9 +28,7 @@ def build_history(model_name: str):
     db = Database()
     model = MODEL_REGISTRY[model_name](db, "cvd", SCHEMA)
     model.create_storage()
-    model.add_version(
-        1, [1, 2, 3], {1: ("a", 10), 2: ("b", 20), 3: ("c", 30)}, ()
-    )
+    model.add_version(1, [1, 2, 3], {1: ("a", 10), 2: ("b", 20), 3: ("c", 30)}, ())
     model.add_version(2, [1, 3, 4], {4: ("d", 40)}, (1,))
     model.add_version(3, [1, 3, 4, 5], {5: ("e", 50)}, (2,))
     return db, model
@@ -91,9 +89,7 @@ class TestModelEquivalence:
 class TestCombinedTable:
     def test_vlist_inverted_index(self):
         db, model = build_history("combined")
-        vlists = dict(
-            db.query("SELECT rid, vlist FROM cvd__combined")
-        )
+        vlists = dict(db.query("SELECT rid, vlist FROM cvd__combined"))
         assert vlists[1] == (1, 2, 3)  # record 1 is in every version
         assert vlists[2] == (1,)
         assert vlists[5] == (3,)
@@ -144,9 +140,7 @@ class TestDelta:
 
     def test_tombstone_recorded(self):
         db, _model = build_history("delta")
-        rows = db.query(
-            "SELECT rid FROM cvd__delta_2 WHERE tombstone = true"
-        )
+        rows = db.query("SELECT rid FROM cvd__delta_2 WHERE tombstone = true")
         assert rows == [(2,)]
 
     def test_merge_picks_largest_common_base(self):
@@ -158,9 +152,7 @@ class TestDelta:
         model.add_version(3, [1], {}, (1,))
         # Merge of v2 (3 common) and v3 (1 common): base must be v2.
         model.add_version(4, [1, 2, 3], {}, (2, 3))
-        assert db.query(
-            "SELECT base FROM cvd__precedent WHERE vid = 4"
-        ) == [(2,)]
+        assert db.query("SELECT base FROM cvd__precedent WHERE vid = 4") == [(2,)]
         assert model.records_of(4) == {
             1: ("a", 1),
             2: ("b", 2),
@@ -181,9 +173,7 @@ class TestTablePerVersion:
     def test_storage_duplicates_records(self):
         db, _tpv = build_history("table_per_version")
         db2, _rlist = build_history("split_by_rlist")
-        stored_tpv = sum(
-            db.table(f"cvd__v{vid}").row_count for vid in (1, 2, 3)
-        )
+        stored_tpv = sum(db.table(f"cvd__v{vid}").row_count for vid in (1, 2, 3))
         stored_rlist = db2.table("cvd__data").row_count
         # 10 stored payload rows (3+3+4) vs 5 deduplicated records.
         assert stored_tpv == 10

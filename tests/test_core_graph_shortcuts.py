@@ -28,8 +28,6 @@ class TestShortcuts:
 
     def test_shortcuts_agree_with_metadata_sql(self, protein_cvd, orpheus):
         """The shortcuts are views over the SQL-visible metadata table."""
-        rows = orpheus.run(
-            "SELECT vid, parents FROM proteins__meta ORDER BY vid"
-        ).rows
+        rows = orpheus.run("SELECT vid, parents FROM proteins__meta ORDER BY vid").rows
         for vid, parents in rows:
             assert orpheus.parents_of("proteins", vid) == parents

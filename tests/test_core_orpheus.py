@@ -26,9 +26,7 @@ class TestInitLsDrop:
         orpheus.init("a", [("x", "int")], rows=[(1,)])
         orpheus.drop("a")
         assert orpheus.ls() == []
-        assert not [
-            t for t in orpheus.db.table_names() if t.startswith("a__")
-        ]
+        assert not [t for t in orpheus.db.table_names() if t.startswith("a__")]
 
     def test_drop_with_staged_checkout_rejected(self, orpheus):
         orpheus.init("a", [("x", "int")], rows=[(1,)])
@@ -146,9 +144,7 @@ class TestCSVWorkflow:
     def test_init_from_csv(self, orpheus, tmp_path):
         path = tmp_path / "init.csv"
         path.write_text("x,y\n1,a\n2,b\n")
-        cvd = orpheus.init_from_csv(
-            "c", path, [("x", "int"), ("y", "text")]
-        )
+        cvd = orpheus.init_from_csv("c", path, [("x", "int"), ("y", "text")])
         assert cvd.record_count == 2
         rows = sorted(r[1:] for r in cvd.checkout_rows([1]))
         assert rows == [(1, "a"), (2, "b")]
@@ -156,9 +152,7 @@ class TestCSVWorkflow:
 
 class TestRunSQL:
     def test_version_query(self, protein_cvd, orpheus):
-        result = orpheus.run(
-            "SELECT count(*) FROM VERSION 2 OF CVD proteins"
-        )
+        result = orpheus.run("SELECT count(*) FROM VERSION 2 OF CVD proteins")
         assert result.rows == [(4,)]
 
     def test_aggregate_across_versions(self, protein_cvd, orpheus):

@@ -13,7 +13,7 @@ from repro.core.cvd import CVD
 from repro.storage.engine import Database
 from repro.storage.schema import Column, TableSchema
 from repro.storage.types import DataType
-from repro.workloads import dataset, load_workload
+from repro.workloads import load_workload
 
 SCHEMA = TableSchema(
     [Column("k", DataType.INTEGER), Column("v", DataType.INTEGER)],
@@ -119,9 +119,7 @@ class TestMembershipInvariants:
             members = cvd.member_rids(version.vid)
             assert len(members) == len(version.members)
             for parent in version.parents:
-                expected = len(
-                    cvd.member_rids(parent) & members
-                )
+                expected = len(cvd.member_rids(parent) & members)
                 assert cvd.graph.edge_weight(parent, version.vid) == expected
 
     def test_bipartite_counts_match_sql_counts(self, sci_cvd):
@@ -181,6 +179,4 @@ class TestDiffProperties:
         flipped_b, flipped_a = cvd.diff(b, a)
         assert sorted(only_a) == sorted(flipped_a)
         assert sorted(only_b) == sorted(flipped_b)
-        assert len(only_a) == len(
-            cvd.member_rids(a) - cvd.member_rids(b)
-        )
+        assert len(only_a) == len(cvd.member_rids(a) - cvd.member_rids(b))

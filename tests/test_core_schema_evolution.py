@@ -1,7 +1,5 @@
 """Tests for single-pool schema evolution (Section 3.3, Figure 5)."""
 
-import pytest
-
 from repro.core.schema_evolution import AttributeCatalog
 from repro.storage.engine import Database
 from repro.storage.schema import Column, TableSchema
@@ -104,9 +102,7 @@ class TestEndToEndEvolution:
     def test_commit_with_new_column(self, orpheus):
         orpheus.init("e", [("a", "int"), ("b", "int")], rows=[(1, 2)])
         orpheus.checkout("e", 1, table_name="w")
-        orpheus.db.table("w").alter_add_column(
-            Column("c", DataType.INTEGER), default=7
-        )
+        orpheus.db.table("w").alter_add_column(Column("c", DataType.INTEGER), default=7)
         vid = orpheus.commit("w", message="added a column")
         cvd = orpheus.cvd("e")
         assert cvd.data_schema.column_names == ["a", "b", "c"]

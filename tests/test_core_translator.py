@@ -7,9 +7,7 @@ from repro.errors import SQLSyntaxError
 
 class TestVersionConstruct:
     def test_single_version_translation(self, protein_cvd, orpheus):
-        sql = orpheus.translator.translate(
-            "SELECT * FROM VERSION 1 OF CVD proteins"
-        )
+        sql = orpheus.translator.translate("SELECT * FROM VERSION 1 OF CVD proteins")
         assert "proteins__versions" in sql
         assert "VERSION" not in sql
 
@@ -26,9 +24,7 @@ class TestVersionConstruct:
         assert "__cvd_rel_" in sql
 
     def test_multiple_vids_union_all(self, protein_cvd, orpheus):
-        result = orpheus.run(
-            "SELECT count(*) FROM VERSION 2, 3 OF CVD proteins"
-        )
+        result = orpheus.run("SELECT count(*) FROM VERSION 2, 3 OF CVD proteins")
         assert result.rows == [(6,)]  # 4 + 2 membership rows
 
     def test_two_constructs_in_one_query(self, protein_cvd, orpheus):
@@ -46,9 +42,7 @@ class TestVersionConstruct:
 
     def test_missing_cvd_keyword_raises(self, protein_cvd, orpheus):
         with pytest.raises(SQLSyntaxError):
-            orpheus.translator.translate(
-                "SELECT * FROM VERSION 1 OF proteins"
-            )
+            orpheus.translator.translate("SELECT * FROM VERSION 1 OF proteins")
 
 
 class TestAllVersionsConstruct:
@@ -78,8 +72,6 @@ class TestAllVersionsConstruct:
 
 class TestDeltaFallback:
     def test_delta_model_materializes(self, orpheus):
-        orpheus.init(
-            "d", [("x", "int")], rows=[(1,), (2,)], model="delta"
-        )
+        orpheus.init("d", [("x", "int")], rows=[(1,), (2,)], model="delta")
         result = orpheus.run("SELECT count(*) FROM VERSION 1 OF CVD d")
         assert result.rows == [(2,)]

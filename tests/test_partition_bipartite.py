@@ -54,9 +54,7 @@ class TestCosts:
         """P1 = {v1, v2}, P2 = {v3, v4}: records r2 r3 r4 are duplicated."""
         partitioning = Partitioning.from_groups([{1, 2}, {3, 4}])
         assert graph.partition_records({1, 2}) == frozenset({1, 2, 3, 4})
-        assert graph.partition_records({3, 4}) == frozenset(
-            {2, 3, 4, 5, 6, 7}
-        )
+        assert graph.partition_records({3, 4}) == frozenset({2, 3, 4, 5, 6, 7})
         assert graph.storage_cost(partitioning) == 4 + 6
         assert graph.checkout_cost(partitioning) == (2 * 4 + 2 * 6) / 4
 
@@ -80,9 +78,7 @@ class TestCosts:
 
     def test_unknown_versions_rejected(self, graph):
         with pytest.raises(PartitionError):
-            graph.storage_cost(
-                Partitioning.from_groups([{1, 2, 3, 4, 99}])
-            )
+            graph.storage_cost(Partitioning.from_groups([{1, 2, 3, 4, 99}]))
 
 
 class TestWeightedCost:

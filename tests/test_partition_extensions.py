@@ -81,9 +81,7 @@ class TestSchemaAware:
         attr_counts, common = uniform_attr_counts(tree, 100)
         scaled = schema_aware_lyresplit(tree, attr_counts, common, 0.5)
         plain = lyresplit(tree, 0.5)
-        assert set(scaled.partitioning.groups) == set(
-            plain.partitioning.groups
-        )
+        assert set(scaled.partitioning.groups) == set(plain.partitioning.groups)
 
     def test_cell_scaling(self):
         tree = small_tree()
@@ -140,18 +138,12 @@ class TestWeightedSearchAndIntegration:
         assert counts == {1: 2, 2: 1}
 
     def test_weighted_optimize_end_to_end(self, orpheus):
-        orpheus.init(
-            "f", [("x", "int")], rows=[(i,) for i in range(30)]
-        )
+        orpheus.init("f", [("x", "int")], rows=[(i,) for i in range(30)])
         tip = 1
         for step in range(6):
             orpheus.checkout("f", tip, table_name="w")
-            orpheus.db.execute(
-                "DELETE FROM w WHERE x = %s", (step,)
-            )
-            orpheus.db.execute(
-                "INSERT INTO w VALUES (NULL, %s)", (100 + step,)
-            )
+            orpheus.db.execute("DELETE FROM w WHERE x = %s", (step,))
+            orpheus.db.execute("INSERT INTO w VALUES (NULL, %s)", (100 + step,))
             tip = orpheus.commit("w")
         # Make the latest version hot, then optimize weighted.
         for i in range(5):

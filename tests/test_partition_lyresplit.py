@@ -74,9 +74,7 @@ class TestAlgorithmBasics:
         tree = reduce_to_tree(sci_cvd.graph, bip.num_records)
         for rule in ("balance", "min_weight"):
             result = lyresplit(tree, 0.5, edge_rule=rule)
-            assert result.partitioning.version_ids() == set(
-                sci_cvd.membership
-            )
+            assert result.partitioning.version_ids() == set(sci_cvd.membership)
 
 
 class TestTheorem2Bounds:
@@ -147,9 +145,7 @@ class TestMonotonicity:
         tree = reduce_to_tree(sci_cvd.graph, bip.num_records)
         low = lyresplit(tree, 0.2)
         high = lyresplit(tree, 0.9)
-        assert bip.storage_cost(low.partitioning) <= bip.storage_cost(
-            high.partitioning
-        )
+        assert bip.storage_cost(low.partitioning) <= bip.storage_cost(high.partitioning)
         assert bip.checkout_cost(low.partitioning) >= bip.checkout_cost(
             high.partitioning
         )

@@ -6,7 +6,7 @@ from repro.partition.bipartite import BipartiteGraph, Partitioning
 from repro.partition.migration import plan_intelligent, plan_naive
 from repro.partition.online import PartitionOptimizer
 from repro.storage.engine import Database
-from repro.workloads import dataset, load_workload
+from repro.workloads import load_workload
 
 
 @pytest.fixture
@@ -76,9 +76,7 @@ class TestPhysicalPartitioning:
         # Wire a facade around the existing db/cvd for translation.
         orpheus = OrpheusDB(cvd.db)
         orpheus._cvds["sci"] = cvd
-        count = orpheus.run(
-            "SELECT count(*) FROM VERSION 1 OF CVD sci"
-        ).scalar()
+        count = orpheus.run("SELECT count(*) FROM VERSION 1 OF CVD sci").scalar()
         assert count == len(cvd.member_rids(1))
         total = orpheus.run(
             "SELECT count(*) FROM ALL VERSIONS OF CVD sci AS av"
@@ -110,12 +108,8 @@ class TestOnlineMaintenance:
     def test_disjoint_commit_opens_new_partition(self, optimized):
         cvd, optimizer = optimized
         parent = cvd.graph.leaves()[0]
-        new_records = {
-            cvd.allocate_rid(): tuple(range(10)) for _ in range(20)
-        }
-        vid = cvd.ingest_version(
-            (parent,), list(new_records), new_records, "disjoint"
-        )
+        new_records = {cvd.allocate_rid(): tuple(range(10)) for _ in range(20)}
+        vid = cvd.ingest_version((parent,), list(new_records), new_records, "disjoint")
         assert cvd.model.partition_of(vid) != cvd.model.partition_of(parent)
 
     def test_after_commit_records_trace(self, optimized):
@@ -130,9 +124,7 @@ class TestOnlineMaintenance:
     def test_tolerance_triggers_migration(self, sci_tiny):
         db = Database()
         cvd = load_workload(db, "sci", sci_tiny)
-        optimizer = PartitionOptimizer(
-            cvd, storage_multiple=2.0, tolerance=1.05
-        )
+        optimizer = PartitionOptimizer(cvd, storage_multiple=2.0, tolerance=1.05)
         best = optimizer.run_full_partitioning()
         # Degrade the layout to a single partition: Cavg jumps to |R|,
         # crossing mu * C*avg, so the next commit must fire a migration.
@@ -191,9 +183,7 @@ class TestMigrationPlanning:
         half = len(vids) // 2
         old_groups = [set(vids[:half]), set(vids[half:])]
         old_rids = [bip.partition_records(g) for g in old_groups]
-        new = Partitioning.from_groups(
-            [set(vids[: half + 3]), set(vids[half + 3 :])]
-        )
+        new = Partitioning.from_groups([set(vids[: half + 3]), set(vids[half + 3 :])])
         smart = plan_intelligent([set(r) for r in old_rids], new, members)
         naive = plan_naive(new, members)
         assert smart.modifications <= naive.modifications

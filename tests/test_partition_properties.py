@@ -5,8 +5,8 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.partition.bipartite import BipartiteGraph, Partitioning
-from repro.partition.dag_reduction import VersionTreeView, tree_from_mappings
+from repro.partition.bipartite import BipartiteGraph
+from repro.partition.dag_reduction import tree_from_mappings
 from repro.partition.delta_search import search_delta
 from repro.partition.lyresplit import lyresplit
 from repro.partition.migration import plan_intelligent, plan_naive
@@ -46,9 +46,7 @@ def random_history(num_versions: int, seed: int):
     return tree, BipartiteGraph(members)
 
 
-tree_params = st.tuples(
-    st.integers(min_value=2, max_value=30), st.integers(0, 10**6)
-)
+tree_params = st.tuples(st.integers(min_value=2, max_value=30), st.integers(0, 10**6))
 
 
 class TestLyreSplitProperties:
@@ -61,10 +59,7 @@ class TestLyreSplitProperties:
         # rejects overlaps), and costs are computable.
         assert result.partitioning.version_ids() == set(tree.parent)
         assert bip.storage_cost(result.partitioning) >= bip.num_records
-        assert (
-            bip.checkout_cost(result.partitioning)
-            >= bip.min_checkout_cost - 1e-9
-        )
+        assert (bip.checkout_cost(result.partitioning) >= bip.min_checkout_cost - 1e-9)
 
     @given(tree_params, st.floats(min_value=0.05, max_value=1.0))
     @settings(max_examples=50, deadline=None)

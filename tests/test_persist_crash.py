@@ -10,7 +10,6 @@ import pytest
 
 from repro.core.datamodels import MODEL_REGISTRY
 from repro.persist import Store
-from repro.persist.wal import WriteAheadLog
 
 from test_persist_roundtrip import build_history, materialize_all
 
@@ -75,9 +74,7 @@ class TestCrashScenarios:
     def test_torn_commit_record_rolls_back_only_that_commit(self, tmp_path):
         store = Store.open(tmp_path / "store", checkpoint_interval=0)
         orpheus = store.orpheus
-        orpheus.init(
-            "t", [("k", "text"), ("v", "int")], rows=[("a", 1), ("b", 2)]
-        )
+        orpheus.init("t", [("k", "text"), ("v", "int")], rows=[("a", 1), ("b", 2)])
         orpheus.checkout("t", 1, table_name="w")
         orpheus.run("UPDATE w SET v = 10 WHERE k = 'a'")
         orpheus.commit("w", message="durable")
@@ -201,9 +198,7 @@ class TestCrashScenarios:
         for step in range(4):
             before = store.wal_size_bytes()
             orpheus.checkout("t", step + 1, table_name="w")
-            orpheus.run(
-                f"INSERT INTO w VALUES (NULL, {1000 + step}, {step})"
-            )
+            orpheus.run(f"INSERT INTO w VALUES (NULL, {1000 + step}, {step})")
             orpheus.commit("w", message=f"step {step}")
             sizes.append(store.wal_size_bytes() - before)
         crash(store)

@@ -43,9 +43,7 @@ def build_history(orpheus, model):
         "UPDATE w2 SET coexpression = 83 "
         "WHERE protein1 = 'ENSP273047' AND protein2 = 'ENSP261890'"
     )
-    orpheus.run(
-        "INSERT INTO w2 VALUES (NULL, 'ENSP309334', 'ENSP346022', 0, 227, 975)"
-    )
+    orpheus.run("INSERT INTO w2 VALUES (NULL, 'ENSP309334', 'ENSP346022', 0, 227, 975)")
     orpheus.commit("w2", message="rescore + discover")
     orpheus.checkout("proteins", 1, table_name="w3")
     orpheus.run("DELETE FROM w3 WHERE protein1 = 'ENSP300413'")
@@ -56,9 +54,7 @@ def build_history(orpheus, model):
 
 def materialize_all(orpheus, name="proteins"):
     cvd = orpheus.cvd(name)
-    return {
-        vid: cvd.checkout_rows([vid]) for vid in cvd.graph.version_ids()
-    }
+    return {vid: cvd.checkout_rows([vid]) for vid in cvd.graph.version_ids()}
 
 
 @pytest.mark.parametrize("model", ALL_MODELS)
@@ -161,9 +157,7 @@ class TestStoreBehaviour:
         store = Store.open(
             tmp_path / "store", checkpoint_interval=0, checkpoint_bytes=256
         )
-        store.orpheus.init(
-            "big", [("v", "int")], rows=[(i,) for i in range(100)]
-        )
+        store.orpheus.init("big", [("v", "int")], rows=[(i,) for i in range(100)])
         # The init record alone crossed the byte threshold.
         assert (store.path / "CURRENT").exists()
         assert store.wal_size_bytes() == 0
@@ -173,9 +167,7 @@ class TestStoreBehaviour:
         store = Store.open(
             tmp_path / "store", checkpoint_interval=0, checkpoint_bytes=0
         )
-        store.orpheus.init(
-            "big", [("v", "int")], rows=[(i,) for i in range(100)]
-        )
+        store.orpheus.init("big", [("v", "int")], rows=[(i,) for i in range(100)])
         store.close(sync=False)
         assert not (tmp_path / "store" / "CURRENT").exists()
 
@@ -193,9 +185,7 @@ class TestStoreBehaviour:
         for index in range(5):
             store.orpheus.create_user(f"user{index}")
             store.checkpoint()
-        snapshots = sorted(
-            entry.name for entry in (store.path / "snapshots").iterdir()
-        )
+        snapshots = sorted(entry.name for entry in (store.path / "snapshots").iterdir())
         assert len(snapshots) == 2  # retention: active + one predecessor
         store.close()
 
@@ -248,9 +238,7 @@ class TestStoreBehaviour:
         """Snapshots must not inflate the records-touched counters the
         paper's cost-model benchmarks observe."""
         store = Store.open(tmp_path / "store")
-        store.orpheus.init(
-            "t", [("v", "int")], rows=[(i,) for i in range(50)]
-        )
+        store.orpheus.init("t", [("v", "int")], rows=[(i,) for i in range(50)])
         store.orpheus.db.reset_stats()
         store.checkpoint()
         assert store.orpheus.db.stats.records_scanned == 0

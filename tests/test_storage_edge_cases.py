@@ -8,7 +8,6 @@ from repro.errors import (
     ExecutionError,
     SQLSyntaxError,
 )
-from repro.storage.engine import Database
 
 
 class TestExpressionEdges:
@@ -66,12 +65,8 @@ class TestAggregateEdges:
     def test_having_without_group_by(self, db):
         db.execute("CREATE TABLE t (v int)")
         db.execute("INSERT INTO t VALUES (1), (2)")
-        assert db.query(
-            "SELECT sum(v) FROM t HAVING count(*) > 5"
-        ) == []
-        assert db.query(
-            "SELECT sum(v) FROM t HAVING count(*) = 2"
-        ) == [(3,)]
+        assert db.query("SELECT sum(v) FROM t HAVING count(*) > 5") == []
+        assert db.query("SELECT sum(v) FROM t HAVING count(*) = 2") == [(3,)]
 
     def test_aggregate_outside_group_context_raises(self, db):
         db.execute("CREATE TABLE t (v int)")

@@ -12,9 +12,7 @@ from repro.storage.engine import Database
 
 @pytest.fixture
 def loaded(db: Database) -> Database:
-    db.execute(
-        "CREATE TABLE emp (id int PRIMARY KEY, dept text, salary int)"
-    )
+    db.execute("CREATE TABLE emp (id int PRIMARY KEY, dept text, salary int)")
     db.execute(
         "INSERT INTO emp VALUES (1,'eng',100),(2,'eng',120),"
         "(3,'sales',90),(4,'sales',95),(5,'hr',70)"
@@ -35,9 +33,7 @@ class TestSelectBasics:
         assert db.query("SELECT 1 + 2") == [(3,)]
 
     def test_order_by_desc_and_limit_offset(self, loaded):
-        rows = loaded.query(
-            "SELECT id FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 1"
-        )
+        rows = loaded.query("SELECT id FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 1")
         assert rows == [(1,), (4,)]
 
     def test_distinct(self, loaded):
@@ -45,7 +41,8 @@ class TestSelectBasics:
         assert rows == [("eng",), ("hr",), ("sales",)]
 
     def test_between_like_in(self, loaded):
-        assert len(loaded.query("SELECT * FROM emp WHERE salary BETWEEN 90 AND 100")) == 3
+        rows = loaded.query("SELECT * FROM emp WHERE salary BETWEEN 90 AND 100")
+        assert len(rows) == 3
         assert len(loaded.query("SELECT * FROM emp WHERE dept LIKE 's%'")) == 2
         assert len(loaded.query("SELECT * FROM emp WHERE id IN (1, 3)")) == 2
 
@@ -85,9 +82,7 @@ class TestAggregates:
         assert loaded.query("SELECT count(DISTINCT dept) FROM emp") == [(3,)]
 
     def test_array_agg(self, loaded):
-        rows = loaded.query(
-            "SELECT array_agg(id) FROM emp WHERE dept = 'eng'"
-        )
+        rows = loaded.query("SELECT array_agg(id) FROM emp WHERE dept = 'eng'")
         assert rows == [((1, 2),)]
 
     def test_aggregate_on_empty_input(self, loaded):
@@ -107,9 +102,7 @@ class TestJoins:
     @pytest.fixture
     def with_depts(self, loaded):
         loaded.execute("CREATE TABLE dept (name text PRIMARY KEY, floor int)")
-        loaded.execute(
-            "INSERT INTO dept VALUES ('eng', 3), ('sales', 1), ('legal', 9)"
-        )
+        loaded.execute("INSERT INTO dept VALUES ('eng', 3), ('sales', 1), ('legal', 9)")
         return loaded
 
     def test_implicit_equi_join(self, with_depts):
@@ -188,9 +181,7 @@ class TestArraysInSQL:
     @pytest.fixture
     def versioned(self, db):
         db.execute("CREATE TABLE vt (vid int PRIMARY KEY, rlist int[])")
-        db.execute(
-            "INSERT INTO vt VALUES (1, ARRAY[10, 11]), (2, ARRAY[11, 12, 13])"
-        )
+        db.execute("INSERT INTO vt VALUES (1, ARRAY[10, 11]), (2, ARRAY[11, 12, 13])")
         return db
 
     def test_containment_checkout_predicate(self, versioned):
@@ -198,9 +189,7 @@ class TestArraysInSQL:
         assert sorted(rows) == [(1,), (2,)]
 
     def test_unnest_expansion(self, versioned):
-        rows = versioned.query(
-            "SELECT unnest(rlist) AS r FROM vt WHERE vid = 2"
-        )
+        rows = versioned.query("SELECT unnest(rlist) AS r FROM vt WHERE vid = 2")
         assert rows == [(11,), (12,), (13,)]
 
     def test_append_via_update(self, versioned):
@@ -212,12 +201,8 @@ class TestArraysInSQL:
     def test_array_subquery_insert(self, versioned):
         versioned.execute("CREATE TABLE src (r int)")
         versioned.execute("INSERT INTO src VALUES (7), (8)")
-        versioned.execute(
-            "INSERT INTO vt VALUES (3, ARRAY[SELECT r FROM src])"
-        )
-        assert versioned.query("SELECT rlist FROM vt WHERE vid = 3") == [
-            ((7, 8),)
-        ]
+        versioned.execute("INSERT INTO vt VALUES (3, ARRAY[SELECT r FROM src])")
+        assert versioned.query("SELECT rlist FROM vt WHERE vid = 3") == [((7, 8),)]
 
     def test_overlap_and_cardinality(self, versioned):
         rows = versioned.query(
@@ -248,9 +233,7 @@ class TestDML:
 
     def test_insert_select(self, loaded):
         loaded.execute("CREATE TABLE rich (id int, salary int)")
-        loaded.execute(
-            "INSERT INTO rich SELECT id, salary FROM emp WHERE salary > 95"
-        )
+        loaded.execute("INSERT INTO rich SELECT id, salary FROM emp WHERE salary > 95")
         assert loaded.query("SELECT count(*) FROM rich") == [(2,)]
 
     def test_duplicate_pk_via_sql(self, loaded):

@@ -43,9 +43,7 @@ class TestHashJoin:
         assert out == EXPECTED
 
     def test_build_side_order_flag(self):
-        out = sorted(
-            hash_join(RIGHT, [0], LEFT, [0], build_side_first=False)
-        )
+        out = sorted(hash_join(RIGHT, [0], LEFT, [0], build_side_first=False))
         assert out == EXPECTED
 
     def test_null_keys_never_match(self):
@@ -67,9 +65,7 @@ class TestMergeJoin:
         stats = IOStats()
         left = sorted(LEFT)
         right = sorted(RIGHT)
-        out = sorted(
-            merge_join(left, [0], right, [0], stats=stats, assume_sorted=True)
-        )
+        out = sorted(merge_join(left, [0], right, [0], stats=stats, assume_sorted=True))
         assert out == EXPECTED
         assert stats.sort_rows == 0
 
@@ -87,9 +83,7 @@ class TestMergeJoin:
 class TestIndexNestedLoopJoin:
     def test_basic(self):
         inner = _inner_table(RIGHT)
-        out = sorted(
-            index_nested_loop_join(LEFT, [0], inner, ["k"])
-        )
+        out = sorted(index_nested_loop_join(LEFT, [0], inner, ["k"]))
         assert out == EXPECTED
 
     def test_probes_counted(self):
@@ -105,9 +99,7 @@ class TestIndexNestedLoopJoin:
 
 
 keys = st.integers(min_value=0, max_value=8)
-rows = st.lists(
-    st.tuples(keys, st.integers(min_value=0, max_value=100)), max_size=25
-)
+rows = st.lists(st.tuples(keys, st.integers(min_value=0, max_value=100)), max_size=25)
 
 
 class TestJoinEquivalence:

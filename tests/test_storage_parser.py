@@ -118,9 +118,7 @@ class TestParseSelect:
         assert isinstance(stmt.where.left, ArrayLiteral)
 
     def test_params_substituted(self):
-        stmt = parse_statement(
-            "SELECT * FROM t WHERE a = %s AND b = ?", (10, "x")
-        )
+        stmt = parse_statement("SELECT * FROM t WHERE a = %s AND b = ?", (10, "x"))
         conj = stmt.where
         assert conj.left.right == Literal(10)
         assert conj.right.right == Literal("x")
@@ -213,16 +211,12 @@ class TestParseDDL:
         assert stmt.columns[2].not_null
 
     def test_create_table_inline_pk_and_array(self):
-        stmt = parse_statement(
-            "CREATE TABLE vt (vid int PRIMARY KEY, rlist int[])"
-        )
+        stmt = parse_statement("CREATE TABLE vt (vid int PRIMARY KEY, rlist int[])")
         assert stmt.primary_key == ("vid",)
         assert stmt.columns[1].dtype is DataType.INT_ARRAY
 
     def test_create_table_if_not_exists(self):
-        assert parse_statement(
-            "CREATE TABLE IF NOT EXISTS t (a int)"
-        ).if_not_exists
+        assert parse_statement("CREATE TABLE IF NOT EXISTS t (a int)").if_not_exists
 
     def test_create_index(self):
         stmt = parse_statement("CREATE UNIQUE INDEX i ON t USING btree (a, b)")

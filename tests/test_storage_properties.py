@@ -65,9 +65,7 @@ class TestOrderingProperties:
     def test_limit_prefix_of_order(self, data, limit):
         db = _load(data)
         full = db.query("SELECT a, b FROM t ORDER BY a, b")
-        limited = db.query(
-            f"SELECT a, b FROM t ORDER BY a, b LIMIT {limit}"
-        )
+        limited = db.query(f"SELECT a, b FROM t ORDER BY a, b LIMIT {limit}")
         assert limited == full[:limit]
 
 
@@ -77,9 +75,7 @@ class TestDMLProperties:
         db = _load(data)
         deleted = db.execute("DELETE FROM t WHERE a = %s", (pivot,)).rowcount
         assert deleted == sum(1 for a, _b in data if a == pivot)
-        assert db.query("SELECT count(*) FROM t") == [
-            (len(data) - deleted,)
-        ]
+        assert db.query("SELECT count(*) FROM t") == [(len(data) - deleted,)]
 
     @given(rows)
     @settings(max_examples=25)
@@ -87,9 +83,7 @@ class TestDMLProperties:
         db = _load(data)
         db.execute("UPDATE t SET b = b + 1")
         assert db.query("SELECT count(*) FROM t") == [(len(data),)]
-        assert sorted(db.query("SELECT a FROM t")) == sorted(
-            (a,) for a, _b in data
-        )
+        assert sorted(db.query("SELECT a FROM t")) == sorted((a,) for a, _b in data)
 
     @given(rows)
     def test_select_into_roundtrip(self, data):

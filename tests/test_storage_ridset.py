@@ -215,11 +215,7 @@ class TestArrayOperatorFastPaths:
         )
         huge = 10**15
         db.execute("INSERT INTO t VALUES (1, %s)", ((1, huge),))
-        rows = db.query(
-            "SELECT vid FROM t WHERE rlist @> ARRAY[%s]", (huge,)
-        )
+        rows = db.query("SELECT vid FROM t WHERE rlist @> ARRAY[%s]", (huge,))
         assert [row[0] for row in rows] == [1]
-        rows = db.query(
-            "SELECT vid FROM t WHERE ARRAY[%s] <@ rlist", (huge + 1,)
-        )
+        rows = db.query("SELECT vid FROM t WHERE ARRAY[%s] <@ rlist", (huge + 1,))
         assert rows == []

@@ -58,9 +58,7 @@ class TestSciGenerator:
         params = SciParameters(20, 3, 10, seed=5)
         a = generate_sci(params)
         b = generate_sci(params)
-        assert [v.members for v in a.versions] == [
-            v.members for v in b.versions
-        ]
+        assert [v.members for v in a.versions] == [v.members for v in b.versions]
         different = generate_sci(SciParameters(20, 3, 10, seed=6))
         assert [v.members for v in a.versions] != [
             v.members for v in different.versions
@@ -88,9 +86,7 @@ class TestCurGenerator:
             primary, secondary = version.parents
             inherited = version.members - set(version.new_rids)
             assert by_vid[primary].members <= version.members
-            assert inherited <= (
-                by_vid[primary].members | by_vid[secondary].members
-            )
+            assert inherited <= (by_vid[primary].members | by_vid[secondary].members)
 
     def test_loadable_into_cvd(self, cur_cvd, cur_tiny):
         assert cur_cvd.version_count == cur_tiny.num_versions
