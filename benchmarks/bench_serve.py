@@ -1,0 +1,327 @@
+"""Serving-layer benchmark: concurrent cached readers vs the single store.
+
+The serve tentpole adds read-only store opens plus a session pool with a
+version-aware checkout cache.  This benchmark replays one deterministic
+request trace (seeded, skewed toward recent versions — the regime a
+serving tier lives in) three ways:
+
+* **baseline** — one exclusive store, no cache: every request re-merges
+  its version set from scratch (the pre-serve cost of read traffic);
+* **serve x1** — a ServeManager with one pooled read-only session;
+* **serve x4** — four pooled sessions driven by four client threads.
+
+Acceptance (full mode): aggregate checkout throughput with 4 readers must
+be >= 2x the single-store baseline reader.  A full run also reports
+multi-*process* reader scaling (read-only opens are what make that legal
+at all); its ratio is advisory — it tracks the machine's core count.
+
+Wall-clock ratios stay advisory in CI; the regression gate compares the
+deterministic counters (cache hits/misses and logical records touched for
+the fixed trace) in ``BENCH_serve.json`` against the committed smoke
+baseline.
+
+Run directly for the full sweep::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import print_header
+from repro.persist import Store
+from repro.serve import ServeManager
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+FULL = {
+    "root_records": 20_000,
+    "num_versions": 40,
+    "churn": 300,
+    "requests": 600,
+    "trace_seed": 23,
+}
+SMOKE = {
+    "root_records": 1_500,
+    "num_versions": 12,
+    "churn": 60,
+    "requests": 150,
+    "trace_seed": 23,
+}
+
+
+# ----------------------------------------------------------------- workload
+
+
+def build_store(path: Path, config: dict) -> None:
+    """A chained history: every version deletes a slice and inserts churn."""
+    churn = config["churn"]
+    with Store.open(path, checkpoint_interval=0) as store:
+        orpheus = store.orpheus
+        orpheus.init(
+            "bench",
+            [("id", "int"), ("grp", "text"), ("val", "int")],
+            rows=[(i, f"g{i % 7}", i % 101) for i in range(config["root_records"])],
+            primary_key=("id",),
+            message="root",
+        )
+        for step in range(config["num_versions"] - 1):
+            vid = step + 1
+            work = f"w{step}"
+            orpheus.checkout("bench", vid, table_name=work)
+            low = step * churn
+            orpheus.run(
+                f"DELETE FROM {work} WHERE id >= {low} AND id < {low + churn // 3}"
+            )
+            base = 1_000_000 + step * churn
+            values = ", ".join(
+                f"({base + i}, 'g{i % 7}', {(step + i) % 101})" for i in range(churn)
+            )
+            orpheus.run(f"INSERT INTO {work} (id, grp, val) VALUES {values}")
+            orpheus.commit(work, message=f"v{vid + 1}")
+        # Readers should recover from a snapshot, not replay the build.
+        store.checkpoint()
+
+
+def build_trace(config: dict) -> list[tuple[int, ...]]:
+    """Deterministic skewed request trace: mostly hot (recent) versions,
+    single- and multi-version checkouts mixed."""
+    rng = random.Random(config["trace_seed"])
+    vids = list(range(1, config["num_versions"] + 1))
+    weights = [vid * vid for vid in vids]  # recency skew
+    trace = []
+    for _ in range(config["requests"]):
+        size = rng.choice((1, 1, 1, 1, 2, 2, 3))
+        chosen = set()
+        while len(chosen) < size:
+            chosen.add(rng.choices(vids, weights=weights, k=1)[0])
+        trace.append(tuple(sorted(chosen)))
+    return trace
+
+
+# -------------------------------------------------------------- measurement
+
+
+def run_baseline(path: Path, trace) -> dict:
+    """The pre-serve path: exclusive store, uncached merges per request."""
+    with Store.open(path, checkpoint_interval=0) as store:
+        orpheus = store.orpheus
+        orpheus.db.reset_stats()
+        started = time.perf_counter()
+        checksum = 0
+        for vids in trace:
+            checksum += len(orpheus.checkout_rows("bench", list(vids)))
+        seconds = time.perf_counter() - started
+        stats = orpheus.db.stats.snapshot()
+    return {
+        "seconds": seconds,
+        "throughput": len(trace) / seconds if seconds else float("inf"),
+        "rows_served": checksum,
+        "records_scanned": stats.records_scanned,
+        "total_touched": stats.total_touched,
+    }
+
+
+def run_serve(path: Path, trace, readers: int, threads: int) -> dict:
+    """The serving layer: ``threads`` clients over ``readers`` sessions."""
+    with ServeManager(path, readers=readers, cache_capacity=512) as manager:
+        for session in manager._sessions:
+            session.orpheus.db.reset_stats()
+        checksums = [0] * max(1, threads)
+        started = time.perf_counter()
+        if threads <= 1:
+            for vids in trace:
+                checksums[0] += len(manager.checkout("bench", list(vids)))
+        else:
+            slices = [trace[i::threads] for i in range(threads)]
+
+            def client(worker: int) -> None:
+                total = 0
+                for vids in slices[worker]:
+                    total += len(manager.checkout("bench", list(vids)))
+                checksums[worker] = total
+
+            pool = [
+                threading.Thread(target=client, args=(n,)) for n in range(threads)
+            ]
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+        seconds = time.perf_counter() - started
+        scanned = sum(
+            session.orpheus.db.stats.records_scanned
+            for session in manager._sessions
+        )
+        stats = manager.cache.stats
+        return {
+            "readers": readers,
+            "threads": threads,
+            "seconds": seconds,
+            "throughput": len(trace) / seconds if seconds else float("inf"),
+            "rows_served": sum(checksums),
+            "records_scanned": scanned,
+            "cache_hits": stats.hits,
+            "cache_misses": stats.misses,
+        }
+
+
+def run_multiprocess(path: Path, trace, processes: int) -> dict:
+    """Aggregate throughput of N reader *processes* (read-only opens)."""
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    out: "multiprocessing.Queue" = context.Queue()
+
+    def reader(worker: int) -> None:
+        store = Store.open(path, mode="ro")
+        begun = time.perf_counter()
+        served = 0
+        for vids in trace[worker::processes]:
+            served += len(store.orpheus.checkout_rows("bench", list(vids)))
+        out.put((worker, served, time.perf_counter() - begun))
+        store.close()
+
+    started = time.perf_counter()
+    pool = [context.Process(target=reader, args=(n,)) for n in range(processes)]
+    for process in pool:
+        process.start()
+    for process in pool:
+        process.join()
+    seconds = time.perf_counter() - started
+    results = [out.get() for _ in range(processes)]
+    return {
+        "processes": processes,
+        "seconds": seconds,
+        "throughput": len(trace) / seconds if seconds else float("inf"),
+        "rows_served": sum(served for _worker, served, _s in results),
+    }
+
+
+def measure(config: dict, base_dir: Path) -> dict:
+    store_path = base_dir / "serve-bench-store"
+    build_store(store_path, config)
+    trace = build_trace(config)
+    distinct = len(set(trace))
+    with Store.open(store_path, mode="ro") as probe:
+        num_records = probe.orpheus.cvd("bench").record_count
+
+    baseline = run_baseline(store_path, trace)
+    serve1 = run_serve(store_path, trace, readers=1, threads=1)
+    serve4 = run_serve(store_path, trace, readers=4, threads=4)
+
+    out = {
+        "bench": "serve",
+        "config": dict(config),
+        "num_versions": config["num_versions"],
+        "num_records": num_records,
+        "trace": {"requests": len(trace), "distinct_sets": distinct},
+        "baseline": baseline,
+        "serve_x1": serve1,
+        "serve_x4": serve4,
+        "speedup_x4_vs_baseline": serve4["throughput"] / baseline["throughput"],
+        "speedup_x1_vs_baseline": serve1["throughput"] / baseline["throughput"],
+    }
+    # Every path must serve the identical logical rows for the trace.
+    assert baseline["rows_served"] == serve1["rows_served"] == serve4["rows_served"]
+
+    # Deterministic figures for the CI regression gate, measured on the
+    # sequential serve pass (thread interleavings would perturb hit order).
+    out["counters"] = {
+        "serve_cache_misses": serve1["cache_misses"],
+        "serve_records_scanned": serve1["records_scanned"],
+        "baseline_records_scanned": baseline["records_scanned"],
+        "scanned_per_request": serve1["records_scanned"] / len(trace),
+    }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small configuration for CI; emits JSON, skips ratio asserts",
+    )
+    args = parser.parse_args(argv)
+    config = SMOKE if args.smoke else FULL
+    print_header(
+        f"Serving-layer benchmark ({config['num_versions']} versions x "
+        f"{config['root_records']} root records, {config['requests']} requests)"
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        result = measure(config, Path(tmp))
+        if not args.smoke:
+            store_path = Path(tmp) / "serve-bench-store"
+            trace = build_trace(config)
+            result["multiprocess_x1"] = run_multiprocess(store_path, trace, 1)
+            result["multiprocess_x4"] = run_multiprocess(store_path, trace, 4)
+    result["mode"] = "smoke" if args.smoke else "full"
+
+    for name in ("baseline", "serve_x1", "serve_x4"):
+        entry = result[name]
+        extra = (
+            f"   hits {entry['cache_hits']:>5}  misses {entry['cache_misses']:>4}"
+            if "cache_hits" in entry
+            else ""
+        )
+        print(
+            f"  {name:<9} {entry['seconds'] * 1e3:9.1f} ms   "
+            f"{entry['throughput']:9.0f} req/s{extra}"
+        )
+    print(
+        f"  aggregate throughput, 4 readers vs 1 baseline reader: "
+        f"{result['speedup_x4_vs_baseline']:.1f}x"
+    )
+    if result["mode"] == "full":
+        mp1, mp4 = result["multiprocess_x1"], result["multiprocess_x4"]
+        print(
+            f"  multiprocess readers  x1 {mp1['throughput']:9.0f} req/s   "
+            f"x4 {mp4['throughput']:9.0f} req/s "
+            f"({mp4['throughput'] / mp1['throughput']:.1f}x, core-bound)"
+        )
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {OUTPUT}")
+    if not args.smoke:
+        ratio = result["speedup_x4_vs_baseline"]
+        if ratio < 2.0:
+            print(f"ACCEPTANCE FAILED: {ratio:.1f}x < 2x vs single-store baseline")
+            return 1
+        print("acceptance: >=2x aggregate checkout throughput with 4 readers")
+    return 0
+
+
+# ------------------------------------------------------- pytest acceptance
+
+
+class TestServeAcceptance:
+    """Deterministic equivalence checks (timing-free, safe for CI)."""
+
+    def test_serve_paths_agree_with_baseline(self, tmp_path):
+        config = dict(SMOKE, root_records=400, num_versions=6, requests=40)
+        result = measure(config, tmp_path)
+        assert result["baseline"]["rows_served"] > 0
+        # The trace repeats version sets, so the cache must actually hit
+        # and spare the engine most of the baseline's logical reads.
+        assert result["serve_x1"]["cache_hits"] > 0
+        counters = result["counters"]
+        assert counters["serve_cache_misses"] <= result["trace"]["distinct_sets"]
+        assert counters["serve_records_scanned"] < (
+            counters["baseline_records_scanned"]
+        )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

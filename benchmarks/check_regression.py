@@ -1,12 +1,16 @@
-"""Benchmark regression gate: compare a smoke run against the baseline.
+"""Benchmark regression gate: compare a smoke run against its baseline.
 
-CI runs ``bench_checkout.py --smoke`` and then this script, which compares
-the fresh ``BENCH_checkout.json`` against the committed smoke baseline
-(``benchmarks/BENCH_checkout_smoke.json``).  Only *deterministic* figures
-are gated — logical-I/O operation counts and per-row ratios, which are
+CI runs each benchmark in ``--smoke`` mode and then this script, which
+compares the fresh JSON against the committed smoke baseline.  Only
+*deterministic* figures are gated — logical-I/O operation counts, cache
+hit/miss counts for a fixed trace, and per-row ratios, all of which are
 machine-independent for a given code state and workload seed — so the gate
 fails on real plan/algorithm regressions and never on shared-runner noise.
 Wall-clock speedups in the same JSON stay advisory.
+
+Each benchmark family declares its own shape fields and gated counters in
+``BENCH_PROFILES``, selected by the result's ``"bench"`` field (absent in
+older files, which are the checkout family).
 
 Policy: a gated counter may not exceed its baseline by more than
 ``--threshold`` (default 30%).  Improvements pass (and are reported);
@@ -18,8 +22,8 @@ comparing apples to oranges.
 Usage::
 
     python benchmarks/check_regression.py BENCH_checkout.json
-    python benchmarks/check_regression.py BENCH_checkout.json \
-        --baseline benchmarks/BENCH_checkout_smoke.json --threshold 0.3
+    python benchmarks/check_regression.py BENCH_serve.json \
+        --baseline benchmarks/BENCH_serve_smoke.json --threshold 0.3
     python benchmarks/check_regression.py BENCH_checkout.json \
         --update-baseline
 """
@@ -35,29 +39,47 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_checkout_smoke.json"
 DEFAULT_THRESHOLD = 0.30
 
 #: Deterministic fields that must match the baseline exactly — they define
-#: the workload; any drift means the counters below are incomparable.
-SHAPE_FIELDS = [
-    ("num_versions",),
-    ("num_records",),
-    ("bipartite_edges",),
-    ("checkout", "merged_rows"),
-    ("diff", "rows_only_a"),
-    ("diff", "rows_only_b"),
-    ("optimize", "partitions"),
-    ("optimize", "storage_cost"),
-]
-
-#: Deterministic op counts/ratios gated at the slowdown threshold.
-GATED_COUNTERS = [
-    "checkout_records_scanned",
-    "checkout_index_probes",
-    "checkout_total_touched",
-    "diff_records_scanned",
-    "diff_index_probes",
-    "diff_total_touched",
-    "optimize_search_iterations",
-    "touched_per_merged_row",
-]
+#: the workload; any drift means the gated counters are incomparable.
+#: Keyed by the result's ``"bench"`` field (default: checkout).
+BENCH_PROFILES = {
+    "checkout": {
+        "shape": [
+            ("num_versions",),
+            ("num_records",),
+            ("bipartite_edges",),
+            ("checkout", "merged_rows"),
+            ("diff", "rows_only_a"),
+            ("diff", "rows_only_b"),
+            ("optimize", "partitions"),
+            ("optimize", "storage_cost"),
+        ],
+        "gated": [
+            "checkout_records_scanned",
+            "checkout_index_probes",
+            "checkout_total_touched",
+            "diff_records_scanned",
+            "diff_index_probes",
+            "diff_total_touched",
+            "optimize_search_iterations",
+            "touched_per_merged_row",
+        ],
+    },
+    "serve": {
+        "shape": [
+            ("num_versions",),
+            ("num_records",),
+            ("trace", "requests"),
+            ("trace", "distinct_sets"),
+            ("baseline", "rows_served"),
+        ],
+        "gated": [
+            "serve_cache_misses",
+            "serve_records_scanned",
+            "baseline_records_scanned",
+            "scanned_per_request",
+        ],
+    },
+}
 
 
 def _lookup(doc: dict, path: tuple):
@@ -70,13 +92,24 @@ def _lookup(doc: dict, path: tuple):
 def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
     """Failure messages (empty = gate passes)."""
     failures: list[str] = []
+    bench = current.get("bench", "checkout")
+    if bench != baseline.get("bench", "checkout"):
+        failures.append(
+            f"benchmark mismatch: run is {bench!r}, baseline is "
+            f"{baseline.get('bench', 'checkout')!r} — wrong baseline file?"
+        )
+        return failures
+    if bench not in BENCH_PROFILES:
+        failures.append(f"unknown benchmark family {bench!r}")
+        return failures
+    profile = BENCH_PROFILES[bench]
     if current.get("mode") != baseline.get("mode"):
         failures.append(
             f"mode mismatch: run is {current.get('mode')!r}, baseline is "
             f"{baseline.get('mode')!r} — compare like with like"
         )
         return failures
-    for path in SHAPE_FIELDS:
+    for path in profile["shape"]:
         dotted = ".".join(path)
         try:
             got, want = _lookup(current, path), _lookup(baseline, path)
@@ -93,7 +126,7 @@ def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
         return failures
     current_counters = current.get("counters", {})
     baseline_counters = baseline.get("counters", {})
-    for name in GATED_COUNTERS:
+    for name in profile["gated"]:
         if name not in baseline_counters:
             failures.append(f"baseline lacks counter {name!r}")
             continue
@@ -151,8 +184,9 @@ def main(argv=None) -> int:
         for line in failures:
             print(f"FAIL: {line}", file=sys.stderr)
         return 1
+    gated = BENCH_PROFILES[current.get("bench", "checkout")]["gated"]
     print(
-        f"benchmark gate passed: {len(GATED_COUNTERS)} deterministic "
+        f"benchmark gate passed: {len(gated)} deterministic "
         f"counters within {args.threshold:.0%} of baseline"
     )
     return 0

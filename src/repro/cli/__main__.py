@@ -1,0 +1,8 @@
+"""``python -m repro.cli`` — the ``orpheus`` entry point without install."""
+
+import sys
+
+from repro.cli.main import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,9 +29,28 @@ import sys
 from pathlib import Path
 
 from repro.core.orpheus import OrpheusDB
-from repro.errors import ReproError
+from repro.errors import ReproError, StoreLockedError
 from repro.persist import Store
 from repro.persist.fsutil import atomic_write_bytes
+
+#: Commands that never need the writer lock: under ``--ro`` they run
+#: against a shared-lock read-only store, and when the exclusive open
+#: fails the error hints at retrying with ``--ro``.  ``run`` qualifies
+#: because a read-only session rejects mutating SQL itself; ``checkout``
+#: only in its ``-f`` form, which degrades to a plain export (staging a
+#: table needs the writer).
+READ_ONLY_COMMANDS = frozenset(
+    {"status", "ls", "log", "diff", "whoami", "run", "checkout"}
+)
+
+
+def _ro_capable(args: argparse.Namespace) -> bool:
+    """Whether re-running this exact command with ``--ro`` can succeed."""
+    if args.command not in READ_ONLY_COMMANDS:
+        return False
+    if args.command == "checkout" and args.table:
+        return False
+    return True
 
 
 def _load(store: Path) -> OrpheusDB:
@@ -93,6 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="write a snapshot and compact the WAL after N journaled "
         "records (default 256; 0 disables automatic checkpoints)",
+    )
+    parser.add_argument(
+        "--ro",
+        action="store_true",
+        help="open the store read-only (shared lock): coexists with a "
+        "live writer, guarantees no byte on disk changes, rejects "
+        "mutating commands",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -157,6 +183,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="migration tolerance factor mu (default 1.5)",
     )
 
+    p = sub.add_parser(
+        "serve",
+        help="serve concurrent read traffic over the store (TCP, JSON "
+        "lines; see README 'Serving and concurrency')",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = pick a free one, printed on start)",
+    )
+    p.add_argument(
+        "--readers", type=int, default=4,
+        help="read-only sessions in the pool (default 4)",
+    )
+    p.add_argument(
+        "--cache", type=int, default=256, metavar="N",
+        help="checkout/query cache capacity in entries (default 256)",
+    )
+    p.add_argument(
+        "--follow",
+        action="store_true",
+        help="serve without taking the writer lock, following a writer "
+        "that lives in another process",
+    )
+
     p = sub.add_parser("create_user", help="register a user")
     p.add_argument("username")
 
@@ -170,6 +221,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     store_path = Path(args.store)
+    if args.command == "serve":
+        return _main_serve(args, store_path)
     if store_path.is_file():
         return _main_legacy(args, store_path)
     return _main_store(args, store_path)
@@ -180,7 +233,17 @@ def _main_store(args: argparse.Namespace, path: Path) -> int:
     try:
         # interval 0 disables all automatic checkpoints, WAL-size trigger
         # included (the Store couples the byte default to the interval).
-        store = Store.open(path, checkpoint_interval=args.checkpoint_every)
+        store = Store.open(
+            path,
+            checkpoint_interval=args.checkpoint_every,
+            mode="ro" if args.ro else "rw",
+        )
+    except StoreLockedError as error:
+        hint = "; retry when it exits"
+        if not args.ro and _ro_capable(args):
+            hint += ", or re-run with --ro for a read-only view"
+        print(f"error: {error}{hint}", file=sys.stderr)
+        return 1
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -212,9 +275,59 @@ def _main_store(args: argparse.Namespace, path: Path) -> int:
     return 0
 
 
+def _main_serve(args: argparse.Namespace, path: Path) -> int:
+    """Run the concurrent serving layer until SIGINT/SIGTERM/shutdown op."""
+    import signal
+
+    from repro.serve import serve
+
+    # --ro promises "no byte on disk changes": serve then runs in follower
+    # mode (read-only sessions only), exactly like an explicit --follow.
+    follow = args.follow or args.ro
+    try:
+        server = serve(
+            str(path),
+            host=args.host,
+            port=args.port,
+            readers=args.readers,
+            cache_capacity=args.cache,
+            writer=not follow,
+            checkpoint_interval=args.checkpoint_every,
+        )
+    except StoreLockedError as error:
+        print(
+            f"error: {error}; use --follow to serve read-only next to the "
+            f"live writer",
+            file=sys.stderr,
+        )
+        return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    host, port = server.address
+    mode = "follower" if follow else "writer"
+    print(
+        f"serving {path} on {host}:{port} "
+        f"({args.readers} readers, {mode} mode)",
+        flush=True,
+    )
+
+    def _request_shutdown(_signum, _frame):
+        # Non-blocking here (no serve thread to join in foreground mode):
+        # it just asks the serve loop to wind down.
+        server.shutdown()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _request_shutdown)
+    server.serve_forever()
+    print("shutdown clean")
+    return 0
+
+
 def _print_store_status(store: Store) -> None:
     snapshot = store.current_snapshot_name()
-    print(f"store: {store.path}")
+    suffix = " (read-only view)" if store.read_only else ""
+    print(f"store: {store.path}{suffix}")
     print(f"  snapshot: {snapshot or 'none (WAL-only recovery)'}")
     print(
         f"  wal: {store.wal_size_bytes()} bytes, "
@@ -275,12 +388,18 @@ def _print_optimizer_status(orpheus: OrpheusDB) -> None:
 def _main_legacy(args: argparse.Namespace, path: Path) -> int:
     """Run one command against a legacy whole-object pickle file."""
     orpheus = _load(path)
+    if args.ro:
+        # Same contract as the store path: mutating commands are refused
+        # by the middleware guards and the pickle is never rewritten.
+        orpheus.read_only = True
     try:
         if args.command == "status":
             print(f"store: {path} (legacy pickle, no WAL/snapshot state)")
             _print_optimizer_status(orpheus)
             return 0
         if args.command == "checkpoint":
+            if args.ro:
+                raise ReproError("cannot checkpoint: --ro never writes")
             # A forced save is the closest legacy equivalent; save first
             # so the success message never precedes a failed write.
             _save(orpheus, path)
@@ -291,7 +410,7 @@ def _main_legacy(args: argparse.Namespace, path: Path) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    if dirty:
+    if dirty and not args.ro:
         _save(orpheus, path)
     return 0
 

@@ -28,6 +28,7 @@ from repro.core.provenance import ProvenanceManager, StagedCheckout
 from repro.core.translator import QueryTranslator
 from repro.errors import (
     CVDNotFoundError,
+    ReadOnlyError,
     SchemaEvolutionError,
     StagingError,
     VersioningError,
@@ -36,7 +37,7 @@ from repro.storage.engine import Database, Result
 from repro.storage.parser import ast_nodes as _ast
 from repro.storage.parser.parser import parse_sql
 from repro.storage.schema import Column, TableSchema
-from repro.storage.types import parse_type_name
+from repro.storage.types import DataType, parse_type_name
 
 
 class OrpheusDB:
@@ -58,6 +59,9 @@ class OrpheusDB:
     _ephemeral_dirty = False
     _pending_barrier = False
     _optimizers = None
+    #: Set by a read-only store open: every mutating command refuses, the
+    #: read path (checkout_rows, SELECT-only run, CSV export) stays open.
+    read_only = False
 
     def __init__(
         self, db: Database | None = None, default_model: str = "split_by_rlist"
@@ -114,16 +118,30 @@ class OrpheusDB:
     def _mark_ephemeral(self) -> None:
         """Record that non-journaled (staging) state changed, so a clean
         shutdown should checkpoint."""
+        if self.read_only:
+            return
         self._ephemeral_dirty = True
+
+    def _check_writable(self, operation: str) -> None:
+        # Replay is exempt: a read-only store *applies* the writer's
+        # journaled operations to its in-memory state — that is how it
+        # refreshes — it just never originates one.
+        if self.read_only and not self._replaying:
+            raise ReadOnlyError(
+                f"cannot {operation}: this session is read-only (store "
+                f"opened with mode='ro'; open in mode='rw' to write)"
+            )
 
     # ---------------------------------------------------------------- users
 
     def create_user(self, username: str) -> None:
+        self._check_writable("create a user")
         self.access.create_user(username)
         self._emit({"op": "create_user", "username": username})
 
     def config(self, username: str) -> None:
         """Log in as ``username`` (the paper's ``config`` command)."""
+        self._check_writable("switch users")
         self.access.login(username)
         self._emit({"op": "config", "username": username})
 
@@ -163,6 +181,7 @@ class OrpheusDB:
         ``primary_key`` names the (possibly composite) per-version primary
         key, which drives multi-version checkout precedence (Section 2.2).
         """
+        self._check_writable("init a CVD")
         if name in self._cvds:
             raise VersioningError(f"CVD {name!r} already exists")
         if not isinstance(schema, TableSchema):
@@ -211,6 +230,7 @@ class OrpheusDB:
 
     def drop(self, name: str) -> None:
         """Drop a CVD and all of its backing tables."""
+        self._check_writable("drop a CVD")
         cvd = self.cvd(name)
         staged = self.provenance.staged_for_cvd(name)
         if staged:
@@ -245,6 +265,9 @@ class OrpheusDB:
         table_name: str,
     ) -> None:
         """``checkout [cvd] -v [vid...] -t [table]``: materialize versions."""
+        # Staging a table mutates the database and the provenance manager —
+        # a read-only session exports with checkout_rows/checkout_csv.
+        self._check_writable("checkout into a staged table")
         cvd = self.cvd(cvd_name)
         vid_list = [vids] if isinstance(vids, int) else list(vids)
         self._count_checkout(cvd_name, vid_list)
@@ -266,16 +289,36 @@ class OrpheusDB:
         )
         self.access.grant_owner(table_name, user)
 
+    def checkout_rows(self, cvd_name: str, vids: int | Sequence[int]) -> list[tuple]:
+        """The pure read-path checkout: merged rows of ``vids``, nothing else.
+
+        No staged table, no provenance registration, no clock tick, no
+        checkout counting — the session is left byte-for-byte as it was,
+        which makes this safe to call concurrently from read-only serving
+        sessions (the :mod:`repro.serve` hot path) and during refresh.
+        Rows carry the internal rid in column 0, like
+        :meth:`CVD.checkout_rows`.
+        """
+        cvd = self.cvd(cvd_name)
+        vid_list = [vids] if isinstance(vids, int) else list(vids)
+        return cvd.checkout_rows(vid_list)
+
     def checkout_csv(
         self,
         cvd_name: str,
         vids: int | Sequence[int],
         path: str | Path,
     ) -> None:
-        """``checkout [cvd] -v [vid...] -f [file]``: materialize to CSV."""
+        """``checkout [cvd] -v [vid...] -f [file]``: materialize to CSV.
+
+        In a read-only session this degrades to a plain export: the CSV is
+        written (it lives outside the store) but no provenance is staged —
+        there is no writer session to commit it back through.
+        """
         cvd = self.cvd(cvd_name)
         vid_list = [vids] if isinstance(vids, int) else list(vids)
-        self._count_checkout(cvd_name, vid_list)
+        if not self.read_only:
+            self._count_checkout(cvd_name, vid_list)
         rows = cvd.checkout_rows(vid_list)
         path = Path(path)
         with path.open("w", newline="") as handle:
@@ -283,6 +326,8 @@ class OrpheusDB:
             writer.writerow(cvd.data_schema.column_names)
             for row in rows:
                 writer.writerow(row[1:])  # rid stays internal
+        if self.read_only:
+            return
         self.provenance.register(
             StagedCheckout(
                 name=str(path),
@@ -304,6 +349,7 @@ class OrpheusDB:
         If the staged table's data columns differ from the CVD schema the
         single-pool evolution of Section 3.3 is applied first.
         """
+        self._check_writable("commit")
         staged = self.provenance.lookup(table_name)
         self.access.check_owner(table_name, self.whoami())
         cvd = self.cvd(staged.cvd_name)
@@ -366,6 +412,7 @@ class OrpheusDB:
         schema: TableSchema | Sequence[tuple[str, str]] | None = None,
     ) -> int:
         """``commit -f [file] -s [schema] -m [msg]``: commit a CSV checkout."""
+        self._check_writable("commit")
         path = Path(path)
         staged = self.provenance.lookup(str(path))
         self.access.check_owner(str(path), self.whoami())
@@ -495,6 +542,13 @@ class OrpheusDB:
         """
         translated = self.translator.translate(sql)
         statements = parse_sql(translated, params)
+        if self.read_only and not self._replaying:
+            mutating, _targets = _statement_targets(statements)
+            if mutating:
+                raise ReadOnlyError(
+                    "cannot run mutating SQL: this session is read-only "
+                    "(store opened with mode='ro')"
+                )
         try:
             result = self.db.execute_statements(statements)
         except Exception:
@@ -614,6 +668,7 @@ class OrpheusDB:
         from repro.errors import PartitionError
         from repro.partition.online import PartitionOptimizer
 
+        self._check_writable("optimize")
         cvd = self.cvd(cvd_name)
         frequencies = _frequencies
         if frequencies is None and weighted:
@@ -782,12 +837,22 @@ def _read_csv_rows(path: Path, schema: TableSchema) -> list[tuple]:
             header.index(name) if name in header else None
             for name in schema.column_names
         ]
+        # CSV cannot distinguish NULL from the empty string.  For TEXT the
+        # empty string is a legitimate value and wins; for every other type
+        # an empty cell can only mean NULL — feeding "" to types.coerce
+        # would raise TypeMismatchError on the first blank INT/REAL field.
+        keeps_empty = [column.dtype is DataType.TEXT for column in schema.columns]
         rows = []
         for raw in reader:
-            rows.append(
-                tuple(
-                    raw[p] if p is not None and p < len(raw) else None
-                    for p in positions
+            values = []
+            for position, keep_empty in zip(positions, keeps_empty):
+                value = (
+                    raw[position]
+                    if position is not None and position < len(raw)
+                    else None
                 )
-            )
+                if value == "" and not keep_empty:
+                    value = None
+                values.append(value)
+            rows.append(tuple(values))
         return rows

@@ -88,3 +88,11 @@ class PersistenceError(ReproError):
 
 class RecoveryError(PersistenceError):
     """A snapshot or write-ahead log could not be recovered."""
+
+
+class StoreLockedError(PersistenceError):
+    """Another process already holds the store's advisory lock."""
+
+
+class ReadOnlyError(PersistenceError):
+    """A mutating operation was attempted on a read-only session."""

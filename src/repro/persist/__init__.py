@@ -33,11 +33,12 @@ versions your working tree.
 """
 
 from repro.persist.snapshot import load_snapshot, write_snapshot
-from repro.persist.store import Store
+from repro.persist.store import RefreshResult, Store
 from repro.persist.wal import WalRecord, WriteAheadLog
 
 __all__ = [
     "Store",
+    "RefreshResult",
     "WriteAheadLog",
     "WalRecord",
     "write_snapshot",

@@ -20,16 +20,30 @@ Commit records are delta-encoded: membership is stored as (records dropped
 from the parents, records appended) whenever the staged table preserved the
 parents' record order — the common case — so a commit appends O(changed
 records) bytes, not O(version) and certainly not O(database).
+
+``Store.open(mode="ro")`` is the concurrent-read path: a shared advisory
+lock instead of the writer's exclusive one, recovery that is a pure read
+(no truncation, no checkpoint, no append — not one byte on disk changes),
+and :meth:`Store.refresh` to catch up with a live writer by replaying only
+the WAL tail past the last seen lsn.  The serving layer (:mod:`repro.serve`)
+pools such read-only stores behind a version-aware cache.
 """
 
 from __future__ import annotations
 
 import json
 import shutil
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.orpheus import OrpheusDB
-from repro.errors import PersistenceError, RecoveryError, ReproError
+from repro.errors import (
+    PersistenceError,
+    ReadOnlyError,
+    RecoveryError,
+    ReproError,
+    StoreLockedError,
+)
 from repro.storage.schema import TableSchema
 
 from repro.persist.fsutil import atomic_write_bytes, fsync_dir
@@ -45,12 +59,64 @@ CURRENT_NAME = "CURRENT"
 WAL_NAME = "wal.log"
 SNAPSHOTS_DIR = "snapshots"
 LOCK_NAME = "LOCK"
+WRITE_LOCK_NAME = "LOCK.write"
+#: A read-only load races the writer's checkpoint pruning (the snapshot it
+#: started reading can vanish mid-load); CURRENT has already moved on, so
+#: retrying against the fresh pointer converges.
+RO_LOAD_RETRIES = 3
 #: Snapshot directories retained after a checkpoint.  Recovery only ever
 #: uses the one named by CURRENT — the WAL is compacted past older
 #: snapshots, so they cannot be rolled forward automatically — but the
 #: predecessor is kept for manual salvage if the active snapshot is lost
 #: to disk corruption (accepting the loss of the ops after it).
 KEEP_SNAPSHOTS = 2
+
+
+@dataclass
+class RefreshResult:
+    """What one read-only :meth:`Store.refresh` brought in.
+
+    ``full_reload`` means the reader fell behind a checkpoint and rebuilt
+    from the active snapshot — per-record classification is unavailable,
+    so callers (e.g. the serve cache) must treat every CVD as touched.
+    """
+
+    applied: int = 0
+    full_reload: bool = False
+    last_lsn: int = 0
+    touched_cvds: set[str] = field(default_factory=set)
+    schema_changed_cvds: set[str] = field(default_factory=set)
+    migrated_cvds: set[str] = field(default_factory=set)
+    ran_sql: bool = False
+
+    @property
+    def changed(self) -> bool:
+        return self.full_reload or self.applied > 0
+
+
+def _classify_record(payload: dict, result: RefreshResult) -> None:
+    """Fold one replayed WAL record into a refresh summary (what a serving
+    cache needs to invalidate)."""
+    op = payload.get("op")
+    if op == "commit":
+        result.touched_cvds.add(payload["cvd"])
+        if payload.get("schema") is not None:
+            result.schema_changed_cvds.add(payload["cvd"])
+    elif op in ("init", "drop"):
+        result.touched_cvds.add(payload["name"])
+    elif op == "optimize":
+        result.touched_cvds.add(payload["cvd"])
+        result.migrated_cvds.add(payload["cvd"])
+    elif op == "migration_finish":
+        # The physical re-org: versions move between partitions.
+        result.touched_cvds.add(payload["cvd"])
+        result.migrated_cvds.add(payload["cvd"])
+    elif op in ("maintain", "migration_start"):
+        result.touched_cvds.add(payload["cvd"])
+    elif op == "run":
+        # SQL DML names arbitrary durable tables; refresh cannot map it to
+        # CVDs, so query caches must invalidate conservatively.
+        result.ran_sql = True
 
 
 class Store:
@@ -61,7 +127,11 @@ class Store:
         path: str | Path,
         checkpoint_interval: int = 256,
         checkpoint_bytes: int | None = None,
+        mode: str = "rw",
     ):
+        if mode not in ("rw", "ro"):
+            raise PersistenceError(f"unknown store mode {mode!r} (use 'rw' or 'ro')")
+        self.mode = mode
         self.path = Path(path)
         # Negative values would make `records_since >= interval` always
         # true (a full snapshot per record); clamp to "disabled".
@@ -81,7 +151,21 @@ class Store:
         self._next_lsn = 1
         self._records_since_checkpoint = 0
         self._in_checkpoint = False
-        self._lock_handle = None
+        self._lock_handles: list = []
+        self._loaded_snapshot: str | None = None
+        #: Byte offset just past the last WAL frame this store has seen —
+        #: lets a read-only refresh resume the scan instead of re-decoding
+        #: the whole log on every poll.
+        self._wal_offset = 0
+        #: The CURRENT snapshot name in force when ``_wal_offset`` was
+        #: recorded.  Every checkpoint replaces the log file, so a name
+        #: change means the offset belongs to a *previous* file — even
+        #: when the new file happens to be byte-for-byte as long.
+        self._wal_marker: str | None = None
+
+    @property
+    def read_only(self) -> bool:
+        return self.mode == "ro"
 
     # ----------------------------------------------------------------- open
 
@@ -91,12 +175,22 @@ class Store:
         path: str | Path,
         checkpoint_interval: int = 256,
         checkpoint_bytes: int | None = None,
+        mode: str = "rw",
     ) -> "Store":
-        """Create or recover the store at ``path`` and attach its journal."""
+        """Create or recover the store at ``path`` and attach its journal.
+
+        ``mode="ro"`` opens an existing store read-only: it takes a
+        *shared* advisory lock (coexisting with one live writer and any
+        number of other readers), recovers purely in memory — no torn-tail
+        truncation, no checkpoint, no WAL append; not a single byte on
+        disk changes — and can later catch up with the writer via
+        :meth:`refresh`.
+        """
         store = cls(
             path,
             checkpoint_interval=checkpoint_interval,
             checkpoint_bytes=checkpoint_bytes,
+            mode=mode,
         )
         store._recover()
         return store
@@ -107,6 +201,19 @@ class Store:
                 f"{self.path} is a file, not a store directory (a legacy "
                 f"pickle store?)"
             )
+        if self.read_only:
+            if not self.path.is_dir():
+                raise PersistenceError(
+                    f"no store directory at {self.path} to open read-only"
+                )
+            self._acquire_lock()
+            try:
+                self._load_state_with_retry()
+            except BaseException:
+                self.wal.close()
+                self._release_lock()
+                raise
+            return
         created = not self.path.exists()
         # exist_ok: a concurrent opener may create the directory between
         # the check and here — let the lock below deliver the clean error.
@@ -116,37 +223,31 @@ class Store:
         (self.path / SNAPSHOTS_DIR).mkdir(exist_ok=True)
         fsync_dir(self.path)
         self._acquire_lock()
+        try:
+            self._recover_locked()
+        except BaseException:
+            # A failed recovery (unreadable CURRENT, corrupt snapshot, ...)
+            # must not keep the fd and flock alive on a dead Store object:
+            # a same-process retry would see its own leaked lock as "in
+            # use by another process".
+            self.wal.close()
+            self._release_lock()
+            raise
+
+    def _recover_locked(self) -> None:
+        """The writer recovery path, run while holding the store locks."""
         torn_bytes = self.wal.truncate_torn_tail()
         if torn_bytes:
             self.recovery_warnings.append(
                 f"dropped {torn_bytes} bytes of torn WAL tail "
                 f"(a crash mid-append)"
             )
-        snapshot_name = self._read_current()
-        if snapshot_name is not None:
-            orpheus, snap_lsn = load_snapshot(self.path / SNAPSHOTS_DIR / snapshot_name)
-        else:
-            orpheus, snap_lsn = OrpheusDB(), 0
-        self.orpheus = orpheus
-        last_lsn = snap_lsn
-        replayed = 0
-        orpheus._replaying = True
-        try:
-            for record in self.wal.records():
-                if record.lsn <= snap_lsn:
-                    continue
-                self._apply(record.payload)
-                last_lsn = record.lsn
-                replayed += 1
-        finally:
-            orpheus._replaying = False
-        self._next_lsn = last_lsn + 1
-        self._records_since_checkpoint = replayed
-        orpheus.attach_journal(self)
+        replayed = self._load_state()
+        self.orpheus.attach_journal(self)
         # A migration whose start was journaled (or snapshotted as pending)
         # but whose finish never made it to disk: the decision is
         # acknowledged state, so roll the plan forward now.
-        for cvd_name in orpheus.resume_inflight_migrations():
+        for cvd_name in self.orpheus.resume_inflight_migrations():
             self.recovery_warnings.append(
                 f"rolled forward an interrupted partition migration on "
                 f"CVD {cvd_name!r}"
@@ -156,45 +257,248 @@ class Store:
         if replayed and self._should_auto_checkpoint():
             self.checkpoint()
 
-    def _acquire_lock(self) -> None:
-        """Take an exclusive advisory lock on the store directory.
+    def _load_state(self) -> int:
+        """Rebuild the in-memory state from CURRENT + the WAL tail.
 
-        Two stores appending to one WAL would write duplicate lsns and one
+        A pure read shared by writer recovery and every read-only
+        (re)load; returns the number of WAL records replayed.
+        """
+        snapshot_name = self._read_current()
+        if snapshot_name is not None:
+            orpheus, snap_lsn = load_snapshot(self.path / SNAPSHOTS_DIR / snapshot_name)
+        else:
+            orpheus, snap_lsn = OrpheusDB(), 0
+        self.orpheus = orpheus
+        self._loaded_snapshot = snapshot_name
+        self._wal_marker = snapshot_name
+        last_lsn = snap_lsn
+        replayed = 0
+        offset = 0
+        orpheus._replaying = True
+        try:
+            for end, record in self.wal.records_from(0):
+                if record.lsn > snap_lsn:
+                    if record.lsn != last_lsn + 1:
+                        # The records between the snapshot and this frame
+                        # were compacted away (a checkpoint racing this
+                        # read-only load: CURRENT was read before it moved,
+                        # the WAL after).  Applying the survivors would
+                        # silently skip acknowledged operations; raising
+                        # lets the retry converge on the fresh CURRENT.
+                        raise RecoveryError(
+                            f"WAL tail jumps from lsn {last_lsn} to "
+                            f"{record.lsn} past snapshot "
+                            f"{snapshot_name or '<none>'} — compacted "
+                            f"past this state (concurrent checkpoint?)"
+                        )
+                    self._apply(record.payload)
+                    last_lsn = record.lsn
+                    replayed += 1
+                offset = end
+        finally:
+            orpheus._replaying = False
+        self._next_lsn = last_lsn + 1
+        self._records_since_checkpoint = replayed
+        self._wal_offset = offset
+        if self.read_only:
+            orpheus.read_only = True
+        return replayed
+
+    def _load_state_with_retry(self) -> int:
+        last_error: RecoveryError | None = None
+        for _attempt in range(RO_LOAD_RETRIES):
+            try:
+                return self._load_state()
+            except RecoveryError as exc:
+                # A live writer may checkpoint — and prune the snapshot we
+                # were reading — mid-load; CURRENT has already moved on, so
+                # a retry converges.  Genuine corruption keeps failing and
+                # surfaces after the last attempt.
+                last_error = exc
+        raise last_error
+
+    # -------------------------------------------------------------- refresh
+
+    def refresh(self) -> RefreshResult:
+        """Catch a read-only store up with the writer; returns a summary.
+
+        The cheap path replays only WAL frames past the last applied lsn,
+        resuming at the remembered byte offset.  When the writer has
+        checkpointed past this reader (CURRENT's ``last_lsn`` is ahead, or
+        the surviving WAL tail no longer joins contiguously) it falls back
+        to a full in-memory reload from the active snapshot.  Like the
+        read-only open, it never writes a byte.
+        """
+        if not self.read_only:
+            raise PersistenceError("refresh() is only for mode='ro' stores")
+        result = RefreshResult()
+        try:
+            info = self._read_current_info()
+        except RecoveryError:
+            # CURRENT mid-replace or corrupt: the WAL tail still serves;
+            # a genuinely broken pointer fails the next full reload.
+            info = None
+        if info is not None:
+            pointer_lsn = info.get("last_lsn")
+            if pointer_lsn is not None:
+                if pointer_lsn > self.last_lsn:
+                    return self._full_reload(result)
+            elif info["snapshot"] != self._loaded_snapshot:
+                # Pre-lsn CURRENT pointer (an older writer): any snapshot
+                # switch forces the safe path.
+                return self._full_reload(result)
+            if info["snapshot"] != self._wal_marker:
+                # A checkpoint at or before our lsn replaced the log file,
+                # so the remembered offset belongs to the old file (and a
+                # regrown file of *exactly* the old length would defeat
+                # the size/CRC heuristics below) — rescan from the head.
+                self._wal_offset = 0
+                self._wal_marker = info["snapshot"]
+        offset = self._wal_offset
+        if offset > self.wal.size_bytes():
+            # The log shrank underneath us (compaction); rescan from the
+            # head (lsn filtering keeps already-applied records out).
+            offset = 0
+        outcome = self._replay_tail(offset, result)
+        if outcome == "swapped":
+            # A nonzero mid-file offset parsed no frame at all: the log
+            # was atomically *replaced* (a checkpoint at exactly our lsn,
+            # then regrown past the remembered offset), so the offset is
+            # meaningless in the new file — rescan from the head.
+            outcome = self._replay_tail(0, result)
+        if outcome == "reload":
+            return self._full_reload(result)
+        result.last_lsn = self.last_lsn
+        return result
+
+    def _replay_tail(self, offset: int, result: RefreshResult) -> str:
+        """Replay WAL frames past ``offset``/our lsn into the live state.
+
+        Returns ``"ok"``, ``"reload"`` (a gap — frames between our lsn and
+        the survivors were compacted away — or divergent replay), or
+        ``"swapped"`` (nothing parseable at a nonzero mid-file offset: the
+        log file was replaced underneath the remembered offset).
+        """
+        frames = 0
+        orpheus = self.orpheus
+        orpheus._replaying = True
+        try:
+            for end, record in self.wal.records_from(offset):
+                frames += 1
+                if record.lsn <= self.last_lsn:
+                    offset = end
+                    continue
+                if record.lsn != self.last_lsn + 1:
+                    return "reload"
+                try:
+                    self._apply(record.payload)
+                except RecoveryError:
+                    return "reload"
+                _classify_record(record.payload, result)
+                self._next_lsn = record.lsn + 1
+                result.applied += 1
+                offset = end
+                self._wal_offset = offset
+        finally:
+            orpheus._replaying = False
+        if frames == 0 and offset and offset < self.wal.size_bytes():
+            return "swapped"
+        self._wal_offset = offset
+        return "ok"
+
+    def _full_reload(self, result: RefreshResult) -> RefreshResult:
+        self._load_state_with_retry()
+        result.full_reload = True
+        result.last_lsn = self.last_lsn
+        return result
+
+    # ----------------------------------------------------------------- lock
+
+    def _acquire_lock(self) -> None:
+        """Advisory locks: every opener shares LOCK; writers own LOCK.write.
+
+        Two writers appending to one WAL would write duplicate lsns and one
         side's fsync-acknowledged records would vanish at the other's
-        checkpoint compaction — so a second opener must fail fast.  The
-        lock dies with the process (crashes never wedge the store).
+        checkpoint compaction — so a second *writer* fails fast on the
+        exclusive ``LOCK.write``.  Readers take only a shared lock on
+        ``LOCK``, so any number of readers coexist with each other and
+        with one live writer; an exclusive lock on ``LOCK`` itself is
+        reserved for tools that must exclude every opener.  Locks die with
+        the process (crashes never wedge the store).
         """
         if fcntl is None:  # pragma: no cover - non-POSIX platform
             return
-        handle = open(self.path / LOCK_NAME, "a+")
+        handles = []
         try:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            if not self.read_only:
+                handles.append(
+                    self._flock(
+                        self.path / WRITE_LOCK_NAME,
+                        fcntl.LOCK_EX,
+                        create=True,
+                        reason="by another process",
+                    )
+                )
+            shared = self.path / LOCK_NAME
+            # Writers may create the marker; a read-only open must not add
+            # even an empty directory entry (a pre-writer store without a
+            # LOCK file is simply opened unmarked).
+            if not self.read_only or shared.exists():
+                handles.append(
+                    self._flock(
+                        shared,
+                        fcntl.LOCK_SH,
+                        create=not self.read_only,
+                        reason="exclusively by another process",
+                    )
+                )
+        except BaseException:
+            for handle in handles:
+                handle.close()
+            raise
+        self._lock_handles = handles
+
+    def _flock(self, path: Path, operation: int, create: bool, reason: str):
+        handle = open(path, "a+" if create else "r")
+        try:
+            fcntl.flock(handle.fileno(), operation | fcntl.LOCK_NB)
         except OSError:
             handle.close()
-            raise PersistenceError(
-                f"store {self.path} is in use by another process"
-            ) from None
-        self._lock_handle = handle
+            raise StoreLockedError(f"store {self.path} is in use {reason}") from None
+        return handle
 
     def _release_lock(self) -> None:
-        if self._lock_handle is not None:
-            self._lock_handle.close()  # closing the fd drops the flock
-            self._lock_handle = None
+        for handle in self._lock_handles:
+            handle.close()  # closing the fd drops the flock
+        self._lock_handles = []
 
-    def _read_current(self) -> str | None:
+    # -------------------------------------------------------------- CURRENT
+
+    def _read_current_info(self) -> dict | None:
         current = self.path / CURRENT_NAME
         if not current.exists():
             return None
         try:
-            return json.loads(current.read_text(encoding="utf-8"))["snapshot"]
-        except (OSError, ValueError, KeyError) as exc:
+            info = json.loads(current.read_text(encoding="utf-8"))
+            info["snapshot"]
+            return info
+        except (OSError, ValueError, KeyError, TypeError) as exc:
             raise RecoveryError(f"unreadable CURRENT pointer {current}: {exc}") from exc
+
+    def _read_current(self) -> str | None:
+        info = self._read_current_info()
+        return None if info is None else info["snapshot"]
 
     # -------------------------------------------------------------- journal
 
     def append(self, record: dict) -> None:
         """Journal one logical record (called by OrpheusDB after the
         operation succeeds); fsyncs before returning."""
+        if self.read_only:
+            # Read-only stores never attach a journal, so this only fires
+            # on a caller reaching in directly — refuse rather than corrupt
+            # the writer's log.
+            raise ReadOnlyError("read-only store cannot append to the WAL")
         if record.get("op") == "commit":
             record = _compact_commit(record)
         self.wal.append(self._next_lsn, record)
@@ -236,15 +540,17 @@ class Store:
         return self._read_current()
 
     def wal_size_bytes(self) -> int:
-        try:
-            return (self.path / WAL_NAME).stat().st_size
-        except OSError:
-            return 0
+        return self.wal.size_bytes()
 
     # ----------------------------------------------------------- checkpoint
 
     def checkpoint(self) -> Path:
         """Snapshot the full state, repoint CURRENT, compact the WAL."""
+        if self.read_only:
+            raise ReadOnlyError(
+                "read-only store cannot checkpoint (no byte on disk may "
+                "change); open the store in mode='rw' to compact it"
+            )
         if self.orpheus is None:
             raise PersistenceError("store is not open")
         self._in_checkpoint = True
@@ -267,9 +573,14 @@ class Store:
             self._in_checkpoint = False
 
     def _write_current(self, snapshot_name: str) -> None:
+        # last_lsn rides the pointer so a read-only refresh can detect
+        # "the writer checkpointed past me" from this one tiny file,
+        # without parsing the (much larger) snapshot manifest.
         atomic_write_bytes(
             self.path / CURRENT_NAME,
-            json.dumps({"snapshot": snapshot_name}).encode("utf-8"),
+            json.dumps(
+                {"snapshot": snapshot_name, "last_lsn": self.last_lsn}
+            ).encode("utf-8"),
         )
 
     def _prune_snapshots(self, keep: str) -> None:
@@ -295,8 +606,11 @@ class Store:
         """Checkpoint if non-journaled (staging) state changed.
 
         Called on clean shutdown so uncommitted checkouts survive normal
-        process exits while still being lost by crashes.
+        process exits while still being lost by crashes.  A read-only
+        store has nothing to sync (and must not write) — no-op.
         """
+        if self.read_only:
+            return
         if self.orpheus is not None and self.orpheus._ephemeral_dirty:
             self.checkpoint()
 

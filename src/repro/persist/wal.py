@@ -102,17 +102,21 @@ class WriteAheadLog:
 
     # ----------------------------------------------------------------- read
 
-    def _scan(self) -> Iterator[tuple[int, int, int, bytes]]:
+    def _scan(self, start: int = 0) -> Iterator[tuple[int, int, int, bytes]]:
         """(frame start, frame end, lsn, payload bytes) per valid frame.
 
         CRC-validates every frame but never JSON-decodes the payload —
         the shared kernel under replay (which decodes) and compaction
         (which copies raw bytes).  Stops at the first torn/corrupt frame.
+        ``start`` must be a frame boundary from a previous scan (or 0);
+        anything else fails the CRC check and reads as an empty tail.
         """
         if not self.path.exists():
             return
-        offset = 0
+        offset = start
         with open(self.path, "rb") as handle:
+            if start:
+                handle.seek(start)
             while True:
                 header = handle.read(_HEADER.size)
                 if len(header) < _HEADER.size:
@@ -130,17 +134,37 @@ class WriteAheadLog:
     def _frames(self) -> Iterator[tuple[int, WalRecord]]:
         """(byte offset past the frame, record) pairs; stops at the first
         torn or corrupt frame."""
-        for _start, end, lsn, body in self._scan():
+        return self.records_from(0)
+
+    def records(self) -> Iterator[WalRecord]:
+        """Valid records in append order; stops at the first bad frame."""
+        for _offset, record in self._frames():
+            yield record
+
+    def records_from(self, start: int) -> Iterator[tuple[int, WalRecord]]:
+        """(offset past the frame, record) pairs starting at byte ``start``.
+
+        The incremental-refresh kernel: a reader that remembers the offset
+        past its last applied frame resumes there instead of re-decoding
+        the whole log.  ``start`` must be a frame boundary observed on this
+        log file; if the file was compacted underneath (shrunk, or the
+        bytes at ``start`` no longer frame-align) the scan CRC-fails
+        immediately and yields nothing — callers detect staleness through
+        the lsn bookkeeping, never through garbage records.
+        """
+        for _start, end, lsn, body in self._scan(start):
             try:
                 payload = json.loads(body.decode("utf-8"))
             except ValueError:
                 return
             yield end, WalRecord(lsn, payload)
 
-    def records(self) -> Iterator[WalRecord]:
-        """Valid records in append order; stops at the first bad frame."""
-        for _offset, record in self._frames():
-            yield record
+    def size_bytes(self) -> int:
+        """Current byte length of the log file (0 when missing)."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
 
     def valid_end_offset(self) -> int:
         """Byte offset just past the last valid frame (0 when empty)."""

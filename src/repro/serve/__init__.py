@@ -1,0 +1,34 @@
+"""repro.serve — a concurrent read-serving layer over the durable store.
+
+OrpheusDB is bolt-on versioning for a *shared* relational store; the HTAP
+split this package implements is one update path and many concurrent
+analytical readers:
+
+* :mod:`repro.serve.cache` — a version-aware LRU whose keys carry
+  ``(cvd, tuple(vids), last_lsn)``; correctness comes from the lsn
+  tag (replay is deterministic, so state at an lsn is state at an lsn),
+  invalidation on commit / schema evolution / partition migration is
+  memory hygiene.
+* :mod:`repro.serve.manager` — :class:`ServeManager`, a thread-based pool
+  multiplexing one ``mode="rw"`` writer store and N ``mode="ro"`` reader
+  sessions that catch up via the WAL-tail :meth:`Store.refresh`.
+* :mod:`repro.serve.server` — a JSON-line TCP front end
+  (``orpheus serve``) with a one-shot and a persistent client.
+"""
+
+from repro.serve.cache import CacheStats, CheckoutCache, checkout_key, query_key
+from repro.serve.manager import ReadSession, ServeManager
+from repro.serve.server import ServeClient, ServeServer, request, serve
+
+__all__ = [
+    "CheckoutCache",
+    "CacheStats",
+    "checkout_key",
+    "query_key",
+    "ReadSession",
+    "ServeManager",
+    "ServeClient",
+    "ServeServer",
+    "request",
+    "serve",
+]

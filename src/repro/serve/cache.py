@@ -1,0 +1,126 @@
+"""Version-aware result cache for the serving layer.
+
+Checkout results are a pure function of ``(cvd, version set, store lsn)``:
+WAL replay is deterministic, so any two read-only sessions at the same lsn
+hold identical state.  That makes the lsn-tagged key *correct by
+construction* — a stale entry can never be served for a fresh lsn, no
+matter which session populated it.  Explicit invalidation (on commit,
+schema evolution, and partition migration, as reported by
+:meth:`repro.persist.Store.refresh`) is therefore memory hygiene: it
+evicts entries that no live session can ever hit again, rather than being
+what correctness rests on.
+
+Query results get the same treatment with the SQL text + params in the key;
+since SQL may read arbitrary durable tables, query entries are invalidated
+conservatively whenever *any* change lands.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Sequence
+
+
+def checkout_key(cvd: str, vids: Sequence[int] | int, last_lsn: int) -> tuple:
+    """Cache key for a checkout: ``(cvd, tuple(vids), last_lsn)``.
+
+    The vid *sequence* is the key, not a set: multi-version checkout is
+    order-sensitive (the first listed version wins primary-key conflicts,
+    Section 2.2), so ``[2, 3]`` and ``[3, 2]`` are different results and
+    must never share an entry.
+    """
+    if isinstance(vids, int):
+        vids = (vids,)
+    return ("checkout", cvd, tuple(vids), last_lsn)
+
+
+def query_key(sql: str, params: Sequence[Any], last_lsn: int) -> tuple:
+    return ("query", sql, tuple(params), last_lsn)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidated: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+        }
+
+
+class CheckoutCache:
+    """A thread-safe LRU over lsn-tagged checkout and query results."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = max(1, capacity)
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(
+        self,
+        cvds: set[str] | None = None,
+        below_lsn: int | None = None,
+        queries: bool = True,
+    ) -> int:
+        """Evict entries made stale by writer progress; returns the count.
+
+        ``cvds=None`` matches every CVD.  ``below_lsn`` keeps entries
+        already tagged with the new lsn (another session may have refreshed
+        first and repopulated).  ``queries`` additionally drops query
+        entries — SQL can read any durable table, so any applied record
+        makes them suspect.
+        """
+        dropped = 0
+        with self._lock:
+            for key in list(self._entries):
+                kind = key[0]
+                if kind == "checkout":
+                    if cvds is not None and key[1] not in cvds:
+                        continue
+                elif not queries:
+                    continue
+                if below_lsn is not None and key[-1] >= below_lsn:
+                    continue
+                del self._entries[key]
+                dropped += 1
+            self.stats.invalidated += dropped
+        return dropped
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidated += dropped
+        return dropped

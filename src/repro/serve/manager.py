@@ -1,0 +1,305 @@
+"""Thread-based session manager: one writer, N read-only serving sessions.
+
+The shape the paper's bolt-on design wants at serving time: a single
+update path (the exclusive-lock writer store) next to many concurrent
+analytical readers, each a :class:`repro.persist.Store` opened with
+``mode="ro"`` so it shares the store directory without writing a byte.
+Sessions live in a pool; a request borrows one, brings it up to date with
+a cheap lsn-tail :meth:`~repro.persist.Store.refresh`, serves through the
+shared :class:`~repro.serve.cache.CheckoutCache`, and returns it.
+
+Reentrancy model: a session is used by one thread at a time (the pool
+enforces it), sessions never share mutable state with each other, and the
+cache carries its own lock — so N sessions serve N requests concurrently
+with no global lock.  With an in-process writer, readers know exactly when
+they are behind (the writer's lsn is a field away); in follower mode
+(``writer=False``, the writer lives in another process) every borrow
+polls the WAL tail, which the byte-offset resume keeps cheap.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from repro.errors import PersistenceError
+from repro.persist import RefreshResult, Store
+
+from repro.serve.cache import CheckoutCache, checkout_key, query_key
+
+_MISSING = object()
+#: Posted into the session pool by close(): wakes borrowers blocked on an
+#: empty pool so they fail cleanly instead of hanging forever.
+_CLOSED = object()
+
+
+class ReadSession:
+    """One read-only store plus its view of the shared cache."""
+
+    def __init__(self, path: str | Path, cache: CheckoutCache, session_id: int = 0):
+        self.store = Store.open(path, mode="ro")
+        self.cache = cache
+        self.session_id = session_id
+        self.refreshes = 0
+        self.requests = 0
+
+    @property
+    def orpheus(self):
+        return self.store.orpheus
+
+    @property
+    def last_lsn(self) -> int:
+        return self.store.last_lsn
+
+    def refresh(self) -> RefreshResult:
+        """Catch up with the writer and evict what it made stale."""
+        result = self.store.refresh()
+        if result.changed:
+            self.refreshes += 1
+            self._invalidate(result)
+        return result
+
+    def refresh_if_behind(self, writer_lsn: int | None) -> RefreshResult | None:
+        """Refresh when known to be behind; ``None`` target means poll."""
+        if writer_lsn is not None and self.last_lsn >= writer_lsn:
+            return None
+        return self.refresh()
+
+    def _invalidate(self, result: RefreshResult) -> None:
+        if result.full_reload:
+            # No per-record classification available: everything older
+            # than the reloaded lsn is suspect.
+            self.cache.invalidate(cvds=None, below_lsn=result.last_lsn)
+            return
+        self.cache.invalidate(
+            # Empty touched set with ran_sql still drops query entries.
+            cvds=result.touched_cvds,
+            below_lsn=result.last_lsn,
+            queries=bool(result.ran_sql or result.touched_cvds),
+        )
+
+    # -------------------------------------------------------------- serving
+
+    def checkout(self, cvd: str, vids: int | Sequence[int]) -> list[tuple]:
+        """Cached merged checkout of ``vids`` at this session's lsn."""
+        self.requests += 1
+        key = checkout_key(cvd, vids, self.last_lsn)
+        rows = self.cache.get(key, _MISSING)
+        if rows is _MISSING:
+            rows = self.orpheus.checkout_rows(cvd, vids)
+            self.cache.put(key, rows)
+        return rows
+
+    def query(self, sql: str, params: Sequence[Any] = ()):
+        """Cached read-only SQL at this session's lsn."""
+        self.requests += 1
+        key = query_key(sql, params, self.last_lsn)
+        result = self.cache.get(key, _MISSING)
+        if result is _MISSING:
+            result = self.orpheus.run(sql, params)
+            self.cache.put(key, result)
+        return result
+
+    def close(self) -> None:
+        self.store.close()
+
+
+class ServeManager:
+    """Multiplex one writer store and a pool of read-only sessions."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        readers: int = 4,
+        cache_capacity: int = 256,
+        writer: bool = True,
+        checkpoint_interval: int = 256,
+    ):
+        self.path = Path(path)
+        self.cache = CheckoutCache(cache_capacity)
+        self.writer_store: Store | None = None
+        self._write_lock = threading.RLock()
+        self._sessions: list[ReadSession] = []
+        self._idle: queue.Queue[ReadSession] = queue.Queue()
+        self._closed = False
+        #: Makes "check _closed, then re-queue or retire" atomic against
+        #: close(): a borrower's finally and close() can otherwise
+        #: interleave so a just-returned session escapes both paths and
+        #: leaks its store (fd + shared flock) for the process lifetime.
+        self._pool_lock = threading.Lock()
+        try:
+            if writer:
+                self.writer_store = Store.open(
+                    path, checkpoint_interval=checkpoint_interval
+                )
+            for session_id in range(max(1, readers)):
+                session = ReadSession(path, self.cache, session_id)
+                self._sessions.append(session)
+                self._idle.put(session)
+        except BaseException:
+            self.close()
+            raise
+
+    # --------------------------------------------------------------- writer
+
+    @property
+    def writer(self):
+        """The writer session's OrpheusDB (None in follower mode)."""
+        return self.writer_store.orpheus if self.writer_store else None
+
+    @property
+    def writer_lsn(self) -> int | None:
+        return self.writer_store.last_lsn if self.writer_store else None
+
+    @contextmanager
+    def write(self) -> Iterator[Any]:
+        """Serialized access to the writer; readers pick changes up on
+        their next borrow (bounded staleness, never inconsistency)."""
+        if self.writer_store is None:
+            raise PersistenceError(
+                "this manager follows an external writer (writer=False); "
+                "commit through the owning process instead"
+            )
+        with self._write_lock:
+            yield self.writer_store.orpheus
+
+    # -------------------------------------------------------------- readers
+
+    @contextmanager
+    def session(self, refresh: bool = True) -> Iterator[ReadSession]:
+        """Borrow a read session from the pool (blocks when all are busy)."""
+        if self._closed:
+            raise PersistenceError("serve manager is closed")
+        session = self._idle.get()
+        if session is _CLOSED:
+            # close() ran while we were blocked; pass the wake-up along to
+            # any other blocked borrower.
+            self._idle.put(_CLOSED)
+            raise PersistenceError("serve manager is closed")
+        try:
+            if refresh:
+                session.refresh_if_behind(self.writer_lsn)
+            yield session
+        finally:
+            with self._pool_lock:
+                if self._closed:
+                    # The pool is being torn down: retire the session here
+                    # rather than re-queueing it into a dead pool (close()
+                    # only retires sessions that were idle when it ran).
+                    session.close()
+                else:
+                    self._idle.put(session)
+
+    def checkout(self, cvd: str, vids: int | Sequence[int]) -> list[tuple]:
+        with self.session() as session:
+            return session.checkout(cvd, vids)
+
+    def checkout_payload(
+        self, cvd: str, vids: int | Sequence[int]
+    ) -> tuple[list[str], list[tuple]]:
+        """(columns, rows) resolved on ONE session borrow, so the column
+        list always matches the rows' arity even if a schema evolution
+        lands between requests."""
+        with self.session() as session:
+            rows = session.checkout(cvd, vids)
+            schema = session.orpheus.cvd(cvd).data_schema
+            return ["rid", *schema.column_names], rows
+
+    def query(self, sql: str, params: Sequence[Any] = ()):
+        with self.session() as session:
+            return session.query(sql, params)
+
+    def columns(self, cvd: str) -> list[str]:
+        """Column names of a checkout payload (rid first, like the rows)."""
+        with self.session() as session:
+            schema = session.orpheus.cvd(cvd).data_schema
+            return ["rid", *schema.column_names]
+
+    def refresh_all(self) -> tuple[list[dict], int]:
+        """Refresh every currently idle session; returns (refreshed, busy).
+
+        Sessions borrowed by in-flight requests cannot be refreshed from
+        here (they are single-threaded by design); they catch up on their
+        next borrow anyway, so they are merely reported as busy.
+        """
+        sessions: list[ReadSession] = []
+        try:
+            while len(sessions) < len(self._sessions):
+                item = self._idle.get_nowait()
+                if item is _CLOSED:
+                    self._idle.put(_CLOSED)
+                    break
+                sessions.append(item)
+        except queue.Empty:
+            pass
+        refreshed = []
+        try:
+            for session in sessions:
+                result = session.refresh()
+                refreshed.append(
+                    {"id": session.session_id, "lsn": result.last_lsn}
+                )
+        finally:
+            with self._pool_lock:
+                for session in sessions:
+                    if self._closed:
+                        session.close()
+                    else:
+                        self._idle.put(session)
+        return refreshed, len(self._sessions) - len(sessions)
+
+    # --------------------------------------------------------------- status
+
+    def status(self) -> dict:
+        return {
+            "path": str(self.path),
+            "mode": "writer" if self.writer_store else "follower",
+            "writer_lsn": self.writer_lsn,
+            "readers": len(self._sessions),
+            "sessions": [
+                {
+                    "id": session.session_id,
+                    "lsn": session.last_lsn,
+                    "requests": session.requests,
+                    "refreshes": session.refreshes,
+                }
+                for session in self._sessions
+            ],
+            "cache": {**self.cache.stats.to_dict(), "entries": len(self.cache)},
+        }
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._closed:
+                return
+            # Under the pool lock: any borrower's finally now either ran
+            # before us (its session is in the queue and drained below) or
+            # runs after and sees _closed, retiring its session itself.
+            self._closed = True
+        # Retire every idle session; sessions borrowed by in-flight
+        # requests keep their stores open until the borrower's finally
+        # retires them (never close a store out from under a reader).
+        while True:
+            try:
+                item = self._idle.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _CLOSED:
+                item.close()
+        # Wake any borrower blocked on the now-empty pool.
+        self._idle.put(_CLOSED)
+        self._sessions = []
+        if self.writer_store is not None:
+            self.writer_store.close()
+            self.writer_store = None
+
+    def __enter__(self) -> "ServeManager":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

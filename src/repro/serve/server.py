@@ -1,0 +1,198 @@
+"""A line-oriented JSON TCP front end over :class:`ServeManager`.
+
+One request per line, one JSON object per response line::
+
+    {"op": "checkout", "cvd": "proteins", "vids": [3, 5]}
+    {"ok": true, "columns": ["rid", ...], "rows": [...], "count": 2}
+
+Supported ops: ``ping``, ``status``, ``checkout``, ``query``,
+``refresh`` (force every session up to date), ``shutdown``.  Connections
+are handled by daemon threads (``ThreadingTCPServer``); each request
+borrows a pooled read-only session, so concurrent clients map onto
+concurrent store sessions.  Errors come back as ``{"ok": false, "error":
+...}`` on the same line — the connection stays usable.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Any
+
+from repro.errors import ReproError
+
+from repro.serve.manager import ServeManager
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                response = self._dispatch(json.loads(line.decode("utf-8")))
+            except (ValueError, KeyError, TypeError) as exc:
+                response = {"ok": False, "error": f"bad request: {exc}"}
+            except ReproError as exc:
+                response = {"ok": False, "error": str(exc)}
+            except Exception as exc:  # keep the connection alive
+                response = {
+                    "ok": False,
+                    "error": f"internal error: {type(exc).__name__}: {exc}",
+                }
+            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+            self.wfile.flush()
+            if response.get("bye"):
+                # Trigger the shutdown only after the acknowledgement is
+                # flushed — the other order races the process exit and the
+                # client can see EOF instead of the reply.
+                server: "_Server" = self.server  # type: ignore[assignment]
+                server.request_shutdown()
+                break
+
+    def _dispatch(self, request: dict) -> dict:
+        server: "_Server" = self.server  # type: ignore[assignment]
+        manager = server.manager
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "status":
+            return {"ok": True, "status": manager.status()}
+        if op == "checkout":
+            columns, rows = manager.checkout_payload(request["cvd"], request["vids"])
+            return {
+                "ok": True,
+                "columns": columns,
+                "rows": [list(row) for row in rows],
+                "count": len(rows),
+            }
+        if op == "query":
+            result = manager.query(request["sql"], request.get("params", ()))
+            return {
+                "ok": True,
+                "columns": result.columns,
+                "rows": [list(row) for row in result.rows],
+                "count": result.rowcount,
+            }
+        if op == "refresh":
+            refreshed, busy = manager.refresh_all()
+            return {"ok": True, "sessions": refreshed, "busy": busy}
+        if op == "shutdown":
+            return {"ok": True, "bye": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    manager: ServeManager
+
+    def request_shutdown(self) -> None:
+        # shutdown() joins the serve_forever loop, which must not run on
+        # the calling thread; hand it to a helper thread so both handler
+        # threads and signal handlers can trigger it safely.
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+class ServeServer:
+    """Own a manager-backed TCP server; start/stop cleanly."""
+
+    def __init__(
+        self,
+        manager: ServeManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.manager = manager
+        self._server = _Server((host, port), _RequestHandler)
+        self._server.manager = manager
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` (or the shutdown
+        op) is called; the manager is closed on the way out."""
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            self._server.server_close()
+            self.manager.close()
+
+    def start(self) -> "ServeServer":
+        """Serve on a background thread (tests and embedding)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._server.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+
+def request(host: str, port: int, payload: dict, timeout: float = 30.0) -> dict:
+    """One-shot client: send a request line, return the decoded response."""
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        with conn.makefile("rb") as reader:
+            line = reader.readline()
+    if not line:
+        raise ConnectionError("server closed the connection without replying")
+    return json.loads(line.decode("utf-8"))
+
+
+class ServeClient:
+    """A persistent-connection client for request loops (benchmarks)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._conn = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._conn.makefile("rb")
+
+    def request(self, payload: dict) -> dict:
+        self._conn.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def close(self) -> None:
+        self._reader.close()
+        self._conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def serve(
+    path: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    readers: int = 4,
+    cache_capacity: int = 256,
+    writer: bool = True,
+    checkpoint_interval: int = 256,
+) -> ServeServer:
+    """Build a manager + server for ``orpheus serve`` (not yet started)."""
+    manager = ServeManager(
+        path,
+        readers=readers,
+        cache_capacity=cache_capacity,
+        writer=writer,
+        checkpoint_interval=checkpoint_interval,
+    )
+    try:
+        return ServeServer(manager, host=host, port=port)
+    except BaseException:
+        manager.close()
+        raise

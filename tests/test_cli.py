@@ -245,3 +245,81 @@ class TestStatusCommand:
     def test_status_on_empty_store(self, store, capsys):
         assert run(store, "status") == 0
         assert "no CVDs" in capsys.readouterr().out
+
+
+class TestReadOnlyCLI:
+    def test_ro_flag_serves_reads(self, initialized, capsys):
+        assert run(initialized, "--ro", "ls") == 0
+        assert "p: 1 versions" in capsys.readouterr().out
+        assert run(initialized, "--ro", "status") == 0
+        assert "(read-only view)" in capsys.readouterr().out
+        assert run(
+            initialized, "--ro", "run",
+            "SELECT count(*) FROM VERSION 1 OF CVD p",
+        ) == 0
+
+    def test_ro_flag_rejects_writes(self, initialized, capsys):
+        assert run(initialized, "--ro", "checkout", "p", "-v", "1", "-t", "w") == 1
+        assert "read-only" in capsys.readouterr().err
+        assert run(initialized, "--ro", "run", "DELETE FROM p__meta") == 1
+        assert "read-only" in capsys.readouterr().err
+        assert run(initialized, "--ro", "checkpoint") == 1
+        assert "read-only" in capsys.readouterr().err
+
+    def test_ro_checkout_csv_exports(self, initialized, tmp_path, capsys):
+        out_csv = tmp_path / "export.csv"
+        assert run(
+            initialized, "--ro", "checkout", "p", "-v", "1", "-f", str(out_csv)
+        ) == 0
+        assert out_csv.read_text().startswith("protein1,")
+
+    def test_locked_store_hints_at_ro_for_read_commands(self, initialized, capsys):
+        """A store held by another process: read-only commands get a clean
+        'retry or use --ro' message instead of the raw lock error."""
+        from repro.persist import Store
+
+        writer = Store.open(initialized)
+        try:
+            assert run(initialized, "status") == 1
+            err = capsys.readouterr().err
+            assert "in use by another process" in err
+            assert "--ro" in err
+            # Mutating commands get the message without the --ro hint.
+            assert run(initialized, "create_user", "bob") == 1
+            err = capsys.readouterr().err
+            assert "in use by another process" in err
+            assert "--ro" not in err
+            # checkout -t stages a table, so its hint must not suggest
+            # --ro (which would reject it); the -f export form keeps it.
+            assert run(initialized, "checkout", "p", "-v", "1", "-t", "w") == 1
+            assert "--ro" not in capsys.readouterr().err
+            assert run(initialized, "checkout", "p", "-v", "1", "-f", "x.csv") == 1
+            assert "--ro" in capsys.readouterr().err
+            # And --ro actually works while the writer lives.
+            assert run(initialized, "--ro", "ls") == 0
+            assert "p: 1 versions" in capsys.readouterr().out
+        finally:
+            writer.close()
+
+    def test_ro_on_missing_store_is_clean(self, tmp_path, capsys):
+        assert run(str(tmp_path / "ghost"), "--ro", "ls") == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_ro_on_legacy_pickle_rejects_writes_and_never_saves(
+        self, tmp_path, capsys
+    ):
+        import pickle
+
+        from repro.core.orpheus import OrpheusDB
+
+        path = tmp_path / "legacy.orpheusdb"
+        with path.open("wb") as handle:
+            pickle.dump(OrpheusDB(), handle)
+        before = path.read_bytes()
+        assert run(str(path), "--ro", "create_user", "bob") == 1
+        assert "read-only" in capsys.readouterr().err
+        assert run(str(path), "--ro", "checkpoint") == 1
+        assert "--ro never writes" in capsys.readouterr().err
+        assert run(str(path), "--ro", "whoami") == 0
+        assert run(str(path), "--ro", "run", "SELECT 1") == 0
+        assert path.read_bytes() == before  # the pickle was never rewritten

@@ -149,6 +149,40 @@ class TestCSVWorkflow:
         rows = sorted(r[1:] for r in cvd.checkout_rows([1]))
         assert rows == [(1, "a"), (2, "b")]
 
+    def test_init_from_csv_blank_typed_fields_are_null(self, orpheus, tmp_path):
+        """An empty cell in an INT/REAL column is NULL, not a crash."""
+        path = tmp_path / "blank.csv"
+        path.write_text("k,score,ratio,note\na,,0.5,\nb,2,,hi\n")
+        cvd = orpheus.init_from_csv(
+            "c",
+            path,
+            [("k", "text"), ("score", "int"), ("ratio", "real"), ("note", "text")],
+        )
+        rows = sorted(r[1:] for r in cvd.checkout_rows([1]))
+        # TEXT keeps the empty string (a legitimate value); INT/REAL blank
+        # cells become NULL.
+        assert rows == [("a", None, 0.5, ""), ("b", 2, None, "hi")]
+
+    def test_csv_roundtrip_preserves_nulls(self, orpheus, tmp_path):
+        """checkout_csv writes NULL as an empty cell; commit_csv reads it
+        back as NULL instead of raising TypeMismatchError."""
+        orpheus.init(
+            "c",
+            [("k", "text"), ("score", "int")],
+            rows=[("a", None), ("b", 2)],
+            primary_key=("k",),
+        )
+        path = tmp_path / "work.csv"
+        orpheus.checkout_csv("c", 1, path)
+        assert path.read_text() == "k,score\na,\nb,2\n"
+        # External edit adds another blank-scored row.
+        path.write_text(path.read_text() + "d,\n")
+        vid = orpheus.commit_csv(path, message="blank survives")
+        rows = sorted(r[1:] for r in orpheus.cvd("c").checkout_rows([vid]))
+        assert rows == [("a", None), ("b", 2), ("d", None)]
+        # Unchanged rows matched by value: no fresh rids for a and b.
+        assert orpheus.cvd("c").record_count == 3
+
 
 class TestRunSQL:
     def test_version_query(self, protein_cvd, orpheus):
