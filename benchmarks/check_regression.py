@@ -79,6 +79,36 @@ BENCH_PROFILES = {
             "scanned_per_request",
         ],
     },
+    "sql": {
+        # Scenario row counts pin the workload; gated counters are the
+        # compiled pipeline's logical I/O (records per scan, probes per
+        # join), the LIMIT pushdown's scan fraction, and the number of
+        # interpreter fallbacks (baseline 0: every benchmark expression
+        # must stay on the compiled tier).
+        "shape": [
+            ("num_versions",),
+            ("num_records",),
+            ("scenarios", "fullscan", "rows"),
+            ("scenarios", "scan_project", "rows"),
+            ("scenarios", "join", "rows"),
+            ("scenarios", "topk", "rows"),
+            ("scenarios", "limit", "rows"),
+        ],
+        "gated": [
+            "fullscan_records_scanned",
+            "fullscan_exprs_interpreted",
+            "scan_project_records_scanned",
+            "scan_project_exprs_interpreted",
+            "join_records_scanned",
+            "join_index_probes",
+            "join_exprs_interpreted",
+            "topk_records_scanned",
+            "topk_exprs_interpreted",
+            "limit_records_scanned",
+            "limit_exprs_interpreted",
+            "limit_scan_fraction",
+        ],
+    },
 }
 
 

@@ -255,6 +255,7 @@ def _main_store(args: argparse.Namespace, path: Path) -> int:
             print(f"checkpointed to {snapshot.name}")
         elif args.command == "status":
             _print_store_status(store)
+            _print_engine_status(store.orpheus)
             _print_optimizer_status(store.orpheus)
         else:
             _dispatch(store.orpheus, args)
@@ -336,6 +337,24 @@ def _print_store_status(store: Store) -> None:
     )
 
 
+def _print_engine_status(orpheus: OrpheusDB) -> None:
+    """EXPLAIN-ish view of the execution engine: which pipeline ran.
+
+    The counters cover this process (for `status` that is recovery/replay
+    plus the command itself): statements' expressions lowered to compiled
+    closures vs. interpreter fallbacks, and how many row blocks the batch
+    scan kernels charged.
+    """
+    db = orpheus.db
+    stats = db.stats
+    print(
+        f"engine: {db.exec_mode} mode, "
+        f"{stats.exprs_compiled} exprs compiled / "
+        f"{stats.exprs_interpreted} interpreted fallbacks, "
+        f"{stats.batches_scanned} scan batches"
+    )
+
+
 def _print_optimizer_status(orpheus: OrpheusDB) -> None:
     if not orpheus.ls():
         print("no CVDs")
@@ -395,6 +414,7 @@ def _main_legacy(args: argparse.Namespace, path: Path) -> int:
     try:
         if args.command == "status":
             print(f"store: {path} (legacy pickle, no WAL/snapshot state)")
+            _print_engine_status(orpheus)
             _print_optimizer_status(orpheus)
             return 0
         if args.command == "checkpoint":

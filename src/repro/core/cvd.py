@@ -17,6 +17,7 @@ deleted and re-added later intentionally receives a new rid.
 
 from __future__ import annotations
 
+import operator
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.datamodels import SplitByRlistModel, resolve_model
@@ -372,15 +373,21 @@ class CVD:
         positions = [
             self.data_schema.position(name) + 1 for name in key_columns
         ]  # +1 skips the rid column
+        # One precompiled key extractor per statement (scalar for a single
+        # PK column), matching the batch-executor's join-key kernels.
+        if len(positions) == 1:
+            key_of = operator.itemgetter(positions[0])
+        else:
+            key_of = operator.itemgetter(*positions)
         merged: list[Row] = []
-        taken_keys: set[tuple] = set()
+        taken_keys: set = set()
         taken_rids = RidSet()
         for vid in vids:
             candidates = self.member_rids(vid) - taken_rids
             if not candidates:
                 continue
             for row in self.model.fetch_rows(vid, candidates):
-                key = tuple(row[p] for p in positions)
+                key = key_of(row)
                 if key in taken_keys:
                     continue
                 taken_keys.add(key)

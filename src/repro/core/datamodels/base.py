@@ -152,7 +152,10 @@ class DataModel(ABC):
             )
         else:
             rows = table.probe_many(index, ((rid,) for rid in ordered))
-        if data_width is not None:
+        if data_width is not None and data_width + 1 < len(table.schema):
+            # Trim trailing non-data columns in one pass; when the table is
+            # already rid+data wide there is nothing to cut and the fetched
+            # rows pass through without an intermediate copy.
             rows = [row[: data_width + 1] for row in rows]
         return rows
 

@@ -23,6 +23,19 @@ from repro.storage.ridset import RidSet
 
 IntArray = tuple[int, ...]
 
+#: Number of per-call probe-set conversions the generic paths have made
+#: (``set(...)`` builds inside :func:`contains` / :func:`overlap`).  Each
+#: conversion is O(len) work that a hot loop pays *per evaluation*; the
+#: compiled predicates (:mod:`repro.storage.compile`) hoist constant-operand
+#: conversions to once per statement, and the regression tests read this
+#: counter to prove it.
+conversion_count = 0
+
+
+def _note_conversion() -> None:
+    global conversion_count
+    conversion_count += 1
+
 
 def make_array(values: Iterable[int]) -> IntArray:
     """Build a canonical array value from any iterable of ints.
@@ -51,10 +64,12 @@ def contains(outer: Sequence[int], inner: Sequence[int]) -> bool:
             return all(v in outer for v in inner)
         # Probing a hash set beats rebuilding a bitmap of ``outer`` for
         # every evaluated row.
+        _note_conversion()
         outer_set = set(outer)
         return all(v in outer_set for v in inner)
     if len(inner) <= 2:
         return all(v in outer for v in inner)
+    _note_conversion()
     outer_set = set(outer)
     return all(v in outer_set for v in inner)
 
@@ -102,6 +117,7 @@ def overlap(left: Sequence[int], right: Sequence[int]) -> bool:
         return any(v in bitmap for v in other)
     if len(left) > len(right):
         left, right = right, left
+    _note_conversion()
     right_set = set(right)
     return any(v in right_set for v in left)
 

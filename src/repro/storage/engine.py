@@ -1,10 +1,15 @@
 """The :class:`Database` facade — the engine's public entry point.
 
-A Database owns a catalog of tables, a shared I/O-stats registry, and a
+A Database owns a catalog of tables, a shared I/O-stats registry, a
 ``join_method`` knob (``hash`` / ``merge`` / ``inl``) mirroring the join
-choices the paper profiles in Appendix D.1.  SQL goes through
-:meth:`Database.execute`; library code that wants to skip parsing can use
-the direct table API (:meth:`table`, :meth:`create_table`, ...).
+choices the paper profiles in Appendix D.1, and an ``exec_mode`` knob:
+``"compiled"`` (the default) runs the compile-then-batch pipeline —
+expressions lowered to closures once per statement, scans fed block-at-a-
+time — while ``"interpreted"`` forces the row-at-a-time reference
+executor that the equivalence tests and ``bench_sql.py`` compare against.
+SQL goes through :meth:`Database.execute`; library code that wants to
+skip parsing can use the direct table API (:meth:`table`,
+:meth:`create_table`, ...).
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from repro.errors import (
     DuplicateObjectError,
     ExecutionError,
 )
-from repro.storage.executor import Relation, SelectExecutor
+from repro.storage.executor import Relation, SelectExecutor, value_evaluator
 from repro.storage.expression import EvalEnv
 from repro.storage.iostats import IOStats, StatsRegistry
 from repro.storage.parser import ast_nodes as ast
@@ -27,6 +32,7 @@ from repro.storage.table import Table
 from repro.storage.types import DataType
 
 JOIN_METHODS = ("hash", "merge", "inl")
+EXEC_MODES = ("compiled", "interpreted")
 
 
 @dataclass
@@ -54,14 +60,23 @@ class Result:
 class Database:
     """An embedded, in-memory relational database."""
 
-    def __init__(self, join_method: str = "hash"):
+    # Class-level default so databases unpickled from legacy stores (which
+    # predate the knob) run the compiled pipeline too.
+    exec_mode = "compiled"
+
+    def __init__(self, join_method: str = "hash", exec_mode: str = "compiled"):
         if join_method not in JOIN_METHODS:
             raise ExecutionError(
                 f"join_method must be one of {JOIN_METHODS}, got {join_method!r}"
             )
+        if exec_mode not in EXEC_MODES:
+            raise ExecutionError(
+                f"exec_mode must be one of {EXEC_MODES}, got {exec_mode!r}"
+            )
         self._tables: dict[str, Table] = {}
         self._registry = StatsRegistry()
         self.join_method = join_method
+        self.exec_mode = exec_mode
 
     # ---------------------------------------------------------------- stats
 
@@ -281,20 +296,32 @@ class Database:
         assignments = [
             (
                 table.schema.position(name),
-                executor._resolve_subqueries(expr),
+                value_evaluator(self, executor._resolve_subqueries(expr), env),
             )
             for name, expr in statement.assignments
         ]
-        touched = []
-        for slot, row in table.scan():
-            if where is None or where.evaluate(row, env) is True:
-                touched.append((slot, row))
+        touched = self._matching_slots(table, where, env)
         for slot, row in touched:
             new_row = list(row)
-            for position, expr in assignments:
-                new_row[position] = expr.evaluate(row, env)
+            for position, assign in assignments:
+                new_row[position] = assign(row)
             table.update_slot(slot, new_row)
         return Result(rowcount=len(touched))
+
+    def _matching_slots(self, table: Table, where, env: EvalEnv) -> list:
+        """Batched scan-and-filter for DML: ``(slot, row)`` pairs matching
+        ``where`` (all live rows when it is None), via the same compiled-
+        predicate-over-blocks kernel the SELECT pipeline uses."""
+        if where is None:
+            touched = []
+            for batch in table.scan_batches(with_slots=True):
+                touched.extend(batch)
+            return touched
+        predicate = value_evaluator(self, where, env)
+        touched = []
+        for batch in table.scan_batches(with_slots=True):
+            touched.extend(pair for pair in batch if predicate(pair[1]) is True)
+        return touched
 
     def _execute_delete(self, statement: ast.Delete) -> Result:
         table = self.table(statement.table)
@@ -305,11 +332,7 @@ class Database:
             if statement.where is not None
             else None
         )
-        slots = [
-            slot
-            for slot, row in table.scan()
-            if where is None or where.evaluate(row, env) is True
-        ]
+        slots = [slot for slot, _row in self._matching_slots(table, where, env)]
         deleted = table.delete_slots(slots)
         return Result(rowcount=deleted)
 

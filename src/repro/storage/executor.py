@@ -5,15 +5,31 @@ trees.  FROM resolution, join-order selection, and index shortcuts live in
 :mod:`repro.storage.planner`; this module owns everything above the joins:
 residual filtering, grouping and aggregation, set-returning ``unnest``
 expansion, DISTINCT, ORDER BY, LIMIT/OFFSET, UNION ALL, and ``SELECT INTO``.
+
+Execution is **compile-then-batch** (the database's default
+``exec_mode="compiled"``): every WHERE/SELECT/GROUP BY/ORDER BY expression
+is lowered once per statement to a closure (:mod:`repro.storage.compile`),
+and rows flow through the pipeline in blocks — a lazy base-table scan
+yields :meth:`Table.scan_batches` blocks with one stats charge each, and
+the filter/projection kernels are tight listcomps over a block.  Bare
+``LIMIT`` stops the scan as soon as enough output rows exist, and ``ORDER
+BY``+``LIMIT`` runs as a heap top-k instead of a full sort.  Expressions
+the compiler refuses fall back per expression to the interpreted
+:meth:`Expression.evaluate`; ``exec_mode="interpreted"`` forces the
+original row-at-a-time reference pipeline everywhere, which the
+equivalence property tests (and ``benchmarks/bench_sql.py``) run against.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Sequence
+from operator import itemgetter
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from repro.errors import ExecutionError
 from repro.storage import arrays
+from repro.storage.compile import compile_batch_filter, compile_value
 from repro.storage.expression import (
     ArrayLiteral,
     Between,
@@ -40,8 +56,10 @@ from repro.storage.types import DataType, infer_type
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.engine import Database
+    from repro.storage.planner import _Source
 
 Row = tuple[Any, ...]
+RowFunc = Callable[[Row], Any]
 
 #: Operators whose constant array operands are worth converting to bitmaps.
 _ARRAY_SET_OPS = frozenset({"<@", "@>", "&&"})
@@ -51,6 +69,23 @@ _ARRAY_SET_OPS = frozenset({"<@", "@>", "&&"})
 #: Real rids are dense sequential allocations far below it; anything
 #: larger falls back to the hash-probe path unchanged.
 _MAX_BITMAP_RID = 1 << 24
+
+
+def value_evaluator(db: "Database", expr: Expression, env: EvalEnv) -> RowFunc:
+    """A ``row -> value`` function for ``expr``: compiled when the engine
+    mode allows and the tree is compilable, otherwise the interpreter.
+
+    The per-statement compile/fallback decision is charged to the stats
+    (``exprs_compiled`` / ``exprs_interpreted``) so EXPLAIN-ish output and
+    benchmarks can see which pipeline served a query.
+    """
+    if db.exec_mode == "compiled":
+        func = compile_value(expr, env)
+        if func is not None:
+            db.stats.exprs_compiled += 1
+            return func
+        db.stats.exprs_interpreted += 1
+    return lambda row: expr.evaluate(row, env)
 
 
 def _constant_array(expr: Expression) -> tuple | None:
@@ -130,11 +165,53 @@ def _base_name(expr: Expression, alias: str | None, position: int) -> str:
     return f"column{position + 1}"
 
 
+class _Desc:
+    """Inverts comparisons, so one composite sort key handles DESC items."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    def __eq__(self, other):
+        return other.key == self.key
+
+
 class SelectExecutor:
     """Executes Select statements against a :class:`Database`."""
 
     def __init__(self, db: "Database"):
         self._db = db
+        # Per-statement compile cache keyed by (expr, env) identity; values
+        # keep both alive so the ids stay valid for the executor's lifetime.
+        self._eval_cache: dict[tuple[int, int], tuple] = {}
+
+    def _evaluator(self, expr: Expression, env: EvalEnv) -> RowFunc:
+        key = (id(expr), id(env))
+        hit = self._eval_cache.get(key)
+        if hit is None:
+            hit = (value_evaluator(self._db, expr, env), expr, env)
+            self._eval_cache[key] = hit
+        return hit[0]
+
+    def _batch_filter(self, expr: Expression, env: EvalEnv) -> Callable[[list], list]:
+        """A ``batch -> kept rows`` kernel for a WHERE predicate.
+
+        Compiled mode fuses the predicate into the listcomp condition of
+        one generated function (zero per-row Python calls); otherwise the
+        row evaluator — compiled closure or interpreter — runs under a
+        generic listcomp, keeping rows where it yields exactly ``True``.
+        """
+        if self._db.exec_mode == "compiled":
+            fused = compile_batch_filter(expr, env)
+            if fused is not None:
+                self._db.stats.exprs_compiled += 1
+                return fused
+        row_func = self._evaluator(expr, env)
+        return lambda batch: [row for row in batch if row_func(row) is True]
 
     # ------------------------------------------------------------- top level
 
@@ -158,26 +235,60 @@ class SelectExecutor:
         if select.where is not None:
             select.where = _bitmapize_array_constants(select.where)
         source, residual_where = resolve_from(self._db, select, self)
-        env = source.env()
-        if residual_where is not None:
-            source = Relation(
-                source.names,
-                [
-                    row
-                    for row in source.rows
-                    if residual_where.evaluate(row, env) is True
-                ],
-                source.types,
-            )
+        compiled_mode = self._db.exec_mode == "compiled"
+        if not compiled_mode:
+            # Reference pipeline: materialize the scan up front and run
+            # everything row-at-a-time, exactly like the pre-batch engine.
+            source.materialize()
+        relation = source.relation
+        env = relation.env()
+        predicate = (
+            self._batch_filter(residual_where, env)
+            if residual_where is not None
+            else None
+        )
         if select.group_by or any(
             item.expr.contains_aggregate() for item in select.items
         ):
-            output, ordered_pairs = self._grouped(select, source)
+            rows = self._filtered_rows(source, predicate)
+            output, ordered_pairs = self._grouped(select, relation, rows)
         else:
-            output, ordered_pairs = self._projected(select, source)
+            stop_after = None
+            if (
+                compiled_mode
+                and select.limit is not None
+                and select.limit >= 0
+                and (select.offset or 0) >= 0
+                and not select.order_by
+                and not select.distinct
+            ):
+                # Bare LIMIT: stop feeding the pipeline once enough output
+                # rows exist; unread scan blocks are never charged.
+                # Negative limit/offset values (reachable via parameters)
+                # keep the reference's Python-slice semantics, so they are
+                # never pushed down.
+                stop_after = select.limit + (select.offset or 0)
+            output, ordered_pairs = self._projected(
+                select, source, predicate, stop_after
+            )
         output_env = output.env()
         if select.order_by:
-            ordered_pairs = self._order(select.order_by, ordered_pairs, env, output_env)
+            top = None
+            if (
+                compiled_mode
+                and select.limit is not None
+                and select.limit >= 0
+                and (select.offset or 0) >= 0
+                and not select.distinct
+            ):
+                # ORDER BY + LIMIT k: heap top-k, O(n log k) instead of a
+                # full sort.  DISTINCT k needs an unbounded sort (k distinct
+                # rows may hide arbitrarily deep), and negative bounds keep
+                # the reference's slice semantics, so both skip the heap.
+                top = select.limit + (select.offset or 0)
+            ordered_pairs = self._order(
+                select.order_by, ordered_pairs, env, output_env, top
+            )
             output = Relation(
                 output.names, [pair[1] for pair in ordered_pairs], output.types
             )
@@ -197,23 +308,54 @@ class SelectExecutor:
             self._materialize_into(select.into_table, output)
         return output
 
+    # ------------------------------------------------------------- batching
+
+    @staticmethod
+    def _source_batches(source: "_Source") -> Iterator[list]:
+        """Row blocks of one FROM source.
+
+        Lazy base-table scans stream :meth:`Table.scan_batches` blocks (one
+        stats charge per block, and unread blocks cost nothing); already-
+        materialized relations are a single block with no copy.
+        """
+        if source.lazy:
+            return source.table.scan_batches()
+        return iter((source.relation.rows,))
+
+    def _filtered_rows(
+        self, source: "_Source", predicate: Callable[[list], list] | None
+    ) -> list:
+        if predicate is None and not source.lazy:
+            return source.relation.rows
+        rows: list = []
+        for batch in self._source_batches(source):
+            if predicate is not None:
+                batch = predicate(batch)
+            rows.extend(batch)
+        return rows
+
     # ------------------------------------------------------------ projection
 
     def _projected(
-        self, select: ast.Select, source: Relation
+        self,
+        select: ast.Select,
+        source: "_Source",
+        predicate: Callable[[list], list] | None,
+        stop_after: int | None = None,
     ) -> tuple[Relation, list[tuple[Row, Row]]]:
-        env = source.env()
+        relation = source.relation
+        env = relation.env()
         names: list[str] = []
         types: list[DataType | None] = []
-        evaluators: list[Expression | None] = []  # None marks Star
+        plan: list[RowFunc | None] = []  # None marks Star (extend with row)
         # Set-returning functions: position -> kind ('unnest' yields the
         # array's elements; 'unnest_ranges' decodes a range-encoded array).
         unnest_positions: dict[int, str] = {}
         for item in select.items:
             if isinstance(item.expr, Star):
-                names.extend(source.base_names())
-                types.extend(source.types)
-                evaluators.append(None)
+                names.extend(relation.base_names())
+                types.extend(relation.types)
+                plan.append(None)
                 continue
             position = len(names)
             expr = item.expr
@@ -222,30 +364,85 @@ class SelectExecutor:
                 "unnest_ranges",
             ):
                 unnest_positions[position] = expr.name
+                if expr.args:
+                    plan.append(self._evaluator(expr.args[0], env))
+                else:
+                    # Zero-arg unnest(): the reference touches args[0] per
+                    # evaluated row, so the IndexError must stay a
+                    # rows-exist-only runtime error, not a plan-time crash.
+                    plan.append(lambda row, args=expr.args: args[0])
+            else:
+                plan.append(self._evaluator(expr, env))
             names.append(_base_name(expr, item.alias, position))
             types.append(None)
-            evaluators.append(expr)
+        project = self._projection_kernel(select, plan, env)
         pairs: list[tuple[Row, Row]] = []
-        for row in source.rows:
-            values: list[Any] = []
-            for evaluator in evaluators:
-                if evaluator is None:
-                    values.extend(row)
-                elif isinstance(evaluator, FuncCall) and evaluator.name in (
-                    "unnest",
-                    "unnest_ranges",
-                ):
-                    values.append(
-                        evaluator.args[0].evaluate(row, env)
-                    )  # expanded below
-                else:
-                    values.append(evaluator.evaluate(row, env))
-            pairs.append((row, tuple(values)))
-        if unnest_positions:
-            pairs = self._expand_unnest(pairs, unnest_positions)
+        for batch in self._source_batches(source):
+            if predicate is not None:
+                batch = predicate(batch)
+            new_pairs = project(batch)
+            if unnest_positions:
+                new_pairs = self._expand_unnest(new_pairs, unnest_positions)
+            pairs.extend(new_pairs)
+            if stop_after is not None and len(pairs) >= stop_after:
+                del pairs[stop_after:]
+                break
         output = Relation(names, [pair[1] for pair in pairs], types)
         self._infer_missing_types(output)
         return output, pairs
+
+    def _projection_kernel(
+        self,
+        select: ast.Select,
+        plan: list[RowFunc | None],
+        env: EvalEnv,
+    ) -> Callable[[list], list[tuple[Row, Row]]]:
+        """A ``batch -> [(source_row, output_row)]`` kernel for the plan.
+
+        Specialized forms avoid per-row Python in the common shapes: a lone
+        ``*`` is the identity, an all-column projection is one
+        :func:`itemgetter`, and the general compiled form is a listcomp
+        over the item closures.  The fallback (a Star mixed with other
+        items) walks the plan per row like the original executor.
+        """
+        if plan == [None]:
+            return lambda batch: [(row, row) for row in batch]
+        mixed_star = any(func is None for func in plan)
+        if not mixed_star:
+            if self._db.exec_mode == "compiled" and all(
+                isinstance(item.expr, ColumnRef) for item in select.items
+            ):
+                try:
+                    positions = [env.resolve(item.expr.name) for item in select.items]
+                except ExecutionError:
+                    positions = None
+                if positions is not None:
+                    if len(positions) == 1:
+                        p0 = positions[0]
+                        return lambda batch: [(row, (row[p0],)) for row in batch]
+                    getter = itemgetter(*positions)
+                    return lambda batch: [(row, getter(row)) for row in batch]
+            if len(plan) == 1:
+                f0 = plan[0]
+                return lambda batch: [(row, (f0(row),)) for row in batch]
+            funcs = list(plan)
+            return lambda batch: [
+                (row, tuple(func(row) for func in funcs)) for row in batch
+            ]
+
+        def project(batch: list) -> list[tuple[Row, Row]]:
+            out = []
+            for row in batch:
+                values: list[Any] = []
+                for func in plan:
+                    if func is None:
+                        values.extend(row)
+                    else:
+                        values.append(func(row))
+                out.append((row, tuple(values)))
+            return out
+
+        return project
 
     @staticmethod
     def _expand_unnest(
@@ -276,14 +473,23 @@ class SelectExecutor:
     # -------------------------------------------------------------- grouping
 
     def _grouped(
-        self, select: ast.Select, source: Relation
+        self, select: ast.Select, relation: Relation, rows: list[Row]
     ) -> tuple[Relation, list[tuple[Row, Row]]]:
-        env = source.env()
+        env = relation.env()
         groups: dict[tuple, list[Row]] = {}
-        for row in source.rows:
-            key = tuple(expr.evaluate(row, env) for expr in select.group_by)
-            groups.setdefault(key, []).append(row)
-        if not groups and not select.group_by:
+        if select.group_by:
+            key_funcs = [self._evaluator(expr, env) for expr in select.group_by]
+            if len(key_funcs) == 1:
+                key_func = key_funcs[0]
+                for row in rows:
+                    groups.setdefault((key_func(row),), []).append(row)
+            else:
+                for row in rows:
+                    key = tuple(func(row) for func in key_funcs)
+                    groups.setdefault(key, []).append(row)
+        elif rows:
+            groups[()] = rows
+        else:
             groups[()] = []  # global aggregate over an empty input
         names: list[str] = []
         types: list[DataType | None] = []
@@ -295,7 +501,7 @@ class SelectExecutor:
         pairs: list[tuple[Row, Row]] = []
         for key, group_rows in groups.items():
             representative = group_rows[0] if group_rows else tuple(
-                [None] * len(source.names)
+                [None] * len(relation.names)
             )
             if select.having is not None:
                 having_value = self._eval_with_aggregates(
@@ -352,14 +558,16 @@ class SelectExecutor:
             return expr  # aggregates inside these are not supported
         return expr
 
-    @staticmethod
-    def _compute_aggregate(call: FuncCall, group_rows: list[Row], env: EvalEnv) -> Any:
+    def _compute_aggregate(
+        self, call: FuncCall, group_rows: list[Row], env: EvalEnv
+    ) -> Any:
         name = call.name
         if name == "count" and (not call.args or isinstance(call.args[0], Star)):
             return len(group_rows)
-        arg = call.args[0]
-        values = [arg.evaluate(row, env) for row in group_rows]
-        values = [value for value in values if value is not None]
+        arg = self._evaluator(call.args[0], env)
+        # map() keeps the extraction loop in C when arg is an itemgetter
+        # (every plain-column aggregate).
+        values = [value for value in map(arg, group_rows) if value is not None]
         if call.distinct:
             values = list(dict.fromkeys(values))
         if name == "count":
@@ -384,21 +592,82 @@ class SelectExecutor:
 
     # ------------------------------------------------------------- ordering
 
-    @staticmethod
     def _order(
+        self,
+        order_by: Sequence[ast.OrderItem],
+        pairs: list[tuple[Row, Row]],
+        source_env: EvalEnv,
+        output_env: EvalEnv,
+        top: int | None = None,
+    ) -> list[tuple[Row, Row]]:
+        if self._db.exec_mode != "compiled":
+            return self._order_multipass(order_by, pairs, source_env, output_env)
+        # One composite key per pair: each ORDER BY item contributes a
+        # direction-adjusted component, so a single stable sort (or heap
+        # top-k) reproduces the reference's stable multi-pass ordering.
+        components = []
+        for item in order_by:
+            components.append(
+                (
+                    self._evaluator(item.expr, output_env),
+                    self._evaluator(item.expr, source_env),
+                    item.descending,
+                )
+            )
+
+        def component_value(pair, out_func, src_func):
+            # An item may only resolve against the source row (e.g. ORDER BY
+            # a column the projection dropped); mirror the reference's
+            # per-row fallback.
+            try:
+                value = out_func(pair[1])
+            except ExecutionError:
+                value = src_func(pair[0])
+            # None sorts first ascending (Postgres NULLS LAST is the
+            # default, but a stable deterministic rule is what matters).
+            return (value is None, value)
+
+        if len(components) == 1:
+            out_func, src_func, descending = components[0]
+            if descending:
+
+                def sort_key(pair):
+                    return _Desc(component_value(pair, out_func, src_func))
+
+            else:
+
+                def sort_key(pair):
+                    return component_value(pair, out_func, src_func)
+
+        else:
+
+            def sort_key(pair):
+                return tuple(
+                    _Desc(component_value(pair, out_func, src_func))
+                    if descending
+                    else component_value(pair, out_func, src_func)
+                    for out_func, src_func, descending in components
+                )
+
+        if top is not None and top < len(pairs):
+            return heapq.nsmallest(top, pairs, key=sort_key)
+        return sorted(pairs, key=sort_key)
+
+    @staticmethod
+    def _order_multipass(
         order_by: Sequence[ast.OrderItem],
         pairs: list[tuple[Row, Row]],
         source_env: EvalEnv,
         output_env: EvalEnv,
     ) -> list[tuple[Row, Row]]:
+        """The interpreted reference: one stable sort pass per ORDER BY item."""
+
         def sort_value(item: ast.OrderItem, pair: tuple[Row, Row]):
             source_row, output_row = pair
             try:
                 value = item.expr.evaluate(output_row, output_env)
             except ExecutionError:
                 value = item.expr.evaluate(source_row, source_env)
-            # None sorts first ascending (Postgres NULLS LAST is the default,
-            # but a stable deterministic rule is what matters here).
             return (value is None, value)
 
         for item in reversed(order_by):

@@ -14,6 +14,7 @@ the paper): array containment ``<@`` / ``@>``, array append ``||``, overlap
 
 from __future__ import annotations
 
+import operator
 import re
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
@@ -119,7 +120,7 @@ def _null_if_any_none(*values: Any) -> bool:
     return any(value is None for value in values)
 
 
-def _like_to_regex(pattern: str) -> "re.Pattern[str]":
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
     out = []
     for char in pattern:
         if char == "%":
@@ -131,22 +132,35 @@ def _like_to_regex(pattern: str) -> "re.Pattern[str]":
     return re.compile("^" + "".join(out) + "$", re.DOTALL)
 
 
-_BINARY_IMPLS: dict[str, Callable[[Any, Any], Any]] = {
-    "+": lambda a, b: a + b,
-    "-": lambda a, b: a - b,
-    "*": lambda a, b: a * b,
-    "/": lambda a, b: a / b if isinstance(a, float) or isinstance(b, float) else a // b,
-    "%": lambda a, b: a % b,
-    "=": lambda a, b: a == b,
-    "<>": lambda a, b: a != b,
-    "<": lambda a, b: a < b,
-    "<=": lambda a, b: a <= b,
-    ">": lambda a, b: a > b,
-    ">=": lambda a, b: a >= b,
+_like_to_regex = like_to_regex  # historical private name
+
+
+def _divide(a: Any, b: Any) -> Any:
+    return a / b if isinstance(a, float) or isinstance(b, float) else a // b
+
+
+#: Binary operator implementations, shared by the interpreter and the
+#: compiled closures (:mod:`repro.storage.compile`).  Scalar ops are the
+#: C-level :mod:`operator` functions, so both execution paths skip a layer
+#: of Python per evaluation.
+BINARY_IMPLS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": _divide,
+    "%": operator.mod,
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
     "<@": arrays.contained_by,
     "@>": arrays.contains,
     "&&": arrays.overlap,
 }
+
+_BINARY_IMPLS = BINARY_IMPLS  # historical private name
 
 
 @dataclass(frozen=True)
@@ -337,7 +351,7 @@ class Like(Expression):
         return self.operand.columns() | self.pattern.columns()
 
 
-_SCALAR_FUNCS: dict[str, Callable[..., Any]] = {
+SCALAR_FUNCS: dict[str, Callable[..., Any]] = {
     "abs": abs,
     "lower": lambda s: s.lower(),
     "upper": lambda s: s.upper(),
@@ -349,6 +363,8 @@ _SCALAR_FUNCS: dict[str, Callable[..., Any]] = {
     "array_cat": arrays.concat,
     "round": lambda x, n=0: round(x, int(n)),
 }
+
+_SCALAR_FUNCS = SCALAR_FUNCS  # historical private name
 
 
 @dataclass(frozen=True)

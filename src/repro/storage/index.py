@@ -65,6 +65,13 @@ class Index:
     def entry_count(self) -> int:
         raise NotImplementedError
 
+    def __setstate__(self, state: dict) -> None:
+        # Legacy pickle stores predate the incremental entry counter.
+        self.__dict__.update(state)
+        if "_entries" not in state:
+            buckets = state.get("_buckets") or state.get("_slots") or {}
+            self._entries = sum(len(slots) for slots in buckets.values())
+
 
 class HashIndex(Index):
     """Equality-probe index backed by a dict of slot lists."""
@@ -72,9 +79,11 @@ class HashIndex(Index):
     def __init__(self, name, columns, positions, unique):
         super().__init__(name, columns, positions, unique)
         self._buckets: dict[Key, list[int]] = {}
+        self._entries = 0
 
     def insert(self, row: Row, slot: int) -> None:
         self._buckets.setdefault(self.key_of(row), []).append(slot)
+        self._entries += 1
 
     def delete(self, row: Row, slot: int) -> None:
         key = self.key_of(row)
@@ -84,6 +93,8 @@ class HashIndex(Index):
                 slots.remove(slot)
             except ValueError:
                 pass
+            else:
+                self._entries -= 1
             if not slots:
                 del self._buckets[key]
 
@@ -103,9 +114,12 @@ class HashIndex(Index):
 
     def clear(self) -> None:
         self._buckets.clear()
+        self._entries = 0
 
     def entry_count(self) -> int:
-        return sum(len(slots) for slots in self._buckets.values())
+        # Maintained incrementally: entry_count feeds storage_bytes(),
+        # which status/bench paths poll per call.
+        return self._entries
 
 
 class OrderedIndex(Index):
@@ -115,6 +129,7 @@ class OrderedIndex(Index):
         super().__init__(name, columns, positions, unique)
         self._keys: list[Key] = []
         self._slots: dict[Key, list[int]] = {}
+        self._entries = 0
 
     def insert(self, row: Row, slot: int) -> None:
         key = self.key_of(row)
@@ -122,6 +137,7 @@ class OrderedIndex(Index):
             bisect.insort(self._keys, key)
             self._slots[key] = []
         self._slots[key].append(slot)
+        self._entries += 1
 
     def delete(self, row: Row, slot: int) -> None:
         key = self.key_of(row)
@@ -131,6 +147,8 @@ class OrderedIndex(Index):
                 slots.remove(slot)
             except ValueError:
                 pass
+            else:
+                self._entries -= 1
             if not slots:
                 del self._slots[key]
                 position = bisect.bisect_left(self._keys, key)
@@ -171,9 +189,10 @@ class OrderedIndex(Index):
     def clear(self) -> None:
         self._keys.clear()
         self._slots.clear()
+        self._entries = 0
 
     def entry_count(self) -> int:
-        return sum(len(slots) for slots in self._slots.values())
+        return self._entries
 
 
 def matches_prefix(key: Key, prefix: Sequence[Any]) -> bool:

@@ -25,6 +25,13 @@ class IOStats:
     array_cells_written: int = 0
     hash_build_rows: int = 0
     sort_rows: int = 0
+    #: Execution-engine counters (the compiled batch pipeline): row blocks
+    #: charged by :meth:`Table.scan_batches`, and how many expressions each
+    #: statement lowered to closures vs. left on the interpreter.  They
+    #: describe *how* work ran, so they stay out of :attr:`total_touched`.
+    batches_scanned: int = 0
+    exprs_compiled: int = 0
+    exprs_interpreted: int = 0
 
     def snapshot(self) -> "IOStats":
         return IOStats(**vars(self))

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import ExecutionError
-from repro.storage.executor import Relation, SelectExecutor
+from repro.storage.executor import Relation, SelectExecutor, value_evaluator
 from repro.storage.expression import (
     BinaryOp,
     ColumnRef,
@@ -57,7 +57,10 @@ class _Source:
 
     def materialize(self) -> None:
         if self.lazy:
-            self.relation.rows = [row for _slot, row in self.table.scan()]
+            rows: list[Row] = []
+            for batch in self.table.scan_batches():
+                rows.extend(batch)
+            self.relation.rows = rows
             self.lazy = False
 
     @property
@@ -72,11 +75,18 @@ class _Source:
 
 def resolve_from(
     db: "Database", select: ast.Select, executor: SelectExecutor
-) -> tuple[Relation, Expression | None]:
-    """Build the FROM relation; returns (relation, residual_where)."""
+) -> tuple[_Source, Expression | None]:
+    """Build the FROM source; returns (source, residual_where).
+
+    A single un-filtered base table comes back *lazy* (``source.lazy``):
+    the executor streams it through :meth:`Table.scan_batches` so the
+    residual filter, projection, and LIMIT pushdown all run block-at-a-time
+    without an up-front materialization.  Joined/probed/derived sources are
+    materialized relations as before.
+    """
     if not select.from_items:
         # SELECT without FROM: a single empty row so expressions evaluate.
-        return Relation([], [()]), select.where
+        return _Source(Relation([], [()]), ""), select.where
     where_parts = conjuncts(select.where)
     sources = []
     for item in select.from_items:
@@ -94,8 +104,7 @@ def resolve_from(
     for join_clause in select.joins:
         source, where_parts = _scan_item(db, join_clause.item, where_parts, executor)
         current = _explicit_join(db, current, source, join_clause)
-    current.materialize()
-    return current.relation, combine_and(where_parts)
+    return current, combine_and(where_parts)
 
 
 # ------------------------------------------------------------------ scanning
@@ -278,29 +287,27 @@ def _equi_join(
             rows = [row[right_width:] + row[:right_width] for row in flipped]
     else:
         # Hash join, building on the smaller side (Section 3.2's plan).
+        # Key extraction is precompiled inside hash_join, which returns
+        # the materialized output list directly.
         left.materialize()
         right.materialize()
         if len(left.relation.rows) <= len(right.relation.rows):
-            rows = list(
-                hash_join(
-                    left.relation.rows,
-                    left_positions,
-                    right.relation.rows,
-                    right_positions,
-                    stats=stats,
-                    build_side_first=True,
-                )
+            rows = hash_join(
+                left.relation.rows,
+                left_positions,
+                right.relation.rows,
+                right_positions,
+                stats=stats,
+                build_side_first=True,
             )
         else:
-            rows = list(
-                hash_join(
-                    right.relation.rows,
-                    right_positions,
-                    left.relation.rows,
-                    left_positions,
-                    stats=stats,
-                    build_side_first=False,
-                )
+            rows = hash_join(
+                right.relation.rows,
+                right_positions,
+                left.relation.rows,
+                left_positions,
+                stats=stats,
+                build_side_first=False,
             )
     merged = _Source(Relation(names, rows, types), left.binding)
     return merged, where_parts
@@ -346,19 +353,21 @@ def _explicit_join(
         if residual:
             condition = combine_and(residual)
             merged_env = merged.relation.env()
+            condition_func = value_evaluator(db, condition, merged_env)
             merged.relation.rows = [
                 row
                 for row in merged.relation.rows
-                if condition.evaluate(row, merged_env) is True
+                if condition_func(row) is True
             ]
         return merged
     rows = []
     right_width = len(right.relation.names)
+    condition_func = value_evaluator(db, clause.condition, env)
     for lrow in left.relation.rows:
         matched = False
         for rrow in right.relation.rows:
             combined = lrow + rrow
-            if clause.condition.evaluate(combined, env) is True:
+            if condition_func(combined) is True:
                 rows.append(combined)
                 matched = True
         if clause.kind == "left" and not matched:

@@ -68,3 +68,50 @@ class TestOverlapIntersect:
 
     def test_array_length(self):
         assert arrays.array_length((1, 2, 3)) == 3
+
+
+class TestConversionHoisting:
+    """The generic contains/overlap paths rebuild a probe set per call;
+    compiled predicates hoist a constant operand's conversion to once per
+    statement.  ``arrays.conversion_count`` observes exactly those
+    per-call ``set(...)`` builds."""
+
+    BIG = 1 << 30  # far beyond the bitmapizable rid range
+    N_ROWS = 40
+
+    def _db(self, mode):
+        from repro.storage.engine import Database
+
+        db = Database(exec_mode=mode)
+        db.execute("CREATE TABLE t (id int, arr int[])")
+        for i in range(self.N_ROWS):
+            db.execute(
+                "INSERT INTO t VALUES (%s, %s)",
+                (i, (self.BIG + i, self.BIG + i + 1, self.BIG + i + 2)),
+            )
+        return db
+
+    SQL = (
+        "SELECT count(*) FROM t WHERE ARRAY[{0}, {1}, {2}, {3}] @> arr"
+    ).format(BIG, BIG + 1, BIG + 2, BIG + 3)
+
+    def test_interpreted_generic_path_converts_per_row(self):
+        db = self._db("interpreted")
+        before = arrays.conversion_count
+        rows = db.query(self.SQL)
+        assert rows == [(2,)]  # rows 0 and 1 are covered
+        assert arrays.conversion_count - before >= self.N_ROWS
+
+    def test_compiled_predicate_hoists_the_conversion(self):
+        db = self._db("compiled")
+        before = arrays.conversion_count
+        rows = db.query(self.SQL)
+        assert rows == [(2,)]
+        # One statement-level hoist at most — never one per evaluated row.
+        assert arrays.conversion_count - before == 0
+
+    def test_counter_increments_on_direct_generic_calls(self):
+        before = arrays.conversion_count
+        assert arrays.contains((1, 2, 3, 4), (1, 2, 3))
+        assert arrays.overlap((1, 2, 3), (3, 4, 5))
+        assert arrays.conversion_count - before == 2

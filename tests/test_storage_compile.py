@@ -1,0 +1,327 @@
+"""Property suite: compiled expressions/pipelines ≡ the interpreter.
+
+The compiled tier (:mod:`repro.storage.compile` plus the executor's batch
+pipeline) promises *zero behaviour change*: for every expression the
+compiler accepts, the generated function must produce the interpreter's
+exact value — including SQL three-valued logic — or raise the
+interpreter's exact error; and whole SELECTs must return identical rows
+under ``exec_mode="compiled"`` and ``exec_mode="interpreted"``.  These
+properties are enforced here over hypothesis-generated expression trees,
+rows with NULLs/mixed types, and generated queries covering filtering,
+projection, joins, grouping, ORDER BY (top-k), DISTINCT, and LIMIT/OFFSET.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError, ReproError
+from repro.storage.compile import compile_value
+from repro.storage.engine import Database
+from repro.storage.expression import (
+    ArrayLiteral,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    EvalEnv,
+    Expression,
+    FuncCall,
+    InList,
+    InSet,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+
+COLUMNS = ["a", "b", "c", "s", "arr"]
+ENV = EvalEnv(COLUMNS)
+
+# ------------------------------------------------------------- strategies
+
+_ints = st.integers(min_value=-50, max_value=50)
+_scalars = st.one_of(
+    st.none(),
+    _ints,
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet="ab%_c", max_size=4),
+    st.tuples(_ints, _ints),
+)
+
+_rows = st.tuples(_scalars, _scalars, _scalars, _scalars, _scalars)
+
+_literals = st.builds(Literal, _scalars)
+_columns = st.builds(ColumnRef, st.sampled_from(COLUMNS))
+_leaves = st.one_of(_literals, _columns)
+
+_binary_ops = st.sampled_from(
+    ["+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=",
+     "and", "or", "||", "<@", "@>", "&&"]
+)
+_func_names = st.sampled_from(
+    ["abs", "lower", "upper", "length", "coalesce", "cardinality", "nosuch"]
+)
+
+
+def _nodes(children: st.SearchStrategy[Expression]) -> st.SearchStrategy:
+    return st.one_of(
+        st.builds(BinaryOp, _binary_ops, children, children),
+        st.builds(UnaryOp, st.sampled_from(["not", "-"]), children),
+        st.builds(IsNull, children, st.booleans()),
+        st.builds(Between, children, children, children, st.booleans()),
+        st.builds(
+            InList,
+            children,
+            st.lists(children, max_size=3).map(tuple),
+            st.booleans(),
+        ),
+        st.builds(
+            InSet,
+            children,
+            st.frozensets(st.one_of(_ints, st.text(max_size=2)), max_size=4),
+            st.booleans(),
+        ),
+        st.builds(Like, children, children, st.booleans()),
+        st.builds(
+            FuncCall, _func_names, st.lists(children, max_size=2).map(tuple)
+        ),
+        st.builds(ArrayLiteral, st.lists(children, max_size=3).map(tuple)),
+    )
+
+
+_expressions = st.recursive(_leaves, _nodes, max_leaves=12)
+
+
+def outcome(fn):
+    """(kind, payload) of calling ``fn``: its value or its exact error."""
+    try:
+        return ("value", fn())
+    except ExecutionError as exc:
+        return ("ExecutionError", str(exc))
+    except Exception as exc:  # TypeError, ZeroDivisionError, ...
+        return (type(exc).__name__, None)
+
+
+# ------------------------------------------------- expression equivalence
+
+
+class TestExpressionEquivalence:
+    @given(expr=_expressions, row=_rows)
+    @settings(max_examples=400)
+    def test_compiled_matches_interpreted(self, expr, row):
+        compiled = compile_value(expr, ENV)
+        if compiled is None:  # outside the compiled subset: interpreter runs
+            return
+        interpreted = outcome(lambda: expr.evaluate(row, ENV))
+        fused = outcome(lambda: compiled(row))
+        assert fused == interpreted
+
+    @given(expr=_expressions, rows=st.lists(_rows, max_size=5))
+    @settings(max_examples=200)
+    def test_filter_semantics_match(self, expr, rows):
+        """`pred(row) is True` keeps exactly the interpreter's keepers."""
+        compiled = compile_value(expr, ENV)
+        if compiled is None:
+            return
+        interpreted = outcome(
+            lambda: [r for r in rows if expr.evaluate(r, ENV) is True]
+        )
+        fused = outcome(lambda: [r for r in rows if compiled(r) is True])
+        assert fused == interpreted
+
+    def test_unknown_column_is_not_compiled(self):
+        # The interpreter raises per evaluated row; compiling would turn
+        # that into a statement-time error, so the compiler must refuse.
+        assert compile_value(ColumnRef("nope"), ENV) is None
+
+    def test_aggregate_outside_group_by_is_not_compiled(self):
+        assert compile_value(FuncCall("sum", (ColumnRef("a"),)), ENV) is None
+
+    def test_division_by_zero_stays_a_runtime_error(self):
+        expr = BinaryOp("/", ColumnRef("a"), Literal(0))
+        compiled = compile_value(expr, ENV)
+        with pytest.raises(ExecutionError, match="division by zero"):
+            compiled((1, 0, 0, 0, 0))
+
+    def test_constant_folding_keeps_raising_constants_lazy(self):
+        expr = BinaryOp("/", Literal(1), Literal(0))
+        compiled = compile_value(expr, ENV)  # must not raise at compile time
+        with pytest.raises(ExecutionError, match="division by zero"):
+            compiled(())
+
+
+# ---------------------------------------------------- whole-SELECT parity
+
+
+def _build_db(mode: str) -> Database:
+    db = Database(exec_mode=mode)
+    db.execute(
+        "CREATE TABLE t (a int, b int, c int, s text, arr int[])"
+    )
+    rows = [
+        (1, 10, 1, "ab", (1, 2, 3)),
+        (2, None, 1, "b%", (2,)),
+        (3, 7, 2, None, ()),
+        (4, 7, 2, "abc", (3, 4)),
+        (None, 3, 3, "a_c", None),
+        (6, -5, 3, "", (1, 5, 9)),
+        (7, 0, None, "ab", (2, 4, 6)),
+    ]
+    for row in rows:
+        db.execute("INSERT INTO t VALUES (%s, %s, %s, %s, %s)", row)
+    db.execute("CREATE TABLE u (k int, v text)")
+    for row in [(1, "x"), (2, "y"), (2, "z"), (4, None)]:
+        db.execute("INSERT INTO u VALUES (%s, %s)", row)
+    return db
+
+
+QUERIES = [
+    "SELECT * FROM t",
+    "SELECT a, b + c FROM t WHERE a > 1 AND b <= 10",
+    "SELECT a FROM t WHERE b IS NOT NULL ORDER BY b DESC, a LIMIT 3",
+    "SELECT a FROM t WHERE a BETWEEN 2 AND 6 ORDER BY a DESC LIMIT 2 OFFSET 1",
+    "SELECT c, count(*), sum(a), avg(b) FROM t GROUP BY c ORDER BY c",
+    "SELECT c, count(*) FROM t GROUP BY c HAVING count(*) > 1",
+    "SELECT DISTINCT c FROM t ORDER BY c",
+    "SELECT a FROM t WHERE s LIKE 'ab%'",
+    "SELECT a FROM t WHERE arr @> ARRAY[2]",
+    "SELECT a FROM t WHERE arr && ARRAY[4, 9]",
+    "SELECT a FROM t WHERE a IN (1, 3, 7)",
+    "SELECT a FROM t WHERE a IN (SELECT k FROM u)",
+    "SELECT t.a, u.v FROM t, u WHERE t.a = u.k ORDER BY t.a, u.v",
+    "SELECT t.a, u.v FROM t LEFT JOIN u ON t.a = u.k ORDER BY t.a, u.v",
+    "SELECT count(*) FROM t WHERE coalesce(b, 0) >= 0 OR NOT (c = 1)",
+    "SELECT a FROM t WHERE a = (SELECT min(k) FROM u)",
+    "SELECT unnest(arr) FROM t WHERE a = 1",
+    "SELECT upper(s), length(s) FROM t WHERE s <> ''",
+    "SELECT a FROM t LIMIT 2",
+    "SELECT a, b FROM t WHERE b < 100 LIMIT 4",
+]
+
+
+class TestSelectParity:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_fixed_queries_agree(self, sql):
+        compiled = _build_db("compiled")
+        interpreted = _build_db("interpreted")
+        assert compiled.query(sql) == interpreted.query(sql)
+
+    @given(
+        where_expr=_expressions,
+        order_col=st.sampled_from(["a", "b", "c"]),
+        descending=st.booleans(),
+        limit=st.one_of(st.none(), st.integers(min_value=0, max_value=5)),
+        offset=st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+        distinct=st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_generated_pipelines_agree(
+        self, where_expr, order_col, descending, limit, offset, distinct
+    ):
+        """Batch pipeline ≡ row pipeline for whole generated SELECTs."""
+        from repro.storage.parser import ast_nodes as ast
+
+        def run(mode: str):
+            db = _build_db(mode)
+            select = ast.Select(
+                items=[
+                    ast.SelectItem(ColumnRef("a"), None),
+                    ast.SelectItem(ColumnRef("c"), None),
+                ],
+                from_items=[ast.TableRef("t")],
+                where=where_expr,
+                order_by=[ast.OrderItem(ColumnRef(order_col), descending)],
+                limit=limit,
+                offset=offset,
+                distinct=distinct,
+            )
+            return db.execute_statements([select]).rows
+
+        assert outcome(lambda: run("compiled")) == outcome(
+            lambda: run("interpreted")
+        )
+
+    @given(
+        limit=st.integers(min_value=0, max_value=10),
+        offset=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=40)
+    def test_limit_pushdown_equals_slice(self, limit, offset):
+        compiled = _build_db("compiled")
+        everything = compiled.query("SELECT a, b FROM t WHERE c <> 99")
+        limited = compiled.query(
+            f"SELECT a, b FROM t WHERE c <> 99 LIMIT {limit} OFFSET {offset}"
+        )
+        assert limited == everything[offset : offset + limit]
+
+    def test_topk_matches_full_sort_with_ties(self):
+        compiled = _build_db("compiled")
+        interpreted = _build_db("interpreted")
+        # b=7 twice: the heap top-k must keep the stable tie order the
+        # reference's multi-pass sort produces.
+        sql = "SELECT a, b FROM t ORDER BY b DESC LIMIT 4"
+        assert compiled.query(sql) == interpreted.query(sql)
+
+    def test_update_delete_parity(self):
+        results = {}
+        for mode in ("compiled", "interpreted"):
+            db = _build_db(mode)
+            db.execute("UPDATE t SET b = b + 1 WHERE a >= 3 AND c = 2")
+            db.execute("DELETE FROM t WHERE b IS NULL OR a = 1")
+            results[mode] = db.query("SELECT * FROM t ORDER BY c, a")
+        assert results["compiled"] == results["interpreted"]
+
+
+# ----------------------------------------------------- engine-mode basics
+
+
+class TestExecModeKnob:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ReproError):
+            Database(exec_mode="jit")
+
+    def test_compiled_mode_charges_compile_counters(self):
+        db = _build_db("compiled")
+        db.reset_stats()
+        db.query("SELECT a FROM t WHERE b > 0")
+        assert db.stats.exprs_compiled > 0
+        assert db.stats.batches_scanned > 0
+
+    def test_interpreted_mode_never_compiles(self):
+        db = _build_db("interpreted")
+        db.reset_stats()
+        db.query("SELECT a FROM t WHERE b > 0")
+        assert db.stats.exprs_compiled == 0
+        assert db.stats.exprs_interpreted == 0
+
+
+class TestReviewRegressions:
+    """Edge cases from review: pushdowns must not fire on out-of-contract
+    bounds, and plan building must not hoist per-row errors."""
+
+    @pytest.mark.parametrize(
+        "sql, params",
+        [
+            ("SELECT a FROM t LIMIT %s", (-1,)),
+            ("SELECT a FROM t ORDER BY a LIMIT %s", (-1,)),
+            ("SELECT a FROM t LIMIT %s OFFSET %s", (10, -5)),
+            ("SELECT a FROM t ORDER BY a LIMIT %s OFFSET %s", (2, -3)),
+        ],
+    )
+    def test_negative_limit_offset_keeps_slice_semantics(self, sql, params):
+        compiled = _build_db("compiled")
+        interpreted = _build_db("interpreted")
+        assert compiled.query(sql, params) == interpreted.query(sql, params)
+
+    def test_zero_arg_unnest_is_a_per_row_error(self):
+        for mode in ("compiled", "interpreted"):
+            db = Database(exec_mode=mode)
+            db.execute("CREATE TABLE e (a int)")
+            # No rows evaluated -> no error (the reference behaviour).
+            assert db.query("SELECT unnest() FROM e") == []
+            db.execute("INSERT INTO e VALUES (1)")
+            with pytest.raises(IndexError):
+                db.query("SELECT unnest() FROM e")

@@ -181,3 +181,50 @@ class TestOrderedIndex:
         index.delete((1,), 0)
         assert list(index.ordered_slots()) == []
         assert index.entry_count() == 0
+
+
+class TestIncrementalStorageBytes:
+    """storage_bytes() is maintained incrementally; every mutation kind must
+    keep it equal to the full-rescan reference implementation."""
+
+    def check(self, table):
+        assert table.storage_bytes() == table.storage_bytes_recomputed()
+        assert table.storage_bytes(False) == table.storage_bytes_recomputed(False)
+
+    def test_tracks_every_mutation_kind(self):
+        table = Table("t", make_schema())
+        self.check(table)
+        slots = [table.insert((i, f"name{i}" * (i % 3), i * 7)) for i in range(20)]
+        self.check(table)
+        table.update_slot(slots[3], (3, "a much longer replacement name", 1))
+        table.update_slot(slots[4], (4, None, None))
+        self.check(table)
+        table.delete_slots(slots[5:9])
+        table.delete_slots(slots[5:9])  # tombstoned slots: no double charge
+        self.check(table)
+        table.create_index("by_name", ["name"])
+        self.check(table)
+        table.recluster("score")
+        self.check(table)
+        table.alter_add_column(Column("extra", DataType.TEXT), default="xyz")
+        self.check(table)
+        table.alter_column_type("score", DataType.DECIMAL)
+        self.check(table)
+        table.load_rows([(100, "bulk", 1, "e"), (101, None, 2, None)])
+        self.check(table)
+        table.drop_index("by_name")
+        self.check(table)
+        table.truncate()
+        self.check(table)
+        assert table.storage_bytes() == 0
+
+    def test_pickle_roundtrip_without_counter_rebuilds_it(self):
+        import pickle
+
+        table = Table("t", make_schema())
+        table.insert_many([(i, "n", i) for i in range(5)])
+        state = table.__dict__.copy()
+        del state["_data_bytes"]  # simulate a pre-incremental pickle
+        clone = Table.__new__(Table)
+        clone.__setstate__(pickle.loads(pickle.dumps(state)))
+        assert clone.storage_bytes() == table.storage_bytes()
