@@ -18,7 +18,10 @@ at all); its ratio is advisory — it tracks the machine's core count.
 Wall-clock ratios stay advisory in CI; the regression gate compares the
 deterministic counters (cache hits/misses and logical records touched for
 the fixed trace) in ``BENCH_serve.json`` against the committed smoke
-baseline.
+baseline.  Each pass also reports advisory per-request latency
+percentiles (p50/p95/p99, from a fixed-bucket histogram so the figures
+are bucket upper edges), and a full run embeds the live ``stats``-op
+observability snapshot of the x4 serve pass.
 
 Run directly for the full sweep::
 
@@ -41,6 +44,7 @@ if __package__ in (None, ""):
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from benchmarks._common import print_header
+from repro.obs import Histogram
 from repro.persist import Store
 from repro.serve import ServeManager
 
@@ -114,15 +118,27 @@ def build_trace(config: dict) -> list[tuple[int, ...]]:
 # -------------------------------------------------------------- measurement
 
 
+def _latency_ms(latency: Histogram) -> dict:
+    """Advisory per-request percentiles (bucket upper edges, in ms)."""
+    return {
+        "p50": latency.quantile(0.50) * 1e3,
+        "p95": latency.quantile(0.95) * 1e3,
+        "p99": latency.quantile(0.99) * 1e3,
+    }
+
+
 def run_baseline(path: Path, trace) -> dict:
     """The pre-serve path: exclusive store, uncached merges per request."""
+    latency = Histogram("baseline_latency_seconds")
     with Store.open(path, checkpoint_interval=0) as store:
         orpheus = store.orpheus
         orpheus.db.reset_stats()
         started = time.perf_counter()
         checksum = 0
         for vids in trace:
+            begun = time.perf_counter()
             checksum += len(orpheus.checkout_rows("bench", list(vids)))
+            latency.observe(time.perf_counter() - begun)
         seconds = time.perf_counter() - started
         stats = orpheus.db.stats.snapshot()
     return {
@@ -131,11 +147,15 @@ def run_baseline(path: Path, trace) -> dict:
         "rows_served": checksum,
         "records_scanned": stats.records_scanned,
         "total_touched": stats.total_touched,
+        "latency_ms": _latency_ms(latency),
     }
 
 
-def run_serve(path: Path, trace, readers: int, threads: int) -> dict:
+def run_serve(
+    path: Path, trace, readers: int, threads: int, snapshot: bool = False
+) -> dict:
     """The serving layer: ``threads`` clients over ``readers`` sessions."""
+    latency = Histogram("serve_latency_seconds")  # thread-safe: own lock
     with ServeManager(path, readers=readers, cache_capacity=512) as manager:
         for session in manager._sessions:
             session.orpheus.db.reset_stats()
@@ -143,14 +163,18 @@ def run_serve(path: Path, trace, readers: int, threads: int) -> dict:
         started = time.perf_counter()
         if threads <= 1:
             for vids in trace:
+                begun = time.perf_counter()
                 checksums[0] += len(manager.checkout("bench", list(vids)))
+                latency.observe(time.perf_counter() - begun)
         else:
             slices = [trace[i::threads] for i in range(threads)]
 
             def client(worker: int) -> None:
                 total = 0
                 for vids in slices[worker]:
+                    begun = time.perf_counter()
                     total += len(manager.checkout("bench", list(vids)))
+                    latency.observe(time.perf_counter() - begun)
                 checksums[worker] = total
 
             pool = [
@@ -166,7 +190,7 @@ def run_serve(path: Path, trace, readers: int, threads: int) -> dict:
             for session in manager._sessions
         )
         stats = manager.cache.stats
-        return {
+        out = {
             "readers": readers,
             "threads": threads,
             "seconds": seconds,
@@ -175,7 +199,13 @@ def run_serve(path: Path, trace, readers: int, threads: int) -> dict:
             "records_scanned": scanned,
             "cache_hits": stats.hits,
             "cache_misses": stats.misses,
+            "latency_ms": _latency_ms(latency),
         }
+        if snapshot:
+            # The live observability surface, as the stats op would serve
+            # it (full mode only — it is advisory bulk, not a gated figure).
+            out["stats_snapshot"] = manager.stats_snapshot()
+        return out
 
 
 def run_multiprocess(path: Path, trace, processes: int) -> dict:
@@ -210,7 +240,7 @@ def run_multiprocess(path: Path, trace, processes: int) -> dict:
     }
 
 
-def measure(config: dict, base_dir: Path) -> dict:
+def measure(config: dict, base_dir: Path, snapshot: bool = False) -> dict:
     store_path = base_dir / "serve-bench-store"
     build_store(store_path, config)
     trace = build_trace(config)
@@ -220,7 +250,7 @@ def measure(config: dict, base_dir: Path) -> dict:
 
     baseline = run_baseline(store_path, trace)
     serve1 = run_serve(store_path, trace, readers=1, threads=1)
-    serve4 = run_serve(store_path, trace, readers=4, threads=4)
+    serve4 = run_serve(store_path, trace, readers=4, threads=4, snapshot=snapshot)
 
     out = {
         "bench": "serve",
@@ -262,7 +292,7 @@ def main(argv=None) -> int:
         f"{config['root_records']} root records, {config['requests']} requests)"
     )
     with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
-        result = measure(config, Path(tmp))
+        result = measure(config, Path(tmp), snapshot=not args.smoke)
         if not args.smoke:
             store_path = Path(tmp) / "serve-bench-store"
             trace = build_trace(config)
@@ -277,9 +307,12 @@ def main(argv=None) -> int:
             if "cache_hits" in entry
             else ""
         )
+        lat = entry["latency_ms"]
         print(
             f"  {name:<9} {entry['seconds'] * 1e3:9.1f} ms   "
-            f"{entry['throughput']:9.0f} req/s{extra}"
+            f"{entry['throughput']:9.0f} req/s   "
+            f"p50/p95/p99 {lat['p50']:.2f}/{lat['p95']:.2f}/{lat['p99']:.2f} ms"
+            f"{extra}"
         )
     print(
         f"  aggregate throughput, 4 readers vs 1 baseline reader: "

@@ -19,6 +19,11 @@ shape fields (version/record/row counts) must match exactly: if they
 drift, counters are not comparable and the gate fails loudly rather than
 comparing apples to oranges.
 
+``--exact`` tightens the gate to zero drift: every gated counter must
+equal its baseline bit for bit, improvements included.  That is the mode
+observability changes are held to — instrumentation must not change a
+single logical-I/O or cache count, in either direction.
+
 Usage::
 
     python benchmarks/check_regression.py BENCH_checkout.json
@@ -119,7 +124,9 @@ def _lookup(doc: dict, path: tuple):
     return value
 
 
-def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
+def compare(
+    current: dict, baseline: dict, threshold: float, exact: bool = False
+) -> list[str]:
     """Failure messages (empty = gate passes)."""
     failures: list[str] = []
     bench = current.get("bench", "checkout")
@@ -165,6 +172,13 @@ def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
             continue
         got = current_counters[name]
         want = baseline_counters[name]
+        if exact:
+            if got != want:
+                failures.append(
+                    f"DRIFT {name}: {got:g} != baseline {want:g} "
+                    f"(--exact demands bit-identical counters)"
+                )
+            continue
         limit = want * (1.0 + threshold)
         if got > limit:
             failures.append(
@@ -195,6 +209,12 @@ def main(argv=None) -> int:
         help="allowed fractional slowdown per counter (default 0.30)",
     )
     parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="zero-drift mode: every gated counter must equal the baseline "
+        "bit for bit (improvements fail too)",
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help="write the result over the baseline instead of checking",
@@ -209,16 +229,22 @@ def main(argv=None) -> int:
         print(f"error: no baseline at {args.baseline}", file=sys.stderr)
         return 2
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
-    failures = compare(current, baseline, args.threshold)
+    failures = compare(current, baseline, args.threshold, exact=args.exact)
     if failures:
         for line in failures:
             print(f"FAIL: {line}", file=sys.stderr)
         return 1
     gated = BENCH_PROFILES[current.get("bench", "checkout")]["gated"]
-    print(
-        f"benchmark gate passed: {len(gated)} deterministic "
-        f"counters within {args.threshold:.0%} of baseline"
-    )
+    if args.exact:
+        print(
+            f"benchmark gate passed: {len(gated)} deterministic "
+            f"counters bit-identical to baseline"
+        )
+    else:
+        print(
+            f"benchmark gate passed: {len(gated)} deterministic "
+            f"counters within {args.threshold:.0%} of baseline"
+        )
     return 0
 
 

@@ -24,10 +24,12 @@ rename).  Commands mirror the paper's:
 from __future__ import annotations
 
 import argparse
+import json
 import pickle
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.core.orpheus import OrpheusDB
 from repro.errors import ReproError, StoreLockedError
 from repro.persist import Store
@@ -40,7 +42,7 @@ from repro.persist.fsutil import atomic_write_bytes
 #: only in its ``-f`` form, which degrades to a plain export (staging a
 #: table needs the writer).
 READ_ONLY_COMMANDS = frozenset(
-    {"status", "ls", "log", "diff", "whoami", "run", "checkout"}
+    {"status", "stats", "ls", "log", "diff", "whoami", "run", "checkout"}
 )
 
 
@@ -120,6 +122,19 @@ def build_parser() -> argparse.ArgumentParser:
         "live writer, guarantees no byte on disk changes, rejects "
         "mutating commands",
     )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="enable logging on the 'repro' logger tree at LEVEL "
+        "(DEBUG also emits tracing spans; default: logging off)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as one JSON object per line (implies "
+        "--log-level DEBUG unless a level is given)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("init", help="create a CVD from a CSV file")
@@ -148,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="run SQL (VERSION ... OF CVD supported)")
     p.add_argument("sql", help="SQL text, or @path to a SQL script file")
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run one SELECT instrumented and print the per-operator "
+        "rows/batches/time report (same as a PROFILE SELECT prefix)",
+    )
 
     p = sub.add_parser("diff", help="records in one version but not another")
     p.add_argument("cvd")
@@ -167,9 +188,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a snapshot now and compact the write-ahead log",
     )
 
-    sub.add_parser(
+    p = sub.add_parser(
         "status",
         help="report store durability state and per-CVD optimizer state",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full status (store, engine I/O, CVDs, and the "
+        "observability metrics snapshot) as one JSON object",
+    )
+
+    p = sub.add_parser(
+        "stats",
+        help="dump the observability metrics snapshot (local store "
+        "recovery counters, or a live server's via --connect)",
+    )
+    p.add_argument(
+        "--prom",
+        action="store_true",
+        help="render in Prometheus text exposition format instead of JSON",
+    )
+    p.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="fetch the snapshot from a live 'orpheus serve' instance "
+        "via its {\"op\": \"stats\"} endpoint instead of opening the "
+        "store locally",
     )
 
     p = sub.add_parser("optimize", help="partition a CVD with LyreSplit")
@@ -220,9 +266,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level or args.log_json:
+        obs.configure(
+            args.log_level or ("DEBUG" if args.log_json else "WARNING"),
+            json_mode=args.log_json,
+        )
     store_path = Path(args.store)
     if args.command == "serve":
         return _main_serve(args, store_path)
+    if args.command == "stats":
+        return _main_stats(args, store_path)
     if store_path.is_file():
         return _main_legacy(args, store_path)
     return _main_store(args, store_path)
@@ -254,9 +307,12 @@ def _main_store(args: argparse.Namespace, path: Path) -> int:
             snapshot = store.checkpoint()
             print(f"checkpointed to {snapshot.name}")
         elif args.command == "status":
-            _print_store_status(store)
-            _print_engine_status(store.orpheus)
-            _print_optimizer_status(store.orpheus)
+            if args.json:
+                print(json.dumps(_status_dict(store), indent=2, sort_keys=True))
+            else:
+                _print_store_status(store)
+                _print_engine_status(store.orpheus)
+                _print_optimizer_status(store.orpheus)
         else:
             _dispatch(store.orpheus, args)
     except ReproError as error:
@@ -323,6 +379,75 @@ def _main_serve(args: argparse.Namespace, path: Path) -> int:
     server.serve_forever()
     print("shutdown clean")
     return 0
+
+
+def _main_stats(args: argparse.Namespace, path: Path) -> int:
+    """``orpheus stats``: the metrics snapshot, local or from a live server.
+
+    Local mode opens the store read-only, so the snapshot reflects *this
+    process's* work — recovery replay counters, snapshot load time, the
+    engine I/O that replay charged.  ``--connect`` asks a running
+    ``orpheus serve`` for its own (per-worker) snapshot instead.
+    """
+    if args.connect:
+        from repro.serve.server import request
+
+        host, _, port_text = args.connect.rpartition(":")
+        try:
+            reply = request(host or "127.0.0.1", int(port_text), {"op": "stats"})
+        except (OSError, ValueError) as error:
+            print(f"error: cannot reach {args.connect}: {error}", file=sys.stderr)
+            return 1
+        if not reply.get("ok"):
+            print(f"error: {reply.get('error')}", file=sys.stderr)
+            return 1
+        snapshot = reply["stats"]["metrics"]
+    else:
+        try:
+            store = Store.open(path, mode="ro")
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        try:
+            registry = obs.registry()
+            collect = store.orpheus.db.stats.as_dict
+            registry.register_collector("engine.io", collect)
+            snapshot = registry.snapshot()
+            registry.unregister_collector("engine.io", collect)
+        finally:
+            store.close()
+    if args.prom:
+        sys.stdout.write(obs.render_prometheus(snapshot))
+    else:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _status_dict(store: Store) -> dict:
+    """The machine-readable twin of the human status report."""
+    orpheus = store.orpheus
+    db = orpheus.db
+    return {
+        "store": {
+            "path": str(store.path),
+            "read_only": store.read_only,
+            "snapshot": store.current_snapshot_name(),
+            "wal_bytes": store.wal_size_bytes(),
+            "records_since_checkpoint": store.records_since_checkpoint,
+            "last_lsn": store.last_lsn,
+        },
+        "engine": {"exec_mode": db.exec_mode, "io": db.stats.as_dict()},
+        "cvds": [
+            {
+                "name": name,
+                "versions": orpheus.cvd(name).version_count,
+                "records": orpheus.cvd(name).record_count,
+                "model": orpheus.cvd(name).model.model_name,
+            }
+            for name in orpheus.ls()
+        ],
+        "metrics": obs.registry().snapshot(),
+    }
 
 
 def _print_store_status(store: Store) -> None:
@@ -473,7 +598,28 @@ def _dispatch(orpheus: OrpheusDB, args: argparse.Namespace) -> bool:
         sql = args.sql
         if sql.startswith("@"):
             sql = Path(sql[1:]).read_text()
+        if getattr(args, "profile", False):
+            sql = "PROFILE " + sql
         result = orpheus.run(sql)
+        if result.profile is not None:
+            detail = result.profile
+            print(
+                _format_table(
+                    result.columns,
+                    [
+                        (op, rows, batches, f"{seconds * 1000:.3f} ms")
+                        for op, rows, batches, seconds in result.rows
+                    ],
+                )
+            )
+            print(
+                f"({detail['rowcount']} rows in "
+                f"{detail['total_seconds'] * 1000:.2f} ms, "
+                f"{detail['exprs_compiled']} compiled / "
+                f"{detail['exprs_interpreted']} interpreted exprs, "
+                f"{detail['exec_mode']} mode)"
+            )
+            return False  # PROFILE is a read; nothing to persist
         if result.columns:
             print(_format_table(result.columns, result.rows))
         print(f"({result.rowcount} rows)")

@@ -33,7 +33,8 @@ from repro.errors import (
     StagingError,
     VersioningError,
 )
-from repro.storage.engine import Database, Result
+from repro.obs import trace
+from repro.storage.engine import Database, Result, split_profile
 from repro.storage.parser import ast_nodes as _ast
 from repro.storage.parser.parser import parse_sql
 from repro.storage.schema import Column, TableSchema
@@ -301,7 +302,8 @@ class OrpheusDB:
         """
         cvd = self.cvd(cvd_name)
         vid_list = [vids] if isinstance(vids, int) else list(vids)
-        return cvd.checkout_rows(vid_list)
+        with trace.span("checkout", cvd=cvd_name, vids=vid_list):
+            return cvd.checkout_rows(vid_list)
 
     def checkout_csv(
         self,
@@ -539,9 +541,17 @@ class OrpheusDB:
         Mutating statements against durable tables are journaled; DML that
         touches only staged checkout tables is working-tree state and is
         captured by snapshots instead.
+
+        A leading ``PROFILE`` keyword (``PROFILE SELECT ...``) runs the
+        query instrumented and returns the per-operator report; being a
+        read, it is never journaled.
         """
+        profiled, sql = split_profile(sql)
         translated = self.translator.translate(sql)
         statements = parse_sql(translated, params)
+        if profiled:
+            with trace.span("sql.profile"):
+                return self.db.execute_profiled(statements)
         if self.read_only and not self._replaying:
             mutating, _targets = _statement_targets(statements)
             if mutating:
@@ -550,7 +560,8 @@ class OrpheusDB:
                     "(store opened with mode='ro')"
                 )
         try:
-            result = self.db.execute_statements(statements)
+            with trace.span("sql.run"):
+                result = self.db.execute_statements(statements)
         except Exception:
             if self._journal is not None and not self._replaying:
                 mutating, targets = _statement_targets(statements)

@@ -1,0 +1,33 @@
+"""`repro.obs` — zero-dependency observability: metrics, traces, logs.
+
+Stdlib-only and imported *by* every other layer (never the reverse):
+``persist`` charges WAL/snapshot/recovery counters, ``serve`` charges
+pool and request metrics and propagates trace ids, ``storage`` exposes
+its :class:`IOStats` through pull-style collectors, and the CLI renders
+it all (``orpheus stats``, ``orpheus status --json``, ``--log-json``).
+"""
+
+from repro.obs import trace
+from repro.obs.logs import JsonFormatter, configure
+from repro.obs.metrics import (
+    DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    render_prometheus,
+)
+
+__all__ = [
+    "trace",
+    "JsonFormatter",
+    "configure",
+    "DURATION_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "render_prometheus",
+]

@@ -1,0 +1,65 @@
+"""Structured logging setup for the CLI (``--log-level`` / ``--log-json``).
+
+The library layers only ever *emit* through stdlib ``logging`` (span
+records to ``repro.trace``, nothing else configures handlers), so
+embedding applications keep full control.  The CLI calls
+:func:`configure` once at startup to attach a stderr handler to the
+``repro`` logger tree — plain text by default, one JSON object per line
+with ``--log-json``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record.
+
+    Span records (emitted by :mod:`repro.obs.trace` with a ``repro_span``
+    extra) serialize the span payload itself; anything else gets the
+    standard ``ts``/``level``/``logger``/``msg`` envelope.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+        }
+        span = getattr(record, "repro_span", None)
+        if span is not None:
+            payload.update(span)
+        else:
+            payload["msg"] = record.getMessage()
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure(level: str = "WARNING", json_mode: bool = False) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger tree.
+
+    Idempotent: reconfiguring replaces the handler installed by a prior
+    call instead of stacking duplicates (tests call this repeatedly).
+    """
+    root = logging.getLogger("repro")
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler._repro_obs_handler = True
+    if json_mode:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+        )
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    return root

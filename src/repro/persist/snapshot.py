@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 import zlib
 from pathlib import Path
 
@@ -39,6 +40,7 @@ from repro.core.translator import QueryTranslator
 from repro.core.version import Version
 from repro.core.version_graph import VersionGraph
 from repro.errors import RecoveryError
+from repro.obs import metrics
 from repro.storage.engine import Database
 from repro.storage.ridset import RidSet
 from repro.storage.schema import TableSchema
@@ -62,6 +64,12 @@ FORMAT_VERSION = 2
 SUPPORTED_FORMATS = (1, 2)
 MANIFEST_NAME = "manifest.json"
 
+_WRITES = metrics.registry().counter("persist.snapshot.writes")
+_BYTES_WRITTEN = metrics.registry().counter("persist.snapshot.bytes_written")
+_WRITE_SECONDS = metrics.registry().histogram("persist.snapshot.write_seconds")
+_LOADS = metrics.registry().counter("persist.snapshot.loads")
+_LOAD_SECONDS = metrics.registry().histogram("persist.snapshot.load_seconds")
+
 
 # --------------------------------------------------------------------- write
 
@@ -72,6 +80,7 @@ def write_snapshot(orpheus: OrpheusDB, directory: str | Path, last_lsn: int) -> 
     ``last_lsn`` is the highest WAL lsn already applied to ``orpheus`` —
     recovery replays only records beyond it.
     """
+    started = time.perf_counter()
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     generation = _next_generation(directory)
@@ -115,6 +124,11 @@ def write_snapshot(orpheus: OrpheusDB, directory: str | Path, last_lsn: int) -> 
     _fsync_dir(tmp)
     os.replace(tmp, final)
     _fsync_dir(directory)
+    _WRITES.inc()
+    _BYTES_WRITTEN.inc(
+        sum(entry.stat().st_size for entry in final.iterdir() if entry.is_file())
+    )
+    _WRITE_SECONDS.observe(time.perf_counter() - started)
     return final
 
 
@@ -222,6 +236,7 @@ def load_snapshot(snapshot_dir: str | Path) -> tuple[OrpheusDB, int]:
     mismatch — a half-written snapshot never becomes the recovered state
     because the writer only renames complete directories into place.
     """
+    started = time.perf_counter()
     snapshot_dir = Path(snapshot_dir)
     manifest_path = snapshot_dir / MANIFEST_NAME
     try:
@@ -249,6 +264,8 @@ def load_snapshot(snapshot_dir: str | Path) -> tuple[OrpheusDB, int]:
             index_specs=entry["indexes"],
         )
     orpheus = _restore_orpheus(db, manifest["orpheus"])
+    _LOADS.inc()
+    _LOAD_SECONDS.observe(time.perf_counter() - started)
     return orpheus, manifest["last_lsn"]
 
 

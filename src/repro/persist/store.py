@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import shutil
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -44,6 +45,7 @@ from repro.errors import (
     ReproError,
     StoreLockedError,
 )
+from repro.obs import metrics, trace
 from repro.storage.schema import TableSchema
 
 from repro.persist.fsutil import atomic_write_bytes, fsync_dir
@@ -70,6 +72,15 @@ RO_LOAD_RETRIES = 3
 #: predecessor is kept for manual salvage if the active snapshot is lost
 #: to disk corruption (accepting the loss of the ops after it).
 KEEP_SNAPSHOTS = 2
+
+_RECORDS_REPLAYED = metrics.registry().counter("persist.store.records_replayed")
+_RECOVERY_SECONDS = metrics.registry().histogram("persist.store.recovery_seconds")
+_REFRESHES = metrics.registry().counter("persist.store.refreshes")
+_REFRESH_RECORDS = metrics.registry().counter("persist.store.refresh_records_applied")
+_FULL_RELOADS = metrics.registry().counter("persist.store.full_reloads")
+_REFRESH_SECONDS = metrics.registry().histogram("persist.store.refresh_seconds")
+_CHECKPOINTS = metrics.registry().counter("persist.store.checkpoints")
+_CHECKPOINT_SECONDS = metrics.registry().histogram("persist.store.checkpoint_seconds")
 
 
 @dataclass
@@ -263,6 +274,7 @@ class Store:
         A pure read shared by writer recovery and every read-only
         (re)load; returns the number of WAL records replayed.
         """
+        started = time.perf_counter()
         snapshot_name = self._read_current()
         if snapshot_name is not None:
             orpheus, snap_lsn = load_snapshot(self.path / SNAPSHOTS_DIR / snapshot_name)
@@ -302,6 +314,8 @@ class Store:
         self._wal_offset = offset
         if self.read_only:
             orpheus.read_only = True
+        _RECORDS_REPLAYED.inc(replayed)
+        _RECOVERY_SECONDS.observe(time.perf_counter() - started)
         return replayed
 
     def _load_state_with_retry(self) -> int:
@@ -331,6 +345,17 @@ class Store:
         """
         if not self.read_only:
             raise PersistenceError("refresh() is only for mode='ro' stores")
+        started = time.perf_counter()
+        with trace.span("store.refresh", store=str(self.path)):
+            result = self._refresh_inner()
+        _REFRESHES.inc()
+        _REFRESH_RECORDS.inc(result.applied)
+        if result.full_reload:
+            _FULL_RELOADS.inc()
+        _REFRESH_SECONDS.observe(time.perf_counter() - started)
+        return result
+
+    def _refresh_inner(self) -> RefreshResult:
         result = RefreshResult()
         try:
             info = self._read_current_info()
@@ -553,6 +578,7 @@ class Store:
             )
         if self.orpheus is None:
             raise PersistenceError("store is not open")
+        started = time.perf_counter()
         self._in_checkpoint = True
         try:
             snapshot = write_snapshot(
@@ -568,6 +594,8 @@ class Store:
             # just written, so the next record no longer needs a barrier.
             self.orpheus._pending_barrier = False
             self._prune_snapshots(keep=snapshot.name)
+            _CHECKPOINTS.inc()
+            _CHECKPOINT_SECONDS.observe(time.perf_counter() - started)
             return snapshot
         finally:
             self._in_checkpoint = False

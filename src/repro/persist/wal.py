@@ -27,7 +27,12 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.errors import PersistenceError
+from repro.obs import metrics
 from repro.persist.fsutil import fsync_dir as _fsync_dir
+
+_APPENDS = metrics.registry().counter("persist.wal.appends")
+_BYTES_WRITTEN = metrics.registry().counter("persist.wal.bytes_written")
+_FSYNCS = metrics.registry().counter("persist.wal.fsyncs")
 
 MAGIC = b"OWL1"
 _HEADER = struct.Struct("<4sQII")  # magic, lsn, length, crc
@@ -93,6 +98,9 @@ class WriteAheadLog:
         handle.write(frame)
         handle.flush()
         os.fsync(handle.fileno())
+        _APPENDS.inc()
+        _BYTES_WRITTEN.inc(len(frame))
+        _FSYNCS.inc()
         return len(frame)
 
     def close(self) -> None:

@@ -42,6 +42,16 @@ def query_key(sql: str, params: Sequence[Any], last_lsn: int) -> tuple:
 
 @dataclass
 class CacheStats:
+    """Counters for one :class:`CheckoutCache`.
+
+    Lock discipline: every mutation happens inside the owning cache's
+    ``_lock`` (get/put/invalidate/clear all take it before touching the
+    counters).  A bare ``to_dict`` read can therefore interleave with a
+    mutation and see a torn pair (e.g. the hit counted but not yet the
+    entry moved); use :meth:`CheckoutCache.stats_dict` for an atomic
+    snapshot.
+    """
+
     hits: int = 0
     misses: int = 0
     evictions: int = 0
@@ -54,6 +64,9 @@ class CacheStats:
             "evictions": self.evictions,
             "invalidated": self.invalidated,
         }
+
+    # The observability registry's collector protocol spells it as_dict.
+    as_dict = to_dict
 
 
 class CheckoutCache:
@@ -68,6 +81,15 @@ class CheckoutCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    def stats_dict(self) -> dict:
+        """Atomic counter snapshot plus the live entry count.
+
+        Taken under the cache lock, so the counters are a consistent set:
+        no concurrent get/put can tear hits against misses mid-read.
+        """
+        with self._lock:
+            return {**self.stats.to_dict(), "entries": len(self._entries)}
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         with self._lock:

@@ -19,16 +19,22 @@ polls the WAL tail, which the byte-offset resume keeps cheap.
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Sequence
 
 from repro.errors import PersistenceError
+from repro.obs import metrics
 from repro.persist import RefreshResult, Store
 
 from repro.serve.cache import CheckoutCache, checkout_key, query_key
+
+_BORROW_WAIT = metrics.registry().histogram("serve.pool.borrow_wait_seconds")
+_IN_FLIGHT = metrics.registry().gauge("serve.pool.in_flight")
 
 _MISSING = object()
 #: Posted into the session pool by close(): wakes borrowers blocked on an
@@ -130,6 +136,10 @@ class ServeManager:
         #: interleave so a just-returned session escapes both paths and
         #: leaks its store (fd + shared flock) for the process lifetime.
         self._pool_lock = threading.Lock()
+        #: Collector names this manager registered with the obs registry,
+        #: remembered with their callables so close() only unregisters its
+        #: own (a fresher manager may have overwritten a name).
+        self._collectors: list[tuple[str, Any]] = []
         try:
             if writer:
                 self.writer_store = Store.open(
@@ -142,6 +152,37 @@ class ServeManager:
         except BaseException:
             self.close()
             raise
+        self._register_collectors()
+
+    def _register_collectors(self) -> None:
+        """Expose the cache and each session's engine I/O pull-style.
+
+        Registration is snapshot-time only: the counters themselves are the
+        unmodified CacheStats/IOStats the hot paths already charge, so the
+        gated benchmark figures cannot drift.
+        """
+        obs = metrics.registry()
+        entries: list[tuple[str, Any]] = [("serve.cache", self.cache.stats_dict)]
+        for session in self._sessions:
+            entries.append(
+                (
+                    f"serve.session_{session.session_id}.io",
+                    session.store.orpheus.db.stats.as_dict,
+                )
+            )
+        if self.writer_store is not None:
+            entries.append(("serve.writer.io", self.writer_store.orpheus.db.stats.as_dict))
+        for name, collect in entries:
+            obs.register_collector(name, collect)
+        self._collectors = entries
+
+    # ---------------------------------------------------------------- stats
+
+    def stats_snapshot(self) -> dict:
+        """The full observability snapshot for this process (the payload of
+        the serve ``{"op": "stats"}`` endpoint); pid included so multi-
+        process workers can be told apart side by side."""
+        return {"pid": os.getpid(), "metrics": metrics.registry().snapshot()}
 
     # --------------------------------------------------------------- writer
 
@@ -173,17 +214,21 @@ class ServeManager:
         """Borrow a read session from the pool (blocks when all are busy)."""
         if self._closed:
             raise PersistenceError("serve manager is closed")
+        waited = time.perf_counter()
         session = self._idle.get()
+        _BORROW_WAIT.observe(time.perf_counter() - waited)
         if session is _CLOSED:
             # close() ran while we were blocked; pass the wake-up along to
             # any other blocked borrower.
             self._idle.put(_CLOSED)
             raise PersistenceError("serve manager is closed")
+        _IN_FLIGHT.inc()
         try:
             if refresh:
                 session.refresh_if_behind(self.writer_lsn)
             yield session
         finally:
+            _IN_FLIGHT.dec()
             with self._pool_lock:
                 if self._closed:
                     # The pool is being torn down: retire the session here
@@ -268,12 +313,16 @@ class ServeManager:
                 }
                 for session in self._sessions
             ],
-            "cache": {**self.cache.stats.to_dict(), "entries": len(self.cache)},
+            "cache": self.cache.stats_dict(),
         }
 
     # ------------------------------------------------------------ lifecycle
 
     def close(self) -> None:
+        obs = metrics.registry()
+        for name, collect in self._collectors:
+            obs.unregister_collector(name, collect)
+        self._collectors = []
         with self._pool_lock:
             if self._closed:
                 return

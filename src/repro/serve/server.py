@@ -5,44 +5,87 @@ One request per line, one JSON object per response line::
     {"op": "checkout", "cvd": "proteins", "vids": [3, 5]}
     {"ok": true, "columns": ["rid", ...], "rows": [...], "count": 2}
 
-Supported ops: ``ping``, ``status``, ``checkout``, ``query``,
-``refresh`` (force every session up to date), ``shutdown``.  Connections
-are handled by daemon threads (``ThreadingTCPServer``); each request
-borrows a pooled read-only session, so concurrent clients map onto
-concurrent store sessions.  Errors come back as ``{"ok": false, "error":
-...}`` on the same line — the connection stays usable.
+Supported ops: ``ping``, ``status``, ``stats`` (full per-process
+observability snapshot), ``checkout``, ``query``, ``refresh`` (force
+every session up to date), ``shutdown``.  Connections are handled by
+daemon threads (``ThreadingTCPServer``); each request borrows a pooled
+read-only session, so concurrent clients map onto concurrent store
+sessions.  Errors come back as ``{"ok": false, "error": <human text>,
+"code": <stable machine string>}`` on the same line — the connection
+stays usable.  A request may carry ``"trace": "<id>"``; every span the
+request touches (down to store refresh and executor work) then carries
+that trace id in the structured log stream.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import socket
 import socketserver
 import threading
+import time
 from typing import Any
 
 from repro.errors import ReproError
+from repro.obs import metrics, trace
 
 from repro.serve.manager import ServeManager
+
+#: The op vocabulary; anything else buckets under the ``unknown`` label so
+#: a misbehaving client cannot mint unbounded metric names.
+KNOWN_OPS = ("ping", "status", "stats", "checkout", "query", "refresh", "shutdown")
+
+_ERRORS = metrics.registry()  # per-code counters are created on demand
+
+_CAMEL = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def error_code(exc: BaseException) -> str:
+    """A stable machine-readable code for an exception.
+
+    Derived from the class name — ``ReadOnlyError`` → ``read_only``,
+    ``StoreLockedError`` → ``store_locked`` — so the wire codes track the
+    exception hierarchy without a hand-maintained table.
+    """
+    name = type(exc).__name__
+    if name.endswith("Error"):
+        name = name[: -len("Error")]
+    return _CAMEL.sub("_", name).lower() or "error"
 
 
 class _RequestHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
+        registry = metrics.registry()
         for raw in self.rfile:
             line = raw.strip()
             if not line:
                 continue
+            started = time.perf_counter()
+            op_label = "unknown"
             try:
-                response = self._dispatch(json.loads(line.decode("utf-8")))
+                request = json.loads(line.decode("utf-8"))
+                op = request.get("op")
+                if op in KNOWN_OPS:
+                    op_label = op
+                # The root span of the request: a client-supplied trace id
+                # rides down through refresh/checkout/executor spans.
+                with trace.span(
+                    "serve.request", trace_id=request.get("trace"), op=op
+                ):
+                    response = self._dispatch(request)
             except (ValueError, KeyError, TypeError) as exc:
-                response = {"ok": False, "error": f"bad request: {exc}"}
+                response = self._error(f"bad request: {exc}", "bad_request")
             except ReproError as exc:
-                response = {"ok": False, "error": str(exc)}
+                response = self._error(str(exc), error_code(exc))
             except Exception as exc:  # keep the connection alive
-                response = {
-                    "ok": False,
-                    "error": f"internal error: {type(exc).__name__}: {exc}",
-                }
+                response = self._error(
+                    f"internal error: {type(exc).__name__}: {exc}", "internal"
+                )
+            registry.counter(f"serve.requests.{op_label}").inc()
+            registry.histogram(f"serve.request_seconds.{op_label}").observe(
+                time.perf_counter() - started
+            )
             self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
             self.wfile.flush()
             if response.get("bye"):
@@ -53,6 +96,11 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 server.request_shutdown()
                 break
 
+    @staticmethod
+    def _error(message: str, code: str) -> dict:
+        _ERRORS.counter(f"serve.errors.{code}").inc()
+        return {"ok": False, "error": message, "code": code}
+
     def _dispatch(self, request: dict) -> dict:
         server: "_Server" = self.server  # type: ignore[assignment]
         manager = server.manager
@@ -61,6 +109,8 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             return {"ok": True, "pong": True}
         if op == "status":
             return {"ok": True, "status": manager.status()}
+        if op == "stats":
+            return {"ok": True, "stats": manager.stats_snapshot()}
         if op == "checkout":
             columns, rows = manager.checkout_payload(request["cvd"], request["vids"])
             return {
@@ -82,7 +132,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             return {"ok": True, "sessions": refreshed, "busy": busy}
         if op == "shutdown":
             return {"ok": True, "bye": True}
-        return {"ok": False, "error": f"unknown op {op!r}"}
+        return self._error(f"unknown op {op!r}", "unknown_op")
 
 
 class _Server(socketserver.ThreadingTCPServer):

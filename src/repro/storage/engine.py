@@ -14,6 +14,8 @@ skip parsing can use the direct table API (:meth:`table`,
 
 from __future__ import annotations
 
+import re
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
@@ -22,7 +24,12 @@ from repro.errors import (
     DuplicateObjectError,
     ExecutionError,
 )
-from repro.storage.executor import Relation, SelectExecutor, value_evaluator
+from repro.storage.executor import (
+    QueryProfile,
+    Relation,
+    SelectExecutor,
+    value_evaluator,
+)
 from repro.storage.expression import EvalEnv
 from repro.storage.iostats import IOStats, StatsRegistry
 from repro.storage.parser import ast_nodes as ast
@@ -34,6 +41,18 @@ from repro.storage.types import DataType
 JOIN_METHODS = ("hash", "merge", "inl")
 EXEC_MODES = ("compiled", "interpreted")
 
+#: ``PROFILE`` is a wrapper keyword the lexer never sees: it is stripped
+#: before parsing, like EXPLAIN in most engines.
+_PROFILE_PREFIX = re.compile(r"^\s*profile\b", re.IGNORECASE)
+
+
+def split_profile(sql: str) -> tuple[bool, str]:
+    """Strip a leading ``PROFILE`` keyword; returns (was_profiled, rest)."""
+    match = _PROFILE_PREFIX.match(sql)
+    if match:
+        return True, sql[match.end() :]
+    return False, sql
+
 
 @dataclass
 class Result:
@@ -42,6 +61,10 @@ class Result:
     columns: list[str] = field(default_factory=list)
     rows: list[tuple] = field(default_factory=list)
     rowcount: int = 0
+    #: ``PROFILE SELECT`` attaches the full profile dict here; the rows
+    #: above are then the per-operator report, and ``rowcount`` is the
+    #: profiled query's own output count.
+    profile: dict | None = None
 
     def scalar(self) -> Any:
         """First column of the first row (None when empty)."""
@@ -189,8 +212,17 @@ class Database:
     # ------------------------------------------------------------------ SQL
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
-        """Run one or more statements; returns the last statement's result."""
-        return self.execute_statements(parse_sql(sql, params))
+        """Run one or more statements; returns the last statement's result.
+
+        A leading ``PROFILE`` keyword (``PROFILE SELECT ...``) runs the
+        query with per-operator instrumentation and returns the profile
+        report instead of the query's rows.
+        """
+        profiled, sql = split_profile(sql)
+        statements = parse_sql(sql, params)
+        if profiled:
+            return self.execute_profiled(statements)
+        return self.execute_statements(statements)
 
     def execute_statements(self, statements: Sequence[ast.Statement]) -> Result:
         """Run pre-parsed statements (lets callers parse once and also
@@ -199,6 +231,44 @@ class Database:
         for statement in statements:
             result = self._execute_statement(statement)
         return result
+
+    def execute_profiled(self, statements: Sequence[ast.Statement]) -> Result:
+        """EXPLAIN ANALYZE: run one SELECT, return its operator report.
+
+        The result's rows are ``(operator, rows, batches, seconds)`` in
+        pipeline order; the full detail — plus total time, the query's own
+        rowcount, and the compiled-vs-interpreted expression split — rides
+        in :attr:`Result.profile`.
+        """
+        if len(statements) != 1 or not isinstance(statements[0], ast.Select):
+            raise ExecutionError("PROFILE expects exactly one SELECT statement")
+        profile = QueryProfile()
+        before = self.stats.snapshot()
+        started = time.perf_counter()
+        relation = SelectExecutor(self, profile=profile).execute(statements[0])
+        elapsed = time.perf_counter() - started
+        delta = self.stats.since(before)
+        detail = profile.as_dict()
+        detail.update(
+            {
+                "total_seconds": elapsed,
+                "rowcount": len(relation.rows),
+                "exec_mode": self.exec_mode,
+                "exprs_compiled": delta.exprs_compiled,
+                "exprs_interpreted": delta.exprs_interpreted,
+                "batches_scanned": delta.batches_scanned,
+                "records_scanned": delta.records_scanned,
+            }
+        )
+        return Result(
+            columns=["operator", "rows", "batches", "seconds"],
+            rows=[
+                (entry["op"], entry["rows"], entry["batches"], entry["seconds"])
+                for entry in detail["operators"]
+            ],
+            rowcount=len(relation.rows),
+            profile=detail,
+        )
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple]:
         """Shorthand for ``execute(...).rows``."""

@@ -23,6 +23,7 @@ equivalence property tests (and ``benchmarks/bench_sql.py``) run against.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from operator import itemgetter
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
@@ -137,6 +138,60 @@ def _bitmapize_array_constants(expr: Expression) -> Expression:
 
 
 @dataclass
+class OpProfile:
+    """One pipeline operator's tally in a profiled execution."""
+
+    op: str
+    rows: int = 0
+    batches: int = 0
+    seconds: float = 0.0
+
+
+class QueryProfile:
+    """Per-operator rows/batches/time for one ``PROFILE SELECT``.
+
+    The executor charges into it at the pipeline's choke points — scan,
+    filter, project, group, order, distinct — in first-touch order, so
+    the report reads like the plan ran.  A UNION ALL's branches share one
+    profile (their operators accumulate), which matches how the engine's
+    other counters (IOStats) treat them.
+    """
+
+    #: Report ordering: the pipeline's data-flow order, regardless of
+    #: which operator happened to be instantiated first.
+    _ORDER = ("scan", "filter", "project", "group", "order", "distinct")
+
+    def __init__(self):
+        self._ops: dict[str, OpProfile] = {}
+
+    def op(self, name: str) -> OpProfile:
+        entry = self._ops.get(name)
+        if entry is None:
+            entry = OpProfile(name)
+            self._ops[name] = entry
+        return entry
+
+    def operators(self) -> list[OpProfile]:
+        rank = {name: index for index, name in enumerate(self._ORDER)}
+        return sorted(
+            self._ops.values(), key=lambda entry: rank.get(entry.op, len(rank))
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "operators": [
+                {
+                    "op": entry.op,
+                    "rows": entry.rows,
+                    "batches": entry.batches,
+                    "seconds": entry.seconds,
+                }
+                for entry in self.operators()
+            ]
+        }
+
+
+@dataclass
 class Relation:
     """A materialized intermediate result: column names, rows, known types."""
 
@@ -165,6 +220,22 @@ def _base_name(expr: Expression, alias: str | None, position: int) -> str:
     return f"column{position + 1}"
 
 
+class _StepTimer:
+    """Times one whole pipeline stage into an :class:`OpProfile` entry."""
+
+    __slots__ = ("entry", "_started")
+
+    def __init__(self, entry: OpProfile):
+        self.entry = entry
+
+    def __enter__(self) -> OpProfile:
+        self._started = time.perf_counter()
+        return self.entry
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.entry.seconds += time.perf_counter() - self._started
+
+
 class _Desc:
     """Inverts comparisons, so one composite sort key handles DESC items."""
 
@@ -183,8 +254,12 @@ class _Desc:
 class SelectExecutor:
     """Executes Select statements against a :class:`Database`."""
 
-    def __init__(self, db: "Database"):
+    def __init__(self, db: "Database", profile: QueryProfile | None = None):
         self._db = db
+        #: When set, the pipeline's choke points charge per-operator
+        #: rows/batches/time into it (``PROFILE SELECT``); None — the
+        #: default — keeps every hot path exactly as before.
+        self._profile = profile
         # Per-statement compile cache keyed by (expr, env) identity; values
         # keep both alive so the ids stay valid for the executor's lifetime.
         self._eval_cache: dict[tuple[int, int], tuple] = {}
@@ -247,11 +322,18 @@ class SelectExecutor:
             if residual_where is not None
             else None
         )
+        if predicate is not None and self._profile is not None:
+            predicate = self._profiled_kernel("filter", predicate)
         if select.group_by or any(
             item.expr.contains_aggregate() for item in select.items
         ):
             rows = self._filtered_rows(source, predicate)
-            output, ordered_pairs = self._grouped(select, relation, rows)
+            if self._profile is not None:
+                with self._profiled_step("group") as step:
+                    output, ordered_pairs = self._grouped(select, relation, rows)
+                step.rows += len(output.rows)
+            else:
+                output, ordered_pairs = self._grouped(select, relation, rows)
         else:
             stop_after = None
             if (
@@ -286,9 +368,16 @@ class SelectExecutor:
                 # rows may hide arbitrarily deep), and negative bounds keep
                 # the reference's slice semantics, so both skip the heap.
                 top = select.limit + (select.offset or 0)
-            ordered_pairs = self._order(
-                select.order_by, ordered_pairs, env, output_env, top
-            )
+            if self._profile is not None:
+                with self._profiled_step("order") as step:
+                    ordered_pairs = self._order(
+                        select.order_by, ordered_pairs, env, output_env, top
+                    )
+                step.rows += len(ordered_pairs)
+            else:
+                ordered_pairs = self._order(
+                    select.order_by, ordered_pairs, env, output_env, top
+                )
             output = Relation(
                 output.names, [pair[1] for pair in ordered_pairs], output.types
             )
@@ -299,6 +388,8 @@ class SelectExecutor:
                 if row not in seen:
                     seen.add(row)
                     unique_rows.append(row)
+            if self._profile is not None:
+                self._profile.op("distinct").rows += len(unique_rows)
             output = Relation(output.names, unique_rows, output.types)
         if select.offset is not None:
             output = Relation(output.names, output.rows[select.offset :], output.types)
@@ -310,8 +401,7 @@ class SelectExecutor:
 
     # ------------------------------------------------------------- batching
 
-    @staticmethod
-    def _source_batches(source: "_Source") -> Iterator[list]:
+    def _source_batches(self, source: "_Source") -> Iterator[list]:
         """Row blocks of one FROM source.
 
         Lazy base-table scans stream :meth:`Table.scan_batches` blocks (one
@@ -319,8 +409,52 @@ class SelectExecutor:
         materialized relations are a single block with no copy.
         """
         if source.lazy:
-            return source.table.scan_batches()
-        return iter((source.relation.rows,))
+            batches = source.table.scan_batches()
+        else:
+            batches = iter((source.relation.rows,))
+        if self._profile is None:
+            return batches
+        return self._profiled_batches(batches)
+
+    def _profiled_batches(self, batches: Iterator[list]) -> Iterator[list]:
+        """Charge scan rows/batches/time per block pulled."""
+        entry = self._profile.op("scan")
+        while True:
+            started = time.perf_counter()
+            batch = next(batches, None)
+            entry.seconds += time.perf_counter() - started
+            if batch is None:
+                return
+            entry.batches += 1
+            entry.rows += len(batch)
+            yield batch
+
+    def _profiled_kernel(
+        self, name: str, kernel: Callable[[list], list]
+    ) -> Callable[[list], list]:
+        """Wrap a ``batch -> rows`` kernel (filter, project) to charge its
+        per-batch time and output rows to operator ``name``."""
+        entry = self._profile.op(name)
+
+        def run(batch: list) -> list:
+            started = time.perf_counter()
+            out = kernel(batch)
+            entry.seconds += time.perf_counter() - started
+            entry.batches += 1
+            entry.rows += len(out)
+            return out
+
+        return run
+
+    def _profiled_step(self, name: str):
+        """Context manager timing one whole pipeline stage (group/order/...).
+
+        Usage: ``with self._profiled_step("order") as entry: ...`` — the
+        caller sets ``entry.rows`` to the stage's output count.  A no-op
+        placeholder when profiling is off never happens: callers guard on
+        ``self._profile``.
+        """
+        return _StepTimer(self._profile.op(name))
 
     def _filtered_rows(
         self, source: "_Source", predicate: Callable[[list], list] | None
@@ -376,6 +510,8 @@ class SelectExecutor:
             names.append(_base_name(expr, item.alias, position))
             types.append(None)
         project = self._projection_kernel(select, plan, env)
+        if self._profile is not None:
+            project = self._profiled_kernel("project", project)
         pairs: list[tuple[Row, Row]] = []
         for batch in self._source_batches(source):
             if predicate is not None:

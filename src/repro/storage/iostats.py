@@ -49,6 +49,15 @@ class IOStats:
         for name in list(vars(self)):
             setattr(self, name, 0)
 
+    def as_dict(self) -> dict:
+        """Plain-dict view for the observability registry.
+
+        The obs integration is pull-only: a registered collector calls
+        this at snapshot time, so no increment path changes and the gated
+        benchmark counters stay byte-identical.
+        """
+        return dict(vars(self))
+
     @property
     def total_touched(self) -> int:
         """A single scalar summarizing work done, used in cost plots."""
