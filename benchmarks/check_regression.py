@@ -82,7 +82,21 @@ BENCH_PROFILES = {
             "serve_records_scanned",
             "baseline_records_scanned",
             "scanned_per_request",
+            "prefork_cache_misses",
+            "prefork_l2_hits",
+            "prefork_snapshot_loads",
+            "prefork_workers_observed",
+            "prefork_rows_served",
         ],
+        # Wall-clock ratios with a hard floor, checked against the FRESH
+        # run only (no baseline comparison: the committed baseline may
+        # come from a machine with different hardware).  Each entry in
+        # the result carries {"value", "eligible", ...}; ineligible runs
+        # (e.g. fewer cores than the ratio needs) are reported, not
+        # failed — the CI runners that execute this gate are eligible.
+        "ratio_floors": {
+            "prefork_scale_x4_vs_x1": 2.5,
+        },
     },
     "sql": {
         # Scenario row counts pin the workload; gated counters are the
@@ -190,6 +204,40 @@ def compare(
                 f"improvement {name}: {got:g} vs baseline {want:g} "
                 f"(consider refreshing the baseline)"
             )
+    failures.extend(check_ratio_floors(current, profile))
+    return failures
+
+
+def check_ratio_floors(current: dict, profile: dict) -> list[str]:
+    """Enforce hard wall-clock ratio floors on the fresh run.
+
+    Unlike gated counters these are not compared to the baseline (wall
+    clock is hardware-bound); the floor is an absolute requirement the
+    profile declares — e.g. 4 pre-fork workers must deliver >= 2.5x the
+    single-worker read throughput.  A run flags itself ineligible (too
+    few cores) and is then reported instead of failed.
+    """
+    failures: list[str] = []
+    ratios = current.get("ratios", {})
+    for name, floor in profile.get("ratio_floors", {}).items():
+        entry = ratios.get(name)
+        if entry is None:
+            failures.append(f"run lacks ratio {name!r} (schema drift?)")
+            continue
+        value = entry.get("value")
+        if not entry.get("eligible", False):
+            print(
+                f"ratio {name}: {value:.2f}x reported, floor {floor}x not "
+                f"enforced (run ineligible: {entry.get('cpu_count')} cores)"
+            )
+            continue
+        if value < floor:
+            failures.append(
+                f"SCALING {name}: {value:.2f}x below the required "
+                f"{floor}x floor"
+            )
+        else:
+            print(f"ratio {name}: {value:.2f}x >= {floor}x floor")
     return failures
 
 

@@ -244,6 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="read-only sessions in the pool (default 4)",
     )
     p.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="pre-fork N reader worker processes instead of the threaded "
+        "pool: one shared snapshot load, ~N-core read throughput, always "
+        "read-only/follower (default 0 = threaded)",
+    )
+    p.add_argument(
         "--cache", type=int, default=256, metavar="N",
         help="checkout/query cache capacity in entries (default 256)",
     )
@@ -340,7 +346,8 @@ def _main_serve(args: argparse.Namespace, path: Path) -> int:
 
     # --ro promises "no byte on disk changes": serve then runs in follower
     # mode (read-only sessions only), exactly like an explicit --follow.
-    follow = args.follow or args.ro
+    # A pre-fork pool (--workers) is read-only by construction.
+    follow = args.follow or args.ro or args.workers > 0
     try:
         server = serve(
             str(path),
@@ -350,6 +357,7 @@ def _main_serve(args: argparse.Namespace, path: Path) -> int:
             cache_capacity=args.cache,
             writer=not follow,
             checkpoint_interval=args.checkpoint_every,
+            workers=args.workers,
         )
     except StoreLockedError as error:
         print(
@@ -361,13 +369,17 @@ def _main_serve(args: argparse.Namespace, path: Path) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if args.workers > 0:
+        # Workers must exist before the banner: a client that connects on
+        # seeing it expects an accept loop on the other end.
+        server.start()
     host, port = server.address
-    mode = "follower" if follow else "writer"
-    print(
-        f"serving {path} on {host}:{port} "
-        f"({args.readers} readers, {mode} mode)",
-        flush=True,
-    )
+    if args.workers > 0:
+        topology = f"{args.workers} workers, prefork mode"
+    else:
+        topology = f"{args.readers} readers, "
+        topology += "follower mode" if follow else "writer mode"
+    print(f"serving {path} on {host}:{port} ({topology})", flush=True)
 
     def _request_shutdown(_signum, _frame):
         # Non-blocking here (no serve thread to join in foreground mode):

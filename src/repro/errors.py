@@ -96,3 +96,12 @@ class StoreLockedError(PersistenceError):
 
 class ReadOnlyError(PersistenceError):
     """A mutating operation was attempted on a read-only session."""
+
+
+class StaleReadError(PersistenceError):
+    """A read session could not catch up to a client-required lsn.
+
+    The serving layer's refresh fence: a request carrying ``min_lsn``
+    (an lsn the client has already observed) must never be answered from
+    state behind it.  The session refreshes to the durable tip first;
+    this error means even the tip is behind the client's watermark."""

@@ -15,6 +15,9 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
     registry,
     render_prometheus,
 )
@@ -28,6 +31,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
     "registry",
     "render_prometheus",
 ]

@@ -25,6 +25,7 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import os
 import threading
 from bisect import bisect_left
 from typing import Any, Callable, Iterable
@@ -228,7 +229,9 @@ class MetricsRegistry:
         with self._lock:
             self._collectors[name] = collect
 
-    def unregister_collector(self, name: str, collect: Callable[[], dict] | None = None) -> None:
+    def unregister_collector(
+        self, name: str, collect: Callable[[], dict] | None = None
+    ) -> None:
         """Detach a collector; with ``collect`` given, only if it is still
         the registered one (a later registrant must not be torn down by an
         earlier owner's close)."""
@@ -387,7 +390,81 @@ def _number(value: float) -> str:
 #: own — which is exactly the per-worker attribution the serve layer
 #: exposes.  Tests read before/after deltas rather than absolute values.
 _DEFAULT = MetricsRegistry()
+#: Pid that owns ``_DEFAULT``.  A forked child (a pre-fork serve worker)
+#: must not keep charging into — or snapshotting — the parent's copied
+#: registry: its counters would double-report work the parent already
+#: did (the snapshot load it *inherited* rather than performed), and its
+#: locks may have been captured mid-acquire by another parent thread at
+#: fork time.  The first ``registry()`` call in a new pid therefore
+#: installs a brand-new registry, giving each worker attribution that
+#: starts at zero the instant it was born.
+_DEFAULT_PID = os.getpid()
 
 
 def registry() -> MetricsRegistry:
+    global _DEFAULT, _DEFAULT_PID
+    if os.getpid() != _DEFAULT_PID:
+        _DEFAULT = MetricsRegistry()
+        _DEFAULT_PID = os.getpid()
     return _DEFAULT
+
+
+class _LazyMetric:
+    """A module-global metric handle that follows the per-pid registry.
+
+    Layers cache metric objects at import time (``_APPENDS = counter(...)``);
+    a direct object would pin the *parent's* registry inside a forked
+    worker.  The proxy re-resolves through :func:`registry` on every
+    charge — one dict lookup under the registry lock, noise next to the
+    fsyncs and merges these paths do — so the same module global charges
+    the right process's registry before and after a fork.
+    """
+
+    __slots__ = ("_kind", "_name", "_buckets")
+
+    def __init__(self, kind: str, name: str, buckets: Iterable[float] | None = None):
+        self._kind = kind
+        self._name = name
+        self._buckets = buckets
+
+    def _resolve(self) -> Metric:
+        reg = registry()
+        if self._kind == "histogram":
+            return reg.histogram(self._name, self._buckets or DURATION_BUCKETS)
+        return getattr(reg, self._kind)(self._name)
+
+    def inc(self, amount: float = 1) -> None:
+        self._resolve().inc(amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self._resolve().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._resolve().set(value)
+
+    def observe(self, value: float) -> None:
+        self._resolve().observe(value)
+
+    @property
+    def value(self):
+        return self._resolve().value
+
+    def snapshot_value(self):
+        return self._resolve().snapshot_value()
+
+
+def counter(name: str) -> _LazyMetric:
+    """A pid-aware counter handle, safe to cache in a module global."""
+    return _LazyMetric("counter", name)
+
+
+def gauge(name: str) -> _LazyMetric:
+    """A pid-aware gauge handle, safe to cache in a module global."""
+    return _LazyMetric("gauge", name)
+
+
+def histogram(
+    name: str, buckets: Iterable[float] = DURATION_BUCKETS
+) -> _LazyMetric:
+    """A pid-aware histogram handle, safe to cache in a module global."""
+    return _LazyMetric("histogram", name, tuple(buckets))

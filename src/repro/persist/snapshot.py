@@ -64,11 +64,12 @@ FORMAT_VERSION = 2
 SUPPORTED_FORMATS = (1, 2)
 MANIFEST_NAME = "manifest.json"
 
-_WRITES = metrics.registry().counter("persist.snapshot.writes")
-_BYTES_WRITTEN = metrics.registry().counter("persist.snapshot.bytes_written")
-_WRITE_SECONDS = metrics.registry().histogram("persist.snapshot.write_seconds")
-_LOADS = metrics.registry().counter("persist.snapshot.loads")
-_LOAD_SECONDS = metrics.registry().histogram("persist.snapshot.load_seconds")
+# Pid-aware handles: a pre-fork serve worker charges its own registry.
+_WRITES = metrics.counter("persist.snapshot.writes")
+_BYTES_WRITTEN = metrics.counter("persist.snapshot.bytes_written")
+_WRITE_SECONDS = metrics.histogram("persist.snapshot.write_seconds")
+_LOADS = metrics.counter("persist.snapshot.loads")
+_LOAD_SECONDS = metrics.histogram("persist.snapshot.load_seconds")
 
 
 # --------------------------------------------------------------------- write

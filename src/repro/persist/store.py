@@ -73,14 +73,15 @@ RO_LOAD_RETRIES = 3
 #: to disk corruption (accepting the loss of the ops after it).
 KEEP_SNAPSHOTS = 2
 
-_RECORDS_REPLAYED = metrics.registry().counter("persist.store.records_replayed")
-_RECOVERY_SECONDS = metrics.registry().histogram("persist.store.recovery_seconds")
-_REFRESHES = metrics.registry().counter("persist.store.refreshes")
-_REFRESH_RECORDS = metrics.registry().counter("persist.store.refresh_records_applied")
-_FULL_RELOADS = metrics.registry().counter("persist.store.full_reloads")
-_REFRESH_SECONDS = metrics.registry().histogram("persist.store.refresh_seconds")
-_CHECKPOINTS = metrics.registry().counter("persist.store.checkpoints")
-_CHECKPOINT_SECONDS = metrics.registry().histogram("persist.store.checkpoint_seconds")
+# Pid-aware handles: a pre-fork serve worker charges its own registry.
+_RECORDS_REPLAYED = metrics.counter("persist.store.records_replayed")
+_RECOVERY_SECONDS = metrics.histogram("persist.store.recovery_seconds")
+_REFRESHES = metrics.counter("persist.store.refreshes")
+_REFRESH_RECORDS = metrics.counter("persist.store.refresh_records_applied")
+_FULL_RELOADS = metrics.counter("persist.store.full_reloads")
+_REFRESH_SECONDS = metrics.histogram("persist.store.refresh_seconds")
+_CHECKPOINTS = metrics.counter("persist.store.checkpoints")
+_CHECKPOINT_SECONDS = metrics.histogram("persist.store.checkpoint_seconds")
 
 
 @dataclass
@@ -496,6 +497,36 @@ class Store:
         for handle in self._lock_handles:
             handle.close()  # closing the fd drops the flock
         self._lock_handles = []
+
+    def handle_fork(self) -> None:
+        """Make a forked child's store independent of its parent's fds.
+
+        Call once in the child immediately after ``os.fork()``.  Two
+        things are shared with the parent at that point and must stop
+        being shared:
+
+        - the advisory-lock fds: a flock lives on the *open file
+          description*, which fork duplicates into both processes.  The
+          child re-acquires locks on fresh fds of its own (so its hold on
+          the store tracks its own lifetime), then closes the inherited
+          copies — which never releases the parent's locks, because the
+          parent's fds keep the original description alive;
+        - the WAL append handle: same description means same file offset,
+          so two processes appending through it would interleave frames.
+
+        Everything else — the loaded snapshot state — is plain Python
+        objects: exactly the copy-on-write sharing the load-once-fork-
+        many serve design wants.  Re-acquiring a *writer* store's
+        exclusive lock fails by design (the parent still holds it; two
+        live writer processes must never coexist): fork read-only stores.
+        """
+        inherited, self._lock_handles = self._lock_handles, []
+        self.wal.handle_fork()
+        try:
+            self._acquire_lock()
+        finally:
+            for handle in inherited:
+                handle.close()
 
     # -------------------------------------------------------------- CURRENT
 

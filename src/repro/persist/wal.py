@@ -30,9 +30,10 @@ from repro.errors import PersistenceError
 from repro.obs import metrics
 from repro.persist.fsutil import fsync_dir as _fsync_dir
 
-_APPENDS = metrics.registry().counter("persist.wal.appends")
-_BYTES_WRITTEN = metrics.registry().counter("persist.wal.bytes_written")
-_FSYNCS = metrics.registry().counter("persist.wal.fsyncs")
+# Pid-aware handles: a pre-fork serve worker charges its own registry.
+_APPENDS = metrics.counter("persist.wal.appends")
+_BYTES_WRITTEN = metrics.counter("persist.wal.bytes_written")
+_FSYNCS = metrics.counter("persist.wal.fsyncs")
 
 MAGIC = b"OWL1"
 _HEADER = struct.Struct("<4sQII")  # magic, lsn, length, crc
@@ -107,6 +108,21 @@ class WriteAheadLog:
         if self._handle is not None and not self._handle.closed:
             self._handle.close()
         self._handle = None
+
+    def handle_fork(self) -> None:
+        """Close the append handle inherited across ``os.fork()``.
+
+        The handle shares its open file description — and therefore its
+        file offset — with the parent; appending through it from the
+        child would interleave frames into the parent's log.  Closing
+        the child's fd copy never disturbs the parent's: the description
+        stays open (and any flock on it stays held) as long as the
+        parent's own fd does.  ``append()`` flushes before returning, so
+        at any controlled fork point the buffer is empty and closing
+        writes nothing.  The next child-side append (if the child is
+        ever a writer) reopens a private handle lazily.
+        """
+        self.close()
 
     # ----------------------------------------------------------------- read
 

@@ -14,11 +14,19 @@ analytical readers:
   sessions that catch up via the WAL-tail :meth:`Store.refresh`.
 * :mod:`repro.serve.server` — a JSON-line TCP front end
   (``orpheus serve``) with a one-shot and a persistent client.
+* :mod:`repro.serve.workers` — :class:`PreforkServer`, the
+  process-parallel front end (``orpheus serve --workers N``): one
+  snapshot load in the parent, N forked reader workers accepting on a
+  shared socket, a supervisor that respawns the dead.
+* :mod:`repro.serve.sharedcache` — the cross-process L2 checkout cache
+  (an owner thread in the parent, one unix-socket client per worker).
 """
 
 from repro.serve.cache import CacheStats, CheckoutCache, checkout_key, query_key
 from repro.serve.manager import ReadSession, ServeManager
 from repro.serve.server import ServeClient, ServeServer, request, serve
+from repro.serve.sharedcache import CacheClient, CacheOwner
+from repro.serve.workers import PreforkServer
 
 __all__ = [
     "CheckoutCache",
@@ -29,6 +37,9 @@ __all__ = [
     "ServeManager",
     "ServeClient",
     "ServeServer",
+    "CacheClient",
+    "CacheOwner",
+    "PreforkServer",
     "request",
     "serve",
 ]

@@ -73,7 +73,10 @@ class CheckoutCache:
     """A thread-safe LRU over lsn-tagged checkout and query results."""
 
     def __init__(self, capacity: int = 256):
-        self.capacity = max(1, capacity)
+        #: ``capacity=0`` disables the cache entirely (every get misses,
+        #: every put is dropped) — the serving benchmarks use it to
+        #: measure raw scan throughput without changing the serve path.
+        self.capacity = max(0, capacity)
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats()
@@ -103,6 +106,8 @@ class CheckoutCache:
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)

@@ -27,14 +27,15 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Sequence
 
-from repro.errors import PersistenceError
+from repro.errors import PersistenceError, StaleReadError
 from repro.obs import metrics
 from repro.persist import RefreshResult, Store
 
 from repro.serve.cache import CheckoutCache, checkout_key, query_key
 
-_BORROW_WAIT = metrics.registry().histogram("serve.pool.borrow_wait_seconds")
-_IN_FLIGHT = metrics.registry().gauge("serve.pool.in_flight")
+# Pid-aware handles: a pre-fork serve worker charges its own registry.
+_BORROW_WAIT = metrics.histogram("serve.pool.borrow_wait_seconds")
+_IN_FLIGHT = metrics.gauge("serve.pool.in_flight")
 
 _MISSING = object()
 #: Posted into the session pool by close(): wakes borrowers blocked on an
@@ -45,8 +46,21 @@ _CLOSED = object()
 class ReadSession:
     """One read-only store plus its view of the shared cache."""
 
-    def __init__(self, path: str | Path, cache: CheckoutCache, session_id: int = 0):
-        self.store = Store.open(path, mode="ro")
+    def __init__(
+        self,
+        path: str | Path | None,
+        cache: CheckoutCache,
+        session_id: int = 0,
+        store: Store | None = None,
+    ):
+        # A pre-built store (the pre-fork worker path: the parent loaded
+        # it once, the child inherited it) skips the per-session snapshot
+        # load that `path` would pay.
+        if store is None:
+            if path is None:
+                raise PersistenceError("ReadSession needs a path or a store")
+            store = Store.open(path, mode="ro")
+        self.store = store
         self.cache = cache
         self.session_id = session_id
         self.refreshes = 0
@@ -73,6 +87,25 @@ class ReadSession:
         if writer_lsn is not None and self.last_lsn >= writer_lsn:
             return None
         return self.refresh()
+
+    def ensure_lsn(self, min_lsn: int | None) -> None:
+        """The refresh fence: never answer from behind ``min_lsn``.
+
+        ``min_lsn`` is an lsn the client has already observed (a prior
+        response carried it).  A session at or past it serves as-is; one
+        behind it refreshes to the durable tip first.  If even the tip is
+        behind, the client's watermark came from a future this store has
+        not seen (wrong store, or an unsynced replica) — error out rather
+        than silently time-travel the client backwards.
+        """
+        if min_lsn is None or self.last_lsn >= min_lsn:
+            return
+        self.refresh()
+        if self.last_lsn < min_lsn:
+            raise StaleReadError(
+                f"store is at lsn {self.last_lsn}, behind the client's "
+                f"required lsn {min_lsn}"
+            )
 
     def _invalidate(self, result: RefreshResult) -> None:
         if result.full_reload:
@@ -171,7 +204,8 @@ class ServeManager:
                 )
             )
         if self.writer_store is not None:
-            entries.append(("serve.writer.io", self.writer_store.orpheus.db.stats.as_dict))
+            writer_stats = self.writer_store.orpheus.db.stats
+            entries.append(("serve.writer.io", writer_stats.as_dict))
         for name, collect in entries:
             obs.register_collector(name, collect)
         self._collectors = entries
@@ -243,19 +277,30 @@ class ServeManager:
             return session.checkout(cvd, vids)
 
     def checkout_payload(
-        self, cvd: str, vids: int | Sequence[int]
-    ) -> tuple[list[str], list[tuple]]:
-        """(columns, rows) resolved on ONE session borrow, so the column
-        list always matches the rows' arity even if a schema evolution
-        lands between requests."""
+        self, cvd: str, vids: int | Sequence[int], min_lsn: int | None = None
+    ) -> tuple[list[str], list[tuple], int]:
+        """(columns, rows, lsn) resolved on ONE session borrow, so the
+        column list always matches the rows' arity even if a schema
+        evolution lands between requests.  The returned lsn is the exact
+        state the rows reflect — clients echo it back as ``min_lsn`` to
+        get read-your-writes across the worker pool."""
         with self.session() as session:
+            session.ensure_lsn(min_lsn)
             rows = session.checkout(cvd, vids)
             schema = session.orpheus.cvd(cvd).data_schema
-            return ["rid", *schema.column_names], rows
+            return ["rid", *schema.column_names], rows, session.last_lsn
 
     def query(self, sql: str, params: Sequence[Any] = ()):
         with self.session() as session:
             return session.query(sql, params)
+
+    def query_payload(
+        self, sql: str, params: Sequence[Any] = (), min_lsn: int | None = None
+    ) -> tuple[Any, int]:
+        """(result, lsn) under one borrow, with the same refresh fence."""
+        with self.session() as session:
+            session.ensure_lsn(min_lsn)
+            return session.query(sql, params), session.last_lsn
 
     def columns(self, cvd: str) -> list[str]:
         """Column names of a checkout payload (rid first, like the rows)."""

@@ -25,6 +25,7 @@ import socket
 import socketserver
 import threading
 import time
+import zlib
 from typing import Any
 
 from repro.errors import ReproError
@@ -36,9 +37,41 @@ from repro.serve.manager import ServeManager
 #: a misbehaving client cannot mint unbounded metric names.
 KNOWN_OPS = ("ping", "status", "stats", "checkout", "query", "refresh", "shutdown")
 
-_ERRORS = metrics.registry()  # per-code counters are created on demand
-
 _CAMEL = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def error_response(message: str, code: str) -> dict:
+    """The wire shape of a failed request; charges the per-code counter."""
+    metrics.registry().counter(f"serve.errors.{code}").inc()
+    return {"ok": False, "error": message, "code": code}
+
+
+def rows_checksum(rows: Any) -> int:
+    """CRC-32 over a checkout's rows, stable across processes and runs.
+
+    The body of a ``"rows": false`` response: the client gets integrity
+    evidence (count + checksum) without the server JSON-encoding — or the
+    client decoding — the payload, which would otherwise dominate a
+    throughput measurement.  ``repr`` of tuples of plain values is
+    deterministic (unlike ``hash``, which is salted per interpreter).
+    """
+    crc = 0
+    for row in rows:
+        crc = zlib.crc32(repr(tuple(row)).encode("utf-8"), crc)
+    return crc
+
+
+def checkout_response(
+    columns: list, rows: list, lsn: int, include_rows: bool = True
+) -> dict:
+    """The wire shape of a successful checkout, shared by the threaded
+    server and the pre-fork workers so the two front ends cannot drift."""
+    response: dict = {"ok": True, "columns": columns, "count": len(rows), "lsn": lsn}
+    if include_rows:
+        response["rows"] = [list(row) for row in rows]
+    else:
+        response["checksum"] = rows_checksum(rows)
+    return response
 
 
 def error_code(exc: BaseException) -> str:
@@ -98,8 +131,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
 
     @staticmethod
     def _error(message: str, code: str) -> dict:
-        _ERRORS.counter(f"serve.errors.{code}").inc()
-        return {"ok": False, "error": message, "code": code}
+        return error_response(message, code)
 
     def _dispatch(self, request: dict) -> dict:
         server: "_Server" = self.server  # type: ignore[assignment]
@@ -112,20 +144,23 @@ class _RequestHandler(socketserver.StreamRequestHandler):
         if op == "stats":
             return {"ok": True, "stats": manager.stats_snapshot()}
         if op == "checkout":
-            columns, rows = manager.checkout_payload(request["cvd"], request["vids"])
-            return {
-                "ok": True,
-                "columns": columns,
-                "rows": [list(row) for row in rows],
-                "count": len(rows),
-            }
+            columns, rows, lsn = manager.checkout_payload(
+                request["cvd"], request["vids"], min_lsn=request.get("min_lsn")
+            )
+            return checkout_response(
+                columns, rows, lsn, include_rows=request.get("rows", True)
+            )
         if op == "query":
-            result = manager.query(request["sql"], request.get("params", ()))
+            result, lsn = manager.query_payload(
+                request["sql"], request.get("params", ()),
+                min_lsn=request.get("min_lsn"),
+            )
             return {
                 "ok": True,
                 "columns": result.columns,
                 "rows": [list(row) for row in result.rows],
                 "count": result.rowcount,
+                "lsn": lsn,
             }
         if op == "refresh":
             refreshed, busy = manager.refresh_all()
@@ -232,8 +267,28 @@ def serve(
     cache_capacity: int = 256,
     writer: bool = True,
     checkpoint_interval: int = 256,
-) -> ServeServer:
-    """Build a manager + server for ``orpheus serve`` (not yet started)."""
+    workers: int = 0,
+    shared_cache: bool = True,
+):
+    """Build a server for ``orpheus serve`` (not yet started).
+
+    ``workers=0`` (the default) builds the in-process threaded server
+    (one writer + a reader-session pool).  ``workers=N`` builds the
+    pre-fork :class:`~repro.serve.workers.PreforkServer` instead: N
+    reader *processes* that inherit one loaded snapshot, always in
+    follower mode (the writer, if any, lives in another process).
+    """
+    if workers:
+        from repro.serve.workers import PreforkServer
+
+        return PreforkServer(
+            path,
+            host=host,
+            port=port,
+            workers=workers,
+            cache_capacity=cache_capacity,
+            shared_cache=shared_cache,
+        )
     manager = ServeManager(
         path,
         readers=readers,

@@ -1,0 +1,531 @@
+"""Pre-fork process workers: load the snapshot once, fork it N times.
+
+The threaded server (:mod:`repro.serve.server`) multiplexes reader
+*threads*, so checkout scans serialize on the GIL and N cores give ~1
+core of read throughput.  This module is the process-parallel shape:
+
+- the parent opens the store **read-only once** (one snapshot load, one
+  WAL replay), binds and listens on the TCP socket, then forks N reader
+  workers — each inherits the loaded :class:`~repro.persist.Store` via
+  copy-on-write and calls :meth:`Store.handle_fork` so advisory-lock fds
+  and WAL handles are re-opened, never shared;
+- every worker accepts on the **inherited listening socket** (one shared
+  kernel accept queue — no REUSEPORT hash imbalance, and a dead worker's
+  backlog is simply drained by its siblings) and serves one connection
+  at a time, start to finish: a connection is pinned to one process, so
+  ``{"op": "stats"}`` snapshots are per-worker by construction;
+- workers stay fresh **independently**: each request polls the writer's
+  durable tail (CURRENT pointer + WAL tail) via the incremental
+  :meth:`Store.refresh`, and the ``min_lsn`` fence guarantees a client
+  is never answered from behind an lsn it has already observed;
+- a checkout computed by one worker is shared with the others through
+  the parent's :class:`~repro.serve.sharedcache.CacheOwner` (L2), keyed
+  by the same lsn-tagged tuples as the in-process L1;
+- a supervisor thread in the parent reaps dead workers (``waitpid`` on
+  *specific* pids — never ``-1``, which would steal unrelated children
+  from an embedding test runner) and re-forks replacements from the
+  refreshed template store; SIGTERM drains workers cleanly, and the
+  ``shutdown`` op (worker exit code 99) winds down the whole pool.
+
+The worker pool always runs in follower mode: the writer, if there is
+one, lives in another process and is discovered through the WAL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import select
+import signal
+import socket
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.obs import metrics, trace
+from repro.persist import Store
+
+from repro.serve.cache import CheckoutCache, checkout_key
+from repro.serve.manager import _MISSING, ReadSession
+from repro.serve.server import (
+    KNOWN_OPS,
+    checkout_response,
+    error_code,
+    error_response,
+)
+from repro.serve.sharedcache import CacheClient, CacheOwner
+
+#: A worker that was asked to shut down (the ``shutdown`` op) exits with
+#: this code; the supervisor reads it as "wind down the whole pool", any
+#: other death as "respawn".
+WORKER_SHUTDOWN_EXIT = 99
+#: Exit code for a worker that died on an unexpected internal error.
+WORKER_ERROR_EXIT = 70
+
+
+class WorkerSession(ReadSession):
+    """A worker's single read session: L1 in-process, L2 via the owner.
+
+    Only checkouts go through L2 — their values are plain row tuples,
+    cheap to pickle and worth sharing; query results stay L1-only.
+    """
+
+    def __init__(
+        self,
+        store: Store,
+        cache: CheckoutCache,
+        l2: CacheClient | None,
+        session_id: int = 0,
+    ):
+        super().__init__(None, cache, session_id, store=store)
+        self.l2 = l2
+
+    def checkout(self, cvd: str, vids: int | Sequence[int]) -> list[tuple]:
+        self.requests += 1
+        key = checkout_key(cvd, vids, self.last_lsn)
+        rows = self.cache.get(key, _MISSING)
+        if rows is not _MISSING:
+            return rows
+        blob = self.l2.get(key) if self.l2 is not None else None
+        if blob is not None:
+            rows = pickle.loads(blob)
+        else:
+            rows = self.orpheus.checkout_rows(cvd, vids)
+            if self.l2 is not None:
+                self.l2.put(key, pickle.dumps(rows, pickle.HIGHEST_PROTOCOL))
+        self.cache.put(key, rows)
+        return rows
+
+
+# ---------------------------------------------------------------------- worker
+
+
+def _worker_loop(
+    store: Store,
+    listener: socket.socket,
+    cache_path: str | None,
+    worker_id: int,
+    cache_capacity: int,
+    parent_pid: int,
+) -> int:
+    """A forked worker's whole life; returns the process exit code."""
+    # First metric touch after fork rebinds a per-pid registry, so this
+    # worker's counters (snapshot loads included: zero in steady state)
+    # never mix with the parent's copied totals.
+    metrics.registry()
+    store.handle_fork()
+    l2 = CacheClient(cache_path) if cache_path else None
+    session = WorkerSession(
+        store, CheckoutCache(cache_capacity), l2, session_id=worker_id
+    )
+
+    drain = threading.Event()
+    signal.signal(signal.SIGTERM, lambda _s, _f: drain.set())
+    # The parent's terminal delivers SIGINT to the whole foreground
+    # process group; the parent coordinates the drain, workers wait for
+    # its SIGTERM so in-flight requests finish first.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    # O_NONBLOCK lives on the shared file description, so *every* worker
+    # runs the same select-then-accept loop; losing an accept race is a
+    # plain BlockingIOError, not an error.
+    listener.setblocking(False)
+    while not drain.is_set():
+        if os.getppid() != parent_pid:
+            return 0  # orphaned: the supervisor died under us
+        try:
+            ready, _, _ = select.select([listener], [], [], 0.25)
+        except OSError:
+            return 0  # listener closed: pool shutdown
+        if not ready:
+            continue
+        try:
+            conn, _addr = listener.accept()
+        except (BlockingIOError, OSError):
+            continue  # a sibling won the race
+        try:
+            saw_shutdown = _serve_connection(conn, session, drain)
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if saw_shutdown:
+            return WORKER_SHUTDOWN_EXIT
+    session.close()
+    if l2 is not None:
+        l2.close()
+    return 0
+
+
+def _serve_connection(
+    conn: socket.socket, session: WorkerSession, drain: threading.Event
+) -> bool:
+    """Serve one pinned connection until EOF; True if shutdown was asked.
+
+    The read loop buffers by hand with a short recv timeout instead of
+    ``makefile().readline()``: a timeout mid-``readline`` would corrupt
+    the buffered reader's state, while here it is just another chance to
+    notice the drain flag.  A request in flight always completes — drain
+    is only checked between requests.
+    """
+    conn.settimeout(0.25)
+    buffer = b""
+    while True:
+        newline = buffer.find(b"\n")
+        if newline < 0:
+            try:
+                chunk = conn.recv(1 << 16)
+            except socket.timeout:
+                if drain.is_set():
+                    return False  # idle connection; drop it and drain out
+                continue
+            except OSError:
+                return False
+            if not chunk:
+                return False  # client EOF — the normal end
+            buffer += chunk
+            continue
+        line, buffer = buffer[:newline].strip(), buffer[newline + 1 :]
+        if not line:
+            continue
+        response = _handle_line(line, session)
+        payload = json.dumps(response).encode("utf-8") + b"\n"
+        try:
+            # A fat payload may need the client to drain its socket;
+            # give the send a real window, then restore the drain-aware
+            # read timeout.
+            conn.settimeout(30.0)
+            conn.sendall(payload)
+        except OSError:
+            return False
+        finally:
+            conn.settimeout(0.25)
+        if response.get("bye"):
+            return True
+
+
+def _handle_line(line: bytes, session: WorkerSession) -> dict:
+    """Decode, dispatch, meter — the worker-side twin of the threaded
+    handler's per-request bookkeeping."""
+    registry = metrics.registry()
+    started = time.perf_counter()
+    op_label = "unknown"
+    try:
+        request = json.loads(line.decode("utf-8"))
+        op = request.get("op")
+        if op in KNOWN_OPS:
+            op_label = op
+        with trace.span("serve.request", trace_id=request.get("trace"), op=op):
+            response = _dispatch(request, session)
+    except (ValueError, KeyError, TypeError) as exc:
+        response = error_response(f"bad request: {exc}", "bad_request")
+    except ReproError as exc:
+        response = error_response(str(exc), error_code(exc))
+    except Exception as exc:  # keep the connection alive
+        response = error_response(
+            f"internal error: {type(exc).__name__}: {exc}", "internal"
+        )
+    registry.counter(f"serve.requests.{op_label}").inc()
+    registry.histogram(f"serve.request_seconds.{op_label}").observe(
+        time.perf_counter() - started
+    )
+    return response
+
+
+def _dispatch(request: dict, session: WorkerSession) -> dict:
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "pong": True, "pid": os.getpid()}
+    if op == "status":
+        return {"ok": True, "status": _status(session)}
+    if op == "stats":
+        return {
+            "ok": True,
+            "stats": {
+                "pid": os.getpid(),
+                "worker": session.session_id,
+                "metrics": metrics.registry().snapshot(),
+            },
+        }
+    if op == "checkout":
+        # Every read request polls the writer's durable tail first — the
+        # coordinated-refresh half of the design; the min_lsn fence is
+        # then enforced against the refreshed lsn.
+        session.refresh()
+        session.ensure_lsn(request.get("min_lsn"))
+        rows = session.checkout(request["cvd"], request["vids"])
+        schema = session.orpheus.cvd(request["cvd"]).data_schema
+        return checkout_response(
+            ["rid", *schema.column_names],
+            rows,
+            session.last_lsn,
+            include_rows=request.get("rows", True),
+        )
+    if op == "query":
+        session.refresh()
+        session.ensure_lsn(request.get("min_lsn"))
+        result = session.query(request["sql"], request.get("params", ()))
+        return {
+            "ok": True,
+            "columns": result.columns,
+            "rows": [list(row) for row in result.rows],
+            "count": result.rowcount,
+            "lsn": session.last_lsn,
+        }
+    if op == "refresh":
+        result = session.refresh()
+        return {
+            "ok": True,
+            "sessions": [{"id": session.session_id, "lsn": result.last_lsn}],
+            "busy": 0,
+        }
+    if op == "shutdown":
+        return {"ok": True, "bye": True}
+    return error_response(f"unknown op {op!r}", "unknown_op")
+
+
+def _status(session: WorkerSession) -> dict:
+    status = {
+        "path": str(session.store.path),
+        "mode": "prefork-worker",
+        "pid": os.getpid(),
+        "worker": session.session_id,
+        "writer_lsn": None,
+        "lsn": session.last_lsn,
+        "requests": session.requests,
+        "refreshes": session.refreshes,
+        "cache": session.cache.stats_dict(),
+    }
+    if session.l2 is not None:
+        status["l2"] = session.l2.stats() or {"degraded": True}
+    return status
+
+
+# ---------------------------------------------------------------------- parent
+
+
+class PreforkServer:
+    """Parent of a pre-fork worker pool; API-compatible with ServeServer.
+
+    ``start()`` forks the workers; ``serve_forever()`` blocks until the
+    pool winds down (signal, ``shutdown`` op, or :meth:`shutdown`);
+    ``address`` is the bound TCP endpoint.  One parent-side snapshot
+    load serves every worker the pool will ever have — respawns re-fork
+    from the (refreshed) template, they do not reload.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        cache_capacity: int = 256,
+        shared_cache: bool = True,
+        l2_capacity: int = 1024,
+    ):
+        self.path = Path(path)
+        self.workers = max(1, workers)
+        self._cache_capacity = max(0, cache_capacity)
+        # The one snapshot load + WAL replay of the pool's lifetime.
+        self._template = Store.open(path, mode="ro")
+        self._listener: socket.socket | None = None
+        self._owner: CacheOwner | None = None
+        self._cache_dir: str | None = None
+        self._cache_path: str | None = None
+        try:
+            self._listener = socket.create_server((host, port), backlog=128)
+            if shared_cache:
+                # Never inside the store directory: read-only serving
+                # promises not to add a single inode there.
+                self._cache_dir = tempfile.mkdtemp(prefix="orpheus-l2-")
+                self._cache_path = os.path.join(self._cache_dir, "cache.sock")
+                self._owner = CacheOwner(self._cache_path, capacity=l2_capacity)
+        except BaseException:
+            self._cleanup()
+            raise
+        self._pids: dict[int, int] = {}  # pid -> worker id
+        self._pids_lock = threading.Lock()
+        self._supervisor: threading.Thread | None = None
+        self._started = False
+        self._stop = threading.Event()
+        self._done = threading.Event()
+        self._shutdown_lock = threading.RLock()
+        self._shut_down = False
+        self.respawns = 0
+
+    # ------------------------------------------------------------------ wiring
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._listener.getsockname()[:2]
+        return host, port
+
+    def worker_pids(self) -> list[int]:
+        with self._pids_lock:
+            return sorted(self._pids)
+
+    def start(self) -> "PreforkServer":
+        if self._started:
+            return self
+        self._started = True
+        if self._owner is not None:
+            self._owner.start()
+        for worker_id in range(self.workers):
+            self._spawn(worker_id)
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="prefork-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        return self
+
+    def _spawn(self, worker_id: int) -> None:
+        parent_pid = os.getpid()
+        pid = os.fork()
+        if pid == 0:  # the worker
+            code = WORKER_ERROR_EXIT
+            try:
+                # Only objects created *after* the fork (plus the
+                # explicitly fork-fixed store) are touched from here on —
+                # inherited locks may have been mid-acquire in some
+                # parent thread at fork time.
+                if self._owner is not None:
+                    self._owner.close_inherited()
+                code = _worker_loop(
+                    self._template,
+                    self._listener,
+                    self._cache_path,
+                    worker_id,
+                    self._cache_capacity,
+                    parent_pid,
+                )
+            except BaseException:
+                code = WORKER_ERROR_EXIT
+            finally:
+                os._exit(code)
+        with self._pids_lock:
+            self._pids[pid] = worker_id
+
+    # -------------------------------------------------------------- supervisor
+
+    def _supervise(self) -> None:
+        """Reap dead workers and keep the pool at full strength.
+
+        Polls *specific* pids with WNOHANG — ``waitpid(-1)`` would steal
+        exit notifications for unrelated children of an embedding
+        process (a test runner, a benchmark coordinator).
+        """
+        while not self._stop.is_set():
+            with self._pids_lock:
+                pids = dict(self._pids)
+            for pid, worker_id in pids.items():
+                try:
+                    reaped, status = os.waitpid(pid, os.WNOHANG)
+                except ChildProcessError:
+                    reaped, status = pid, 0
+                if reaped == 0:
+                    continue
+                with self._pids_lock:
+                    self._pids.pop(pid, None)
+                if os.waitstatus_to_exitcode(status) == WORKER_SHUTDOWN_EXIT:
+                    # A client asked the pool to shut down.  Run it from
+                    # a helper thread: shutdown() joins this one.
+                    threading.Thread(target=self.shutdown, daemon=True).start()
+                    return
+                if self._stop.is_set():
+                    continue
+                # Bring the template near the tip before re-forking so
+                # the replacement starts hot (it still refreshes per
+                # request like everyone else).
+                try:
+                    self._template.refresh()
+                except Exception:
+                    pass
+                self.respawns += 1
+                self._spawn(worker_id)
+            self._stop.wait(0.05)
+
+    # --------------------------------------------------------------- lifecycle
+
+    def serve_forever(self) -> None:
+        """Foreground mode (the CLI): block until the pool winds down."""
+        self.start()
+        try:
+            while not self._stop.wait(0.2):
+                pass
+        finally:
+            self.shutdown()
+        self._done.wait(timeout=15)
+
+    def shutdown(self) -> None:
+        """Drain and reap every worker, then release all resources.
+
+        Idempotent and safe from signal handlers, helper threads, and
+        ``serve_forever``'s finally — the RLock plus the flag make the
+        second and later calls no-ops that still wait for the first."""
+        self._stop.set()
+        with self._shutdown_lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+            supervisor = self._supervisor
+            if supervisor is not None and supervisor is not threading.current_thread():
+                supervisor.join(timeout=5)
+            with self._pids_lock:
+                pids = dict(self._pids)
+                self._pids = {}
+            for pid in pids:
+                try:
+                    os.kill(pid, signal.SIGTERM)
+                except ProcessLookupError:
+                    pass
+            deadline = time.monotonic() + 10.0
+            for pid in pids:
+                if not self._reap(pid, deadline):
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                        os.waitpid(pid, 0)
+                    except (ProcessLookupError, ChildProcessError):
+                        pass
+            self._cleanup()
+            self._done.set()
+
+    @staticmethod
+    def _reap(pid: int, deadline: float) -> bool:
+        while time.monotonic() < deadline:
+            try:
+                reaped, _status = os.waitpid(pid, os.WNOHANG)
+            except ChildProcessError:
+                return True
+            if reaped:
+                return True
+            time.sleep(0.02)
+        return False
+
+    def _cleanup(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        if self._owner is not None:
+            self._owner.close()
+            self._owner = None
+        if self._cache_dir is not None:
+            try:
+                os.rmdir(self._cache_dir)
+            except OSError:
+                pass
+            self._cache_dir = None
+        if self._template is not None:
+            self._template.close()
+            self._template = None
+
+    def __enter__(self) -> "PreforkServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

@@ -1,0 +1,168 @@
+"""Fork-safety of Store: a child must not disturb its parent's fds.
+
+The pre-fork serve workers inherit a loaded read-only Store via
+``os.fork()`` and call :meth:`Store.handle_fork` before serving.  These
+tests pin the three invariants that makes safe:
+
+- the child re-acquires its *own* advisory locks, and closing its
+  inherited fd copies never releases the parent's flocks;
+- the child's WAL bookkeeping (offset resume, refresh) works on its own
+  fds without corrupting the parent's offset bookkeeping;
+- a writer store's WAL append handle is dropped in the child, so the
+  parent keeps an uncontested private file offset.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import json
+import os
+
+import pytest
+
+from repro.persist import Store
+from repro.persist.store import LOCK_NAME
+
+from test_persist_readonly import build_store
+
+
+def _fork_and_run(child_fn):
+    """Fork; run ``child_fn`` in the child and return its JSON result.
+
+    The child reports over a pipe and leaves via ``os._exit`` so pytest
+    machinery (atexit hooks, output capture) never runs twice.
+    """
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # child
+        os.close(read_fd)
+        try:
+            payload = {"ok": True, "result": child_fn()}
+        except BaseException as exc:  # pragma: no cover - failure path
+            payload = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        os.write(write_fd, json.dumps(payload).encode("utf-8"))
+        os.close(write_fd)
+        os._exit(0)
+    os.close(write_fd)
+    chunks = []
+    while True:
+        chunk = os.read(read_fd, 65536)
+        if not chunk:
+            break
+        chunks.append(chunk)
+    os.close(read_fd)
+    _, status = os.waitpid(pid, 0)
+    assert status == 0, f"forked child died with status {status}"
+    payload = json.loads(b"".join(chunks).decode("utf-8"))
+    assert payload["ok"], payload.get("error")
+    return payload["result"]
+
+
+class TestForkedReader:
+    def test_child_refresh_does_not_corrupt_parent_offset(self, tmp_path):
+        """A forked child's handle_fork + refresh leaves the parent's WAL
+        offset bookkeeping untouched, and the parent still refreshes
+        correctly afterwards."""
+        writer = build_store(tmp_path / "s", versions=3)
+        reader = Store.open(tmp_path / "s", mode="ro")
+        parent_offset = reader._wal_offset
+        parent_marker = reader._wal_marker
+
+        # Advance the writer so the child's refresh has a real tail to
+        # apply — the child moves its own offset forward.
+        writer.orpheus.checkout("t", 3, table_name="w_child")
+        writer.orpheus.run("INSERT INTO w_child (k, v) VALUES ('c', 9)")
+        writer.orpheus.commit("w_child", message="for child")
+
+        def child():
+            reader.handle_fork()
+            result = reader.refresh()
+            return {
+                "changed": result.changed,
+                "offset": reader._wal_offset,
+                "lsn": reader.last_lsn,
+                "locks": len(reader._lock_handles),
+            }
+
+        seen = _fork_and_run(child)
+        assert seen["changed"]
+        assert seen["offset"] > parent_offset
+        assert seen["locks"] >= 1  # re-acquired its own shared lock
+
+        # Parent bookkeeping is exactly as it was before the fork: the
+        # child advanced a copy, not shared state.
+        assert reader._wal_offset == parent_offset
+        assert reader._wal_marker == parent_marker
+
+        # And the parent's own refresh still applies the same tail.
+        result = reader.refresh()
+        assert result.changed
+        assert reader.last_lsn == seen["lsn"]
+        rows = reader.orpheus.checkout_rows("t", 4)
+        assert ("c", 9) in {tuple(row[1:]) for row in rows}
+        reader.close()
+        writer.close()
+
+    def test_child_exit_keeps_parent_flock_held(self, tmp_path):
+        """Closing the child's inherited + re-acquired lock fds must not
+        release the parent's shared flock on LOCK."""
+        writer = build_store(tmp_path / "s")
+        writer.close()
+        reader = Store.open(tmp_path / "s", mode="ro")
+
+        def child():
+            reader.handle_fork()
+            reader.close()  # drops the child's own locks explicitly
+            return True
+
+        assert _fork_and_run(child) is True
+
+        # An exclusive flock on LOCK conflicts with any shared holder; it
+        # must still fail because the *parent* still holds its lock.
+        with open(tmp_path / "s" / LOCK_NAME, "r") as probe:
+            with pytest.raises(OSError):
+                fcntl.flock(probe.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        reader.close()
+        # Now nothing holds it.
+        with open(tmp_path / "s" / LOCK_NAME, "r") as probe:
+            fcntl.flock(probe.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            fcntl.flock(probe.fileno(), fcntl.LOCK_UN)
+
+    def test_writer_wal_handle_dropped_in_child(self, tmp_path):
+        """The child closes its copy of the WAL append handle; the parent
+        writer keeps appending through its own fd unharmed."""
+        writer = build_store(tmp_path / "s", versions=2)
+        # Force the append handle open.
+        assert writer.wal._handle is not None
+
+        def child():
+            writer.wal.handle_fork()
+            return writer.wal._handle is None
+
+        assert _fork_and_run(child) is True
+
+        # Parent appends still land and recover cleanly.
+        writer.orpheus.checkout("t", 2, table_name="w_after")
+        writer.orpheus.run("INSERT INTO w_after (k, v) VALUES ('p', 7)")
+        writer.orpheus.commit("w_after", message="after fork")
+        writer.close()
+
+        check = Store.open(tmp_path / "s", mode="ro")
+        rows = check.orpheus.checkout_rows("t", 3)
+        assert ("p", 7) in {tuple(row[1:]) for row in rows}
+        check.close()
+
+    def test_writer_handle_fork_refuses_second_writer(self, tmp_path):
+        """Re-acquiring a writer's exclusive lock in the child fails: two
+        live writer processes must never coexist."""
+        writer = build_store(tmp_path / "s")
+
+        def child():
+            try:
+                writer.handle_fork()
+            except Exception as exc:
+                return type(exc).__name__
+            return None
+
+        assert _fork_and_run(child) == "StoreLockedError"
+        writer.close()
