@@ -98,6 +98,49 @@ BENCH_PROFILES = {
             "prefork_scale_x4_vs_x1": 2.5,
         },
     },
+    "htap": {
+        # The chaos gate: seeds, pool size, and trace shape pin the
+        # scenario; gated counters are the summed deterministic figures
+        # of all three seeded chaos runs (kill counts, invariant
+        # tallies, rows served through faults) plus the per-seed tip
+        # checksums — a drift in any of them means recovery, refresh, or
+        # the cache tier changed logical behaviour.  CI holds this
+        # family to --exact.
+        "shape": [
+            ("seeds",),
+            ("workers",),
+            ("trace", "versions"),
+            ("trace", "root_rows"),
+            ("trace", "churn"),
+            ("trace", "reader_ops"),
+            ("faults", "writer_kills"),
+            ("faults", "worker_kills"),
+        ],
+        "gated": [
+            "trace_commits",
+            "trace_branches",
+            "trace_merges",
+            "trace_evolutions",
+            "forced_checkpoints",
+            "reader_checkouts",
+            "reader_queries",
+            "reader_refreshes",
+            "writer_kills",
+            "worker_kills",
+            "invariants_checked",
+            "invariants_passed",
+            "fence_violations",
+            "reader_rows_served",
+            "query_rows_total",
+            "reader_errors",
+            "tip_checksum_seed11",
+            "final_lsn_seed11",
+            "tip_checksum_seed23",
+            "final_lsn_seed23",
+            "tip_checksum_seed47",
+            "final_lsn_seed47",
+        ],
+    },
     "sql": {
         # Scenario row counts pin the workload; gated counters are the
         # compiled pipeline's logical I/O (records per scan, probes per

@@ -1,0 +1,46 @@
+"""HTAP stress & chaos harness: deterministic mixed traces, real-process
+fault injection, and the four serving-tier invariants.
+
+Public surface::
+
+    from repro.chaos import TraceConfig, FaultPlan, ChaosRun, run_chaos
+
+See :mod:`repro.chaos.trace` (trace generation),
+:mod:`repro.chaos.driver` (the fault-injecting driver), and
+:mod:`repro.chaos.invariants` (the invariant checks, also adopted by the
+unit suites through ``tests/invariants.py``).
+"""
+
+from repro.chaos.driver import ChaosRun, FaultPlan, run_chaos
+from repro.chaos.invariants import (
+    InvariantReport,
+    check_cache_coherence,
+    check_fence_honesty,
+    check_refresh_convergence,
+    check_replay_determinism,
+    store_digest,
+)
+from repro.chaos.trace import (
+    TraceConfig,
+    build_reader_schedule,
+    build_writer_plan,
+    plan_document,
+    replay_plan,
+)
+
+__all__ = [
+    "ChaosRun",
+    "FaultPlan",
+    "InvariantReport",
+    "TraceConfig",
+    "build_reader_schedule",
+    "build_writer_plan",
+    "check_cache_coherence",
+    "check_fence_honesty",
+    "check_refresh_convergence",
+    "check_replay_determinism",
+    "plan_document",
+    "replay_plan",
+    "run_chaos",
+    "store_digest",
+]

@@ -1,0 +1,102 @@
+"""The chaos writer process: apply a journaled writer plan to a store.
+
+Launched by the chaos driver as ``python -m repro.chaos --store ... --plan
+...``; crash injection arrives through the ``ORPHEUS_CRASH_POINTS``
+environment (see :mod:`repro.persist.injection`), so a ``kill -9`` at an
+exact journaled WAL offset is just ``wal.after_append:K`` in the child's
+environment — the driver computes K relative to the resume point.
+
+The process is resumable by construction: on start it opens the store
+(running real crash recovery if the previous incarnation was killed),
+reads the recovered version count, and skips every plan op the durable
+state already covers.  After each acknowledged op it appends one JSON
+line to the progress file — the driver's only window into writer
+progress, and deliberately *lossy* (the op killed mid-append never
+reports), so the driver learns real durable state from the store, never
+from this file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.chaos.trace import TraceConfig, apply_writer_op
+from repro.persist import Store
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos", description=__doc__
+    )
+    parser.add_argument("--store", required=True, help="store directory")
+    parser.add_argument(
+        "--plan", required=True, help="plan JSON (trace.plan_document)"
+    )
+    parser.add_argument(
+        "--progress", required=True, help="progress JSONL file (appended)"
+    )
+    parser.add_argument(
+        "--pace-ms",
+        type=float,
+        default=0.0,
+        help="sleep between ops so readers overlap the write window",
+    )
+    args = parser.parse_args(argv)
+
+    doc = json.loads(Path(args.plan).read_text(encoding="utf-8"))
+    config = TraceConfig(**doc["config"])
+    ops = doc["writer_ops"]
+
+    store = Store.open(args.store, checkpoint_interval=0)
+    try:
+        orpheus = store.orpheus
+        current = (
+            orpheus.cvd(config.cvd).version_count
+            if config.cvd in orpheus.ls()
+            else 0
+        )
+        with open(args.progress, "a", encoding="utf-8") as progress:
+            for index, op in enumerate(ops):
+                if op["kind"] == "checkpoint":
+                    # Re-running a checkpoint after a resume is harmless
+                    # (idempotent compaction); only skip ones the plan
+                    # cursor is already far past.
+                    if op["versions_after"] < current:
+                        continue
+                    store.checkpoint()
+                else:
+                    if op["versions_after"] <= current:
+                        continue  # recovered state already covers this op
+                    apply_writer_op(orpheus, op, config)
+                    current = op["versions_after"]
+                progress.write(
+                    json.dumps(
+                        {
+                            "index": index,
+                            "versions": current,
+                            "lsn": store.last_lsn,
+                        }
+                    )
+                    + "\n"
+                )
+                progress.flush()
+                if args.pace_ms > 0:
+                    time.sleep(args.pace_ms / 1e3)
+            progress.write(
+                json.dumps(
+                    {"done": True, "versions": current, "lsn": store.last_lsn}
+                )
+                + "\n"
+            )
+            progress.flush()
+    finally:
+        store.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

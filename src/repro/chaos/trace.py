@@ -1,0 +1,305 @@
+"""Deterministic mixed-trace generation for the HTAP chaos harness.
+
+A trace is two seeded schedules over one CVD:
+
+- a **writer plan** — an ordered list of JSON-serializable ops (init,
+  commits with per-version edit scripts, forced checkpoints) that walks
+  the version DAG through branch commits, two-parent merges, and
+  mid-trace schema evolution (``ALTER TABLE ... ADD COLUMN`` on the
+  staged table, riding the commit);
+- a **reader schedule** — checkouts/queries/refreshes whose version
+  picks follow a Zipf-over-recency law (rank 1 = the newest version
+  available), the regime a serving tier actually sees.
+
+Everything is derived from ``TraceConfig`` with ``random.Random`` (the
+Mersenne generator is stable across Python versions), so the same seed
+yields byte-identical plans on every machine — the property the chaos
+invariants and the ``--exact`` CI gate stand on.  Reader ops carry a
+``need_versions`` bound that ramps across the schedule: the driver
+issues an op only once the writer has committed that many versions, so
+the logical request stream is deterministic even though the two sides
+run concurrently.
+
+Scale is config-bound only: ``root_rows`` and ``versions`` stretch to
+million-row / thousand-version stores (the nightly full mode) with the
+same code path as the CI smoke trace.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import asdict, dataclass
+from typing import Callable, Sequence
+
+#: The base schema every trace starts from; evolutions append columns.
+BASE_SCHEMA = [("id", "int"), ("grp", "text"), ("val", "int")]
+BASE_COLUMNS = [name for name, _dtype in BASE_SCHEMA]
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """One deterministic HTAP scenario (see module docstring)."""
+
+    seed: int = 11
+    cvd: str = "htap"
+    root_rows: int = 400
+    versions: int = 12
+    churn: int = 30
+    branch_prob: float = 0.15
+    merge_prob: float = 0.10
+    evolutions: int = 1
+    checkpoints: int = 2
+    reader_ops: int = 48
+    query_fraction: float = 0.2
+    refresh_fraction: float = 0.1
+    multi_fraction: float = 0.25
+    zipf_s: float = 1.2
+    #: Steady-state churn: each commit deletes the rows the *previous*
+    #: commit inserted (instead of a root-id span), so live tables stay
+    #: ~``root_rows + churn`` wide while the record universe still grows
+    #: by ``churn`` per version — the shape that makes thousand-version /
+    #: half-million-record full-mode traces tractable (per-commit cost is
+    #: proportional to the live table, not the accumulated store).
+    steady: bool = False
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def root_rows(config: TraceConfig) -> list[tuple]:
+    return [(i, f"g{i % 7}", (i * i) % 997) for i in range(config.root_rows)]
+
+
+def _spread(count: int, low: int, high: int) -> list[int]:
+    """``count`` distinct ints spread evenly across [low, high] (mid-trace
+    placement for evolutions and forced checkpoints)."""
+    if count <= 0 or high < low:
+        return []
+    span = high - low
+    picks = {low + round(span * (k + 1) / (count + 1)) for k in range(count)}
+    return sorted(picks)
+
+
+def build_writer_plan(config: TraceConfig) -> tuple[list[dict], dict]:
+    """(ordered writer ops, deterministic plan metadata).
+
+    Op kinds::
+
+        {"kind": "init", "versions_after": 1}
+        {"kind": "commit", "vid": v, "parents": [...], "delete_span": [lo, hi]
+         or None, "insert_base": int, "insert_rows": k,
+         "evolve": "colname" or None, "insert_columns": [...],
+         "versions_after": v}
+        {"kind": "checkpoint", "versions_after": v}
+
+    ``versions_after`` is the CVD's version count once the op has been
+    applied — the resume cursor: a relaunched writer skips every op the
+    recovered store already covers.
+    """
+    rng = random.Random(config.seed * 7919 + 1)
+    evolve_at = set(_spread(config.evolutions, 2, config.versions))
+    checkpoint_at = set(_spread(config.checkpoints, 2, config.versions))
+    ops: list[dict] = [{"kind": "init", "versions_after": 1}]
+    meta = {
+        "commits": 0,
+        "branches": 0,
+        "merges": 0,
+        "evolutions": 0,
+        "checkpoints": 0,
+    }
+    columns = list(BASE_COLUMNS)
+    vids = [1]
+    tip = 1
+    span = max(1, config.churn // 3)
+    for vid in range(2, config.versions + 1):
+        roll = rng.random()
+        if roll < config.merge_prob and len(vids) >= 2:
+            other = rng.choice([v for v in vids if v != tip])
+            parents = sorted((tip, other))
+            meta["merges"] += 1
+        elif roll < config.merge_prob + config.branch_prob and len(vids) >= 2:
+            parents = [rng.choice(vids[:-1])]
+            meta["branches"] += 1
+        else:
+            parents = [tip]
+        delete_span = None
+        if config.steady and vid > 2:
+            # Drop what the previous commit inserted (a no-op when this
+            # branch's parent never saw those rows — DELETE of an absent
+            # id range matches nothing, and the occasional survivor keeps
+            # branch tips genuinely divergent).
+            prev_base = 1_000_000 + (vid - 1) * max(config.churn, 1) * 10
+            delete_span = [prev_base, prev_base + config.churn]
+        elif config.root_rows > span and rng.random() < 0.8:
+            low = rng.randrange(0, config.root_rows - span)
+            delete_span = [low, low + span]
+        evolve = f"x{vid}" if vid in evolve_at else None
+        if evolve:
+            meta["evolutions"] += 1
+            columns = columns + [evolve]
+        ops.append(
+            {
+                "kind": "commit",
+                "vid": vid,
+                "parents": parents,
+                "delete_span": delete_span,
+                "insert_base": 1_000_000 + vid * max(config.churn, 1) * 10,
+                "insert_rows": config.churn,
+                "evolve": evolve,
+                # The staged table's columns at this point in the plan —
+                # schema evolution is CVD-global, so the applier needs the
+                # running column list, not just this op's addition.
+                "insert_columns": list(columns),
+                "versions_after": vid,
+            }
+        )
+        vids.append(vid)
+        tip = vid
+        if vid in checkpoint_at:
+            ops.append({"kind": "checkpoint", "versions_after": vid})
+            meta["checkpoints"] += 1
+    meta["commits"] = config.versions - 1
+    return ops, meta
+
+
+def _insert_values(op: dict) -> str:
+    """Deterministic row literals for one commit's inserts."""
+    base = op["insert_base"]
+    vid = op["vid"]
+    extras = len(op["insert_columns"]) - len(BASE_COLUMNS)
+    rows = []
+    for i in range(op["insert_rows"]):
+        rid = base + i
+        cells = [str(rid), f"'g{rid % 7}'", str((vid * 31 + i) % 997)]
+        cells.extend("0" for _ in range(extras))
+        rows.append(f"({', '.join(cells)})")
+    return ", ".join(rows)
+
+
+def apply_writer_op(
+    orpheus,
+    op: dict,
+    config: TraceConfig,
+    checkpoint: Callable[[], object] | None = None,
+) -> None:
+    """Apply one plan op against a live engine.
+
+    Shared by the real writer process (``repro.chaos.__main__``) and the
+    from-scratch replayer the replay-determinism invariant compares
+    against — one applier, so a divergence is a store bug, never a
+    harness skew.  ``checkpoint`` handles ``kind == "checkpoint"`` ops
+    (the scratch replayer passes None: checkpoints do not change logical
+    state).
+    """
+    kind = op["kind"]
+    if kind == "init":
+        orpheus.init(
+            config.cvd,
+            list(BASE_SCHEMA),
+            rows=root_rows(config),
+            primary_key=("id",),
+            message="root",
+        )
+        return
+    if kind == "checkpoint":
+        if checkpoint is not None:
+            checkpoint()
+        return
+    if kind != "commit":
+        raise ValueError(f"unknown writer op kind {kind!r}")
+    work = f"w{op['vid']}"
+    orpheus.checkout(config.cvd, list(op["parents"]), table_name=work)
+    if op["delete_span"]:
+        low, high = op["delete_span"]
+        orpheus.run(f"DELETE FROM {work} WHERE id >= {low} AND id < {high}")
+    if op["evolve"]:
+        orpheus.run(f"ALTER TABLE {work} ADD COLUMN {op['evolve']} int DEFAULT 0")
+    if op["insert_rows"]:
+        columns = ", ".join(op["insert_columns"])
+        orpheus.run(
+            f"INSERT INTO {work} ({columns}) VALUES {_insert_values(op)}"
+        )
+    orpheus.commit(work, message=f"v{op['vid']}")
+
+
+def replay_plan(
+    orpheus, ops: Sequence[dict], config: TraceConfig, up_to_versions: int
+) -> None:
+    """From-scratch replay of the plan's committed prefix: every init and
+    commit op with ``versions_after <= up_to_versions``, checkpoints
+    skipped (they append nothing logical)."""
+    for op in ops:
+        if op["kind"] == "checkpoint":
+            continue
+        if op["versions_after"] > up_to_versions:
+            break
+        apply_writer_op(orpheus, op, config)
+
+
+def zipf_pick(rng: random.Random, available: int, s: float) -> int:
+    """One Zipf-by-recency version pick from 1..available (rank 1 = the
+    newest version)."""
+    if available <= 1:
+        return 1
+    weights = [1.0 / (rank**s) for rank in range(1, available + 1)]
+    rank = rng.choices(range(1, available + 1), weights=weights, k=1)[0]
+    return available - rank + 1
+
+
+def build_reader_schedule(config: TraceConfig) -> tuple[list[dict], dict]:
+    """(ordered reader ops, deterministic schedule metadata).
+
+    Each op carries ``need_versions`` — the number of committed versions
+    it requires — ramping linearly across the schedule so readers chase
+    the writer instead of racing it nondeterministically.
+    """
+    rng = random.Random(config.seed * 104729 + 2)
+    ops: list[dict] = []
+    meta = {"checkouts": 0, "queries": 0, "refreshes": 0}
+    for i in range(config.reader_ops):
+        available = max(
+            1, math.ceil(config.versions * (i + 1) / config.reader_ops)
+        )
+        roll = rng.random()
+        if roll < config.refresh_fraction:
+            ops.append({"kind": "refresh", "need_versions": available})
+            meta["refreshes"] += 1
+        elif roll < config.refresh_fraction + config.query_fraction:
+            vid = zipf_pick(rng, available, config.zipf_s)
+            ops.append(
+                {"kind": "query", "vid": vid, "need_versions": available}
+            )
+            meta["queries"] += 1
+        else:
+            if available >= 2 and rng.random() < config.multi_fraction:
+                size = min(available, rng.choice((2, 2, 3)))
+            else:
+                size = 1
+            chosen: set[int] = set()
+            while len(chosen) < size:
+                chosen.add(zipf_pick(rng, available, config.zipf_s))
+            ops.append(
+                {
+                    "kind": "checkout",
+                    "vids": sorted(chosen),
+                    "need_versions": available,
+                }
+            )
+            meta["checkouts"] += 1
+    return ops, meta
+
+
+def plan_document(config: TraceConfig) -> dict:
+    """The whole trace as one JSON document (written next to the store;
+    a CI failure bundle ships it so any run is replayable from the file
+    alone)."""
+    writer_ops, writer_meta = build_writer_plan(config)
+    reader_ops, reader_meta = build_reader_schedule(config)
+    return {
+        "config": config.to_dict(),
+        "writer_ops": writer_ops,
+        "writer_meta": writer_meta,
+        "reader_ops": reader_ops,
+        "reader_meta": reader_meta,
+    }

@@ -254,6 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkout/query cache capacity in entries (default 256)",
     )
     p.add_argument(
+        "--respawn-limit", type=int, default=16, metavar="N",
+        help="pre-fork mode: total worker respawns tolerated before the "
+        "pool is declared crash-looping and serve exits nonzero "
+        "(default 16)",
+    )
+    p.add_argument(
         "--follow",
         action="store_true",
         help="serve without taking the writer lock, following a writer "
@@ -358,6 +364,7 @@ def _main_serve(args: argparse.Namespace, path: Path) -> int:
             writer=not follow,
             checkpoint_interval=args.checkpoint_every,
             workers=args.workers,
+            respawn_limit=args.respawn_limit,
         )
     except StoreLockedError as error:
         print(
@@ -389,6 +396,10 @@ def _main_serve(args: argparse.Namespace, path: Path) -> int:
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, _request_shutdown)
     server.serve_forever()
+    failure = getattr(server, "failure", None)
+    if failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 1
     print("shutdown clean")
     return 0
 

@@ -1,0 +1,99 @@
+"""Named crash-injection points for chaos and crash-recovery testing.
+
+A process under test arms a set of named points via the environment::
+
+    ORPHEUS_CRASH_POINTS="wal.after_append:5,checkpoint.after_current:1"
+
+Each entry is ``name:N`` — the process SIGKILLs itself on the Nth time
+execution reaches ``crash_point(name)``.  SIGKILL (not ``sys.exit``) is
+the whole point: no ``atexit``, no ``finally``, no flush — the store is
+left exactly as a power-loss-at-that-instant would leave it, and the
+recovery path gets exercised for real.
+
+The hook costs one falsy check when nothing is armed, so production code
+paths carry it for free.  Points live at durability boundaries:
+
+- ``wal.before_append`` — before the frame is written: the record is
+  lost entirely (never acknowledged).
+- ``wal.after_append`` — after the fsync: the record is durable but the
+  caller never saw the append return (acknowledged-but-unobserved).
+- ``checkpoint.before_current`` — snapshot written, CURRENT still points
+  at the old one: recovery must replay the WAL over the old snapshot.
+- ``checkpoint.after_current`` — CURRENT repointed, WAL not yet
+  compacted: recovery must tolerate a log whose records the snapshot
+  already covers.
+
+The chaos driver (``repro.chaos``) uses these to kill a writer at exact
+journaled WAL offsets; counts are per-process-lifetime, so "die after
+the Kth commit of this run" is ``wal.after_append:K``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+ENV_VAR = "ORPHEUS_CRASH_POINTS"
+
+_armed: dict[str, int] = {}
+_hits: dict[str, int] = {}
+
+
+def parse_spec(spec: str) -> dict[str, int]:
+    """Parse ``name:N[,name:N...]`` into {point name: hit count}."""
+    out: dict[str, int] = {}
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, sep, count = entry.rpartition(":")
+        if not sep or not name:
+            raise ValueError(f"bad crash-point spec {entry!r} (want name:N)")
+        try:
+            hits = int(count)
+        except ValueError as exc:
+            raise ValueError(f"bad crash-point count in {entry!r}") from exc
+        if hits < 1:
+            raise ValueError(f"crash-point count must be >= 1 in {entry!r}")
+        out[name] = hits
+    return out
+
+
+def arm(spec: str) -> None:
+    """Arm points from a spec string (adds to whatever is already armed)."""
+    for name, hits in parse_spec(spec).items():
+        _armed[name] = hits
+        _hits[name] = 0
+
+
+def disarm() -> None:
+    """Clear every armed point (tests use this between cases)."""
+    _armed.clear()
+    _hits.clear()
+
+
+def armed_points() -> dict[str, int]:
+    """Currently armed {name: target hit count} (a copy)."""
+    return dict(_armed)
+
+
+def crash_point(name: str) -> None:
+    """Die via SIGKILL when the named point's armed hit count is reached."""
+    if not _armed:
+        return
+    target = _armed.get(name)
+    if target is None:
+        return
+    hits = _hits.get(name, 0) + 1
+    _hits[name] = hits
+    if hits >= target:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _load_env() -> None:
+    spec = os.environ.get(ENV_VAR, "")
+    if spec:
+        arm(spec)
+
+
+_load_env()

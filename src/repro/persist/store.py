@@ -49,6 +49,7 @@ from repro.obs import metrics, trace
 from repro.storage.schema import TableSchema
 
 from repro.persist.fsutil import atomic_write_bytes, fsync_dir
+from repro.persist.injection import crash_point
 from repro.persist.snapshot import load_snapshot, write_snapshot
 from repro.persist.wal import WriteAheadLog
 
@@ -615,7 +616,9 @@ class Store:
             snapshot = write_snapshot(
                 self.orpheus, self.path / SNAPSHOTS_DIR, self.last_lsn
             )
+            crash_point("checkpoint.before_current")
             self._write_current(snapshot.name)
+            crash_point("checkpoint.after_current")
             # The store has appended every lsn up to last_lsn itself, so the
             # compaction keeps nothing: truncate-to-empty without decoding.
             self.wal.compact(self.last_lsn, known_end_lsn=self.last_lsn)

@@ -29,6 +29,7 @@ from typing import Iterator
 from repro.errors import PersistenceError
 from repro.obs import metrics
 from repro.persist.fsutil import fsync_dir as _fsync_dir
+from repro.persist.injection import crash_point
 
 # Pid-aware handles: a pre-fork serve worker charges its own registry.
 _APPENDS = metrics.counter("persist.wal.appends")
@@ -95,10 +96,12 @@ class WriteAheadLog:
     def append(self, lsn: int, payload: dict) -> int:
         """Write one frame and fsync; returns the frame's byte length."""
         frame = encode_frame(lsn, payload)
+        crash_point("wal.before_append")
         handle = self._open_for_append()
         handle.write(frame)
         handle.flush()
         os.fsync(handle.fileno())
+        crash_point("wal.after_append")
         _APPENDS.inc()
         _BYTES_WRITTEN.inc(len(frame))
         _FSYNCS.inc()

@@ -20,11 +20,13 @@ that trace id in the structured log stream.
 from __future__ import annotations
 
 import json
+import os
 import re
 import socket
 import socketserver
 import threading
 import time
+import weakref
 import zlib
 from typing import Any
 
@@ -234,11 +236,72 @@ def request(host: str, port: int, payload: dict, timeout: float = 30.0) -> dict:
     return json.loads(line.decode("utf-8"))
 
 
+#: Live client sockets in this process.  A pre-fork worker forked while
+#: the host process holds open client connections inherits duplicate FDs
+#: for them; those duplicates keep the TCP connections ESTABLISHED after
+#: the real client closes, which pins the worker serving that connection
+#: forever (and can self-deadlock a worker serving a connection whose
+#: client end it inherited).  The registry lets the freshly forked child
+#: close every inherited client socket before it starts serving.
+_live_clients: "weakref.WeakSet[socket.socket]" = weakref.WeakSet()
+_live_clients_lock = threading.Lock()
+# Keep the registry consistent across fork: another thread may be mutating
+# the WeakSet at the instant the supervisor forks a replacement worker.
+os.register_at_fork(
+    before=_live_clients_lock.acquire,
+    after_in_parent=_live_clients_lock.release,
+    after_in_child=_live_clients_lock.release,
+)
+
+
+def close_inherited_clients() -> int:
+    """Close every live client socket (called by a forked worker child);
+    returns how many were closed.  The parent's own sockets are untouched
+    — closing a duplicate FD only drops this process's reference.
+
+    ``detach()`` + ``os.close()`` rather than ``socket.close()``: each
+    client holds a ``makefile()`` reader whose io-ref makes ``close()``
+    defer the real FD close — exactly the deferral that must NOT happen
+    here.  Detaching first also means the child's copy of the socket
+    object can never double-close a since-reused FD from a destructor.
+    """
+    with _live_clients_lock:
+        inherited = list(_live_clients)
+    closed = 0
+    for sock in inherited:
+        try:
+            fd = sock.detach()
+        except OSError:  # pragma: no cover - already dead
+            continue
+        if fd >= 0:
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already closed
+                pass
+            closed += 1
+    return closed
+
+
 class ServeClient:
     """A persistent-connection client for request loops (benchmarks)."""
 
     def __init__(self, host: str, port: int, timeout: float = 30.0):
-        self._conn = socket.create_connection((host, port), timeout=timeout)
+        # Register BEFORE connecting: a worker forked between connect()
+        # and registration would inherit an invisible connected socket —
+        # exactly the duplicate-FD pinning the registry exists to stop.
+        # A child closing a not-yet-connected socket is harmless.
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        with _live_clients_lock:
+            _live_clients.add(sock)
+        try:
+            sock.settimeout(timeout)
+            sock.connect((host, port))
+        except BaseException:
+            with _live_clients_lock:
+                _live_clients.discard(sock)
+            sock.close()
+            raise
+        self._conn = sock
         self._reader = self._conn.makefile("rb")
 
     def request(self, payload: dict) -> dict:
@@ -249,6 +312,8 @@ class ServeClient:
         return json.loads(line.decode("utf-8"))
 
     def close(self) -> None:
+        with _live_clients_lock:
+            _live_clients.discard(self._conn)
         self._reader.close()
         self._conn.close()
 
@@ -269,6 +334,7 @@ def serve(
     checkpoint_interval: int = 256,
     workers: int = 0,
     shared_cache: bool = True,
+    respawn_limit: int = 16,
 ):
     """Build a server for ``orpheus serve`` (not yet started).
 
@@ -288,6 +354,7 @@ def serve(
             workers=workers,
             cache_capacity=cache_capacity,
             shared_cache=shared_cache,
+            respawn_limit=respawn_limit,
         )
     manager = ServeManager(
         path,

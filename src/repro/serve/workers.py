@@ -34,6 +34,7 @@ one, lives in another process and is discovered through the WAL.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import pickle
 import select
@@ -54,6 +55,7 @@ from repro.serve.manager import _MISSING, ReadSession
 from repro.serve.server import (
     KNOWN_OPS,
     checkout_response,
+    close_inherited_clients,
     error_code,
     error_response,
 )
@@ -65,6 +67,19 @@ from repro.serve.sharedcache import CacheClient, CacheOwner
 WORKER_SHUTDOWN_EXIT = 99
 #: Exit code for a worker that died on an unexpected internal error.
 WORKER_ERROR_EXIT = 70
+
+_log = logging.getLogger("repro.serve.prefork")
+
+
+def _describe_exit(code: int) -> str:
+    """Human-readable death cause from a waitstatus exit code."""
+    if code < 0:
+        try:
+            name = signal.Signals(-code).name
+        except ValueError:
+            name = "unknown signal"
+        return f"died on signal {-code} ({name})"
+    return f"exited with status {code}"
 
 
 class WorkerSession(ReadSession):
@@ -328,9 +343,18 @@ class PreforkServer:
         cache_capacity: int = 256,
         shared_cache: bool = True,
         l2_capacity: int = 1024,
+        respawn_limit: int = 16,
     ):
         self.path = Path(path)
         self.workers = max(1, workers)
+        #: Total respawns the pool tolerates over its lifetime; one more
+        #: abnormal death marks the pool failed and winds it down — a
+        #: crash-looping worker must be a bounded, visible failure, not
+        #: an infinite respawn spin.
+        self.respawn_limit = max(0, respawn_limit)
+        #: Set when the pool winds itself down on a crash loop; the CLI
+        #: turns it into a nonzero exit.
+        self.failure: str | None = None
         self._cache_capacity = max(0, cache_capacity)
         # The one snapshot load + WAL replay of the pool's lifetime.
         self._template = Store.open(path, mode="ro")
@@ -396,6 +420,14 @@ class PreforkServer:
                 # parent thread at fork time.
                 if self._owner is not None:
                     self._owner.close_inherited()
+                # Inherited *client* connections (the embedding process's
+                # ServeClients) must go too: a duplicate client FD keeps
+                # its TCP connection established after the real client
+                # closes, pinning whichever sibling serves it — and a
+                # worker can even inherit the client end of the very
+                # connection it later accepts, deadlocking against
+                # itself.  Bit us under chaos: respawn-while-serving.
+                close_inherited_clients()
                 code = _worker_loop(
                     self._template,
                     self._listener,
@@ -432,13 +464,28 @@ class PreforkServer:
                     continue
                 with self._pids_lock:
                     self._pids.pop(pid, None)
-                if os.waitstatus_to_exitcode(status) == WORKER_SHUTDOWN_EXIT:
+                code = os.waitstatus_to_exitcode(status)
+                if code == WORKER_SHUTDOWN_EXIT:
                     # A client asked the pool to shut down.  Run it from
                     # a helper thread: shutdown() joins this one.
                     threading.Thread(target=self.shutdown, daemon=True).start()
                     return
                 if self._stop.is_set():
                     continue
+                cause = _describe_exit(code)
+                if self.respawns >= self.respawn_limit:
+                    self.failure = (
+                        f"worker {worker_id} (pid {pid}) {cause}; respawn "
+                        f"limit {self.respawn_limit} exhausted after "
+                        f"{self.respawns} respawns"
+                    )
+                    _log.error("%s; winding the pool down", self.failure)
+                    metrics.registry().counter("serve.prefork.crash_loops").inc()
+                    threading.Thread(target=self.shutdown, daemon=True).start()
+                    return
+                _log.warning(
+                    "worker %d (pid %d) %s; respawning", worker_id, pid, cause
+                )
                 # Bring the template near the tip before re-forking so
                 # the replacement starts hot (it still refreshes per
                 # request like everyone else).
@@ -447,6 +494,7 @@ class PreforkServer:
                 except Exception:
                     pass
                 self.respawns += 1
+                metrics.registry().counter("serve.prefork.respawns").inc()
                 self._spawn(worker_id)
             self._stop.wait(0.05)
 

@@ -12,6 +12,36 @@ from repro.workloads.protein import (
     PROTEIN_PRIMARY_KEY,
 )
 
+#: Per-test wall-clock budget when pytest-timeout is installed (CI
+#: installs it; the container image may not have it, so everything below
+#: is gated on the plugin's presence).  Suites that fork worker pools or
+#: drive subprocesses override via module-level
+#: ``pytestmark = pytest.mark.timeout(...)``.
+DEFAULT_TEST_TIMEOUT = 60
+
+
+def pytest_configure(config):
+    # Register the marker ourselves so `pytest.mark.timeout(...)`
+    # overrides stay warning-free when the plugin is not installed
+    # (when it is, this line is a harmless duplicate of its own).
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test wall-clock limit (enforced by "
+        "pytest-timeout when installed; inert otherwise)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    # A hung fork/subprocess test must fail the run, not wedge it: give
+    # every test a default budget — but only when pytest-timeout is
+    # actually present to enforce it.
+    if not config.pluginmanager.hasplugin("timeout"):
+        return
+    for item in items:
+        if item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(DEFAULT_TEST_TIMEOUT))
+
+
 # Figure 1's protein rows: (protein1, protein2, neighborhood, cooccurrence,
 # coexpression).  r1 and r5 are two "versions" of the same logical record.
 PAPER_ROWS = [

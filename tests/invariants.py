@@ -1,0 +1,70 @@
+"""Assert-style wrappers over the chaos harness's invariant checks.
+
+The four serving-tier invariants live in :mod:`repro.chaos.invariants`
+as report-returning functions (the chaos driver and ``bench_htap.py``
+consume the reports).  The unit suites want assertions with readable
+failure text instead — these wrappers are that adapter, so
+``test_persist_crash.py``, ``test_serve_prefork.py``, and
+``test_chaos.py`` all exercise the *same* checks the chaos gate runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.chaos.invariants import (
+    InvariantReport,
+    check_cache_coherence,
+    check_fence_honesty,
+    check_refresh_convergence,
+    check_replay_determinism,
+)
+
+
+def _ok(report: InvariantReport) -> InvariantReport:
+    assert report.ok, f"{report.name} violated: {report.details}"
+    return report
+
+
+def assert_replay_determinism(
+    store_path: str | Path,
+    rebuild: Callable[[object, dict], None],
+    scratch_path: str | Path,
+    sample: int | None = None,
+) -> InvariantReport:
+    """Recovered store ≡ from-scratch replay of its committed ops."""
+    return _ok(
+        check_replay_determinism(store_path, rebuild, scratch_path, sample=sample)
+    )
+
+
+def assert_refresh_convergence(
+    refresh: Callable[[], object],
+    current_lsn: Callable[[], int],
+    target_lsn: int,
+    timeout: float = 30.0,
+) -> InvariantReport:
+    """A reader must reach the durable tip within the deadline."""
+    return _ok(
+        check_refresh_convergence(refresh, current_lsn, target_lsn, timeout=timeout)
+    )
+
+
+def assert_cache_coherence(
+    store_path: str | Path,
+    cvd: str,
+    served: Sequence[tuple[Sequence[int], dict]],
+    sample: int | None = None,
+) -> InvariantReport:
+    """Served (cached) figures must match an uncached fresh-open checkout."""
+    return _ok(check_cache_coherence(store_path, cvd, served, sample=sample))
+
+
+def assert_fence_honesty(
+    violations: int,
+    probes: Sequence[tuple[int, dict]] = (),
+) -> InvariantReport:
+    """No response behind a client-observed lsn; impossible fences must be
+    refused as ``stale_read``."""
+    return _ok(check_fence_honesty(violations, probes))

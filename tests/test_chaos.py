@@ -1,0 +1,285 @@
+"""The chaos harness itself: traces, crash injection, invariants, driver.
+
+Fast deterministic checks of the pieces (seeded plan generation, the
+``ORPHEUS_CRASH_POINTS`` kill switch, each invariant's failure
+detection) plus one real end-to-end scenario: a writer process killed
+-9 at a journaled WAL offset and a prefork worker SIGKILLed mid-trace,
+with all four invariants checked — the same code path CI's chaos gate
+runs at 3 seeds through ``benchmarks/bench_htap.py --smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import (
+    FaultPlan,
+    TraceConfig,
+    build_reader_schedule,
+    build_writer_plan,
+    check_cache_coherence,
+    check_fence_honesty,
+    check_refresh_convergence,
+    plan_document,
+    replay_plan,
+    run_chaos,
+)
+from repro.chaos.trace import apply_writer_op
+from repro.persist import Store
+from repro.persist.injection import ENV_VAR, armed_points, disarm, parse_spec
+from repro.serve.server import rows_checksum
+
+from invariants import assert_replay_determinism
+
+# Forked pools and writer subprocesses: generous per-module override of
+# the suite-wide default (wired in conftest.py when pytest-timeout is
+# installed; a no-op marker otherwise).
+pytestmark = pytest.mark.timeout(300)
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+class TestTraceGeneration:
+    def test_same_seed_same_plan_different_seed_different_plan(self):
+        config = TraceConfig(seed=11, versions=10, reader_ops=24)
+        assert plan_document(config) == plan_document(config)
+        other = TraceConfig(seed=12, versions=10, reader_ops=24)
+        assert plan_document(config) != plan_document(other)
+
+    def test_writer_plan_walks_the_dag_with_resume_cursors(self):
+        config = TraceConfig(seed=23, versions=30, evolutions=2, checkpoints=3)
+        ops, meta = build_writer_plan(config)
+        assert ops[0] == {"kind": "init", "versions_after": 1}
+        commits = [op for op in ops if op["kind"] == "commit"]
+        assert [op["vid"] for op in commits] == list(range(2, 31))
+        # versions_after is the resume cursor: never decreasing, and a
+        # checkpoint inherits the version count of the commit before it.
+        cursor = 0
+        for op in ops:
+            assert op["versions_after"] >= cursor
+            cursor = op["versions_after"]
+        assert meta["commits"] == 29
+        assert meta["evolutions"] == 2
+        assert meta["checkpoints"] == 3
+        assert meta["branches"] + meta["merges"] > 0
+        # Schema evolution threads through every later commit's insert.
+        evolved = [op for op in commits if op["evolve"]]
+        assert len(evolved) == 2
+        assert evolved[0]["evolve"] in commits[-1]["insert_columns"]
+
+    def test_reader_schedule_ramps_and_mixes(self):
+        config = TraceConfig(seed=47, versions=12, reader_ops=40)
+        ops, meta = build_reader_schedule(config)
+        assert len(ops) == 40
+        needs = [op["need_versions"] for op in ops]
+        assert needs == sorted(needs)  # the ramp gating determinism
+        assert needs[-1] == 12
+        assert meta["checkouts"] + meta["queries"] + meta["refreshes"] == 40
+        assert meta["checkouts"] > 0 and meta["queries"] > 0
+        # Zipf-by-recency: picks skew toward the newest available tip.
+        picks = [
+            (op["vid"], op["need_versions"])
+            for op in ops if op["kind"] == "query"
+        ] + [
+            (vid, op["need_versions"])
+            for op in ops if op["kind"] == "checkout" for vid in op["vids"]
+        ]
+        near_tip = sum(1 for vid, avail in picks if vid >= avail - 2)
+        assert near_tip >= len(picks) // 2
+
+
+class TestCrashInjection:
+    def test_parse_spec(self):
+        assert parse_spec("wal.after_append:5") == {"wal.after_append": 5}
+        assert parse_spec(" a:1 , b.c:2 ,") == {"a": 1, "b.c": 2}
+        for bad in ("noseparator", "name:", ":3", "name:x", "name:0"):
+            with pytest.raises(ValueError):
+                parse_spec(bad)
+
+    def test_arm_disarm(self):
+        from repro.persist import injection
+
+        injection.arm("point.a:2")
+        try:
+            assert armed_points() == {"point.a": 2}
+        finally:
+            disarm()
+        assert armed_points() == {}
+
+    def _launch_writer(self, base: Path, crash_spec: str | None):
+        env = {"PYTHONPATH": SRC, "PYTHONHASHSEED": "0"}
+        if crash_spec:
+            env[ENV_VAR] = crash_spec
+        return subprocess.run(
+            [
+                sys.executable, "-m", "repro.chaos",
+                "--store", str(base / "store"),
+                "--plan", str(base / "plan.json"),
+                "--progress", str(base / "progress.jsonl"),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_writer_killed_at_wal_offset_recovers_and_resumes(self, tmp_path):
+        """The full crash lifecycle the chaos driver leans on: a writer
+        SIGKILLed after an exact WAL append leaves a store whose recovery
+        digest-equals a from-scratch replay of the acknowledged prefix,
+        and a relaunched writer resumes from that state to the end."""
+        config = TraceConfig(
+            seed=11, root_rows=60, versions=6, churn=8,
+            checkpoints=0, evolutions=1,
+        )
+        doc = plan_document(config)
+        tmp_path.joinpath("plan.json").write_text(json.dumps(doc))
+
+        killed = self._launch_writer(tmp_path, "wal.after_append:5")
+        assert killed.returncode == -signal.SIGKILL, killed.stderr
+
+        with Store.open(tmp_path / "store", mode="ro") as store:
+            recovered = store.orpheus.cvd(config.cvd).version_count
+        assert 1 <= recovered < config.versions
+
+        report = assert_replay_determinism(
+            tmp_path / "store",
+            lambda orpheus, versions: replay_plan(
+                orpheus, doc["writer_ops"], config, versions[config.cvd]
+            ),
+            tmp_path / "scratch",
+        )
+        assert report.figures["versions"][config.cvd] == recovered
+
+        resumed = self._launch_writer(tmp_path, None)
+        assert resumed.returncode == 0, resumed.stderr
+        with Store.open(tmp_path / "store", mode="ro") as store:
+            assert store.orpheus.cvd(config.cvd).version_count == config.versions
+
+    def test_kill_offset_is_deterministic(self, tmp_path):
+        """Same plan + same crash point = same durable state, run twice —
+        the property that lets a CI failure bundle replay exactly."""
+        config = TraceConfig(seed=23, root_rows=40, versions=5, churn=6,
+                             checkpoints=0, evolutions=0)
+        doc = plan_document(config)
+        counts = []
+        for attempt in ("a", "b"):
+            base = tmp_path / attempt
+            base.mkdir()
+            base.joinpath("plan.json").write_text(json.dumps(doc))
+            killed = self._launch_writer(base, "wal.after_append:4")
+            assert killed.returncode == -signal.SIGKILL, killed.stderr
+            with Store.open(base / "store", mode="ro") as store:
+                counts.append(store.orpheus.cvd(config.cvd).version_count)
+        assert counts[0] == counts[1]
+
+
+class TestInvariantChecks:
+    @pytest.fixture
+    def chaos_store(self, tmp_path):
+        config = TraceConfig(seed=11, root_rows=50, versions=4, churn=6,
+                             checkpoints=0, evolutions=0)
+        ops, _meta = build_writer_plan(config)
+        with Store.open(tmp_path / "s", checkpoint_interval=0) as store:
+            for op in ops:
+                apply_writer_op(store.orpheus, op, config)
+        return tmp_path / "s", config
+
+    def test_cache_coherence_passes_on_true_figures(self, chaos_store):
+        path, config = chaos_store
+        with Store.open(path, mode="ro") as store:
+            rows = store.orpheus.checkout_rows(config.cvd, [4])
+        served = [([4], {"count": len(rows), "checksum": rows_checksum(rows)})]
+        assert check_cache_coherence(path, config.cvd, served).ok
+
+    def test_cache_coherence_detects_a_lying_cache(self, chaos_store):
+        path, config = chaos_store
+        with Store.open(path, mode="ro") as store:
+            rows = store.orpheus.checkout_rows(config.cvd, [4])
+        served = [
+            ([4], {"count": len(rows), "checksum": rows_checksum(rows) ^ 1}),
+            ([3], {"count": 99999, "checksum": 0}),
+        ]
+        report = check_cache_coherence(path, config.cvd, served)
+        assert not report.ok
+        assert "[4]" in report.details and "[3]" in report.details
+
+    def test_refresh_convergence_counts_refreshes(self):
+        lsn = [0]
+
+        def refresh():
+            lsn[0] += 5
+
+        report = check_refresh_convergence(refresh, lambda: lsn[0], 12)
+        assert report.ok and report.figures["refreshes"] == 3
+
+    def test_refresh_convergence_reports_a_stuck_reader(self):
+        report = check_refresh_convergence(
+            lambda: None, lambda: 7, 100, timeout=0.2, interval=0.01
+        )
+        assert not report.ok
+        assert "stuck at lsn 7" in report.details
+
+    def test_fence_honesty(self):
+        refused = {"ok": False, "code": "stale_read", "error": "..."}
+        assert check_fence_honesty(0, [(1000, refused)]).ok
+        assert not check_fence_honesty(3).ok
+        answered = {"ok": True, "count": 5, "lsn": 4}
+        report = check_fence_honesty(0, [(1000, answered)])
+        assert not report.ok
+        assert "not refused as stale_read" in report.details
+
+
+class TestEndToEnd:
+    def test_mini_chaos_run_survives_both_fault_kinds(self, tmp_path):
+        """One small but complete scenario: real writer process killed -9
+        mid-trace, one prefork worker SIGKILLed under live traffic, all
+        four invariants checked and passing, counters deterministic."""
+        config = TraceConfig(
+            seed=11, root_rows=120, versions=6, churn=12,
+            reader_ops=12, checkpoints=1, evolutions=1,
+        )
+        faults = FaultPlan(writer_kills=(3,), worker_kills=1, pace_ms=1.0)
+        report = run_chaos(config, faults, workers=2, base_dir=tmp_path / "run")
+        assert report["ok"], (report["errors"], report["invariants"])
+        counters = report["counters"]
+        assert counters["writer_kills"] == 1
+        assert counters["worker_kills"] == 1
+        assert counters["fence_violations"] == 0
+        assert counters["reader_errors"] == 0
+        assert counters["invariants_checked"] >= 4
+        assert counters["invariants_passed"] == counters["invariants_checked"]
+        assert counters["final_versions"] == config.versions
+        names = {entry["name"] for entry in report["invariants"]}
+        assert names == {
+            "replay_determinism", "refresh_convergence",
+            "cache_coherence", "fence_honesty",
+        }
+        # Deterministic figures: a second identical run must agree on
+        # the logical tip (wall clock and pids of course differ).
+        rerun = run_chaos(config, faults, workers=2, base_dir=tmp_path / "rerun")
+        assert rerun["ok"], (rerun["errors"], rerun["invariants"])
+        assert rerun["counters"]["tip_checksum"] == counters["tip_checksum"]
+        assert rerun["counters"]["final_lsn"] == counters["final_lsn"]
+
+    def test_failed_run_writes_a_repro_bundle(self, tmp_path, monkeypatch):
+        """A failing scenario must package plan + journal + store for
+        offline replay (CI uploads these as artifacts)."""
+        config = TraceConfig(seed=5, root_rows=40, versions=3, churn=4,
+                             reader_ops=4, checkpoints=0, evolutions=0)
+        # An impossible fault plan: the run cannot observe this writer
+        # kill (vid 99 never commits), so ok=False without any real
+        # breakage — the cheapest honest failure.
+        faults = FaultPlan(writer_kills=(99,), worker_kills=0, pace_ms=0.0)
+        report = run_chaos(
+            config, faults, workers=1,
+            base_dir=tmp_path / "run", failure_dir=tmp_path / "failures",
+        )
+        assert not report["ok"]
+        bundle = Path(report["bundle"])
+        assert bundle.exists() and bundle.name == "chaos-seed5.tar.gz"

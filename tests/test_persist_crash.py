@@ -11,6 +11,7 @@ import pytest
 from repro.core.datamodels import MODEL_REGISTRY
 from repro.persist import Store
 
+from invariants import assert_replay_determinism
 from test_persist_roundtrip import build_history, materialize_all
 
 ALL_MODELS = sorted(MODEL_REGISTRY)
@@ -56,6 +57,21 @@ class TestCrashAfterWalAppend:
         assert not orpheus.db.has_table("in_flight")
         # ...but every committed version is intact.
         assert orpheus.cvd("proteins").version_count == 4
+
+    def test_recovery_matches_replay_invariant(self, tmp_path, model):
+        """The chaos gate's replay-determinism invariant on the unit
+        suite's crash scenario: the recovered store must digest-equal a
+        from-scratch rebuild of exactly the committed history."""
+        store = Store.open(tmp_path / "store", checkpoint_interval=0)
+        build_history(store.orpheus, model)
+        crash(store)
+
+        report = assert_replay_determinism(
+            tmp_path / "store",
+            lambda orpheus, versions: build_history(orpheus, model),
+            tmp_path / "scratch",
+        )
+        assert report.figures["versions"]["proteins"] == 4
 
     def test_commit_after_recovery_continues_history(self, tmp_path, model):
         store = Store.open(tmp_path / "store", checkpoint_interval=0)

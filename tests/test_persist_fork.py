@@ -25,6 +25,10 @@ from repro.persist.store import LOCK_NAME
 
 from test_persist_readonly import build_store
 
+# Fork-based suite: generous per-module override of conftest's
+# per-test default timeout.
+pytestmark = pytest.mark.timeout(300)
+
 
 def _fork_and_run(child_fn):
     """Fork; run ``child_fn`` in the child and return its JSON result.

@@ -17,6 +17,10 @@ from repro.cli.main import main
 
 SRC = str(Path(__file__).resolve().parent.parent / "src")
 
+# Server-subprocess suite: generous per-module override of conftest's
+# per-test default timeout.
+pytestmark = pytest.mark.timeout(300)
+
 
 @pytest.fixture
 def populated_store(tmp_path):

@@ -33,9 +33,14 @@ from repro.persist import Store
 from repro.serve import PreforkServer
 from repro.serve.server import ServeClient, request, rows_checksum
 
+from invariants import assert_fence_honesty, assert_refresh_convergence
 from test_persist_readonly import build_store
 
 SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+# Forked pools, real subprocesses, kill/respawn cycles: a generous
+# per-module override of conftest's per-test default timeout.
+pytestmark = pytest.mark.timeout(300)
 
 
 @pytest.fixture
@@ -143,6 +148,8 @@ class TestPreforkEmbedded:
                  "min_lsn": seen["lsn"] + 1000},
             )
             assert not stale["ok"] and stale["code"] == "stale_read"
+            # The chaos gate's fence invariant on the same probe.
+            assert_fence_honesty(0, [(seen["lsn"] + 1000, stale)])
 
             # A writer in another process commits; every worker observes
             # the new lsn on its next request (per-request tail poll),
@@ -161,6 +168,15 @@ class TestPreforkEmbedded:
             )
             assert fresh["ok"] and fresh["lsn"] >= writer_lsn
             assert fresh["count"] == 6
+            # And the chaos gate's convergence invariant: the serving
+            # tier must reach the writer's durable tip within bounds.
+            assert_refresh_convergence(
+                refresh=lambda: request(host, port, {"op": "refresh"}),
+                current_lsn=lambda: request(
+                    host, port, {"op": "checkout", "cvd": "t", "vids": [4]}
+                )["lsn"],
+                target_lsn=writer_lsn,
+            )
 
     def test_sigkill_worker_respawns_and_others_survive(self, store_path):
         with PreforkServer(store_path, workers=2) as server:
@@ -200,6 +216,23 @@ class TestPreforkEmbedded:
             finally:
                 survivor.close()
                 victim.close()
+
+    def test_crash_loop_exhausts_respawn_limit(self, store_path):
+        """A pool that keeps dying must be a bounded, visible failure:
+        past the respawn limit the supervisor records the cause and
+        winds the whole pool down instead of respawning forever."""
+        with PreforkServer(store_path, workers=2, respawn_limit=1) as server:
+            for _ in range(2):
+                victim_pid = server.worker_pids()[0]
+                os.kill(victim_pid, signal.SIGKILL)
+                assert wait_until(
+                    lambda: victim_pid not in server.worker_pids()
+                )
+            assert wait_until(lambda: server.failure is not None)
+            assert "signal 9" in server.failure
+            assert "respawn limit 1 exhausted" in server.failure
+            assert server.respawns == 1
+            assert wait_until(lambda: not server.worker_pids())
 
 
 class TestPreforkCli:
@@ -247,6 +280,32 @@ class TestPreforkCli:
             for pid in pids:
                 with pytest.raises(ProcessLookupError):
                     os.kill(pid, 0)
+        finally:
+            if server.poll() is None:  # pragma: no cover - failure path
+                server.kill()
+                server.wait()
+
+    def test_cli_crash_loop_exits_nonzero_with_cause(self, store_path):
+        """``orpheus serve`` must not hang or report success when its
+        pool crash-loops: past the limit it logs the dead worker's pid
+        and signal on stderr and exits 1 (so CI and supervisors see it)."""
+        server = self._start(store_path, "--respawn-limit", "0")
+        try:
+            banner = server.stdout.readline()
+            assert "prefork mode" in banner, (banner, server.stderr.read())
+            port = int(banner.split(":")[-1].split()[0])
+            client = ServeClient("127.0.0.1", port)
+            try:
+                worker_pid = client.request({"op": "stats"})["stats"]["pid"]
+            finally:
+                client.close()
+
+            os.kill(worker_pid, signal.SIGKILL)
+            assert server.wait(timeout=30) == 1
+            stderr = server.stderr.read()
+            assert "error:" in stderr
+            assert str(worker_pid) in stderr
+            assert "signal 9" in stderr
         finally:
             if server.poll() is None:  # pragma: no cover - failure path
                 server.kill()
