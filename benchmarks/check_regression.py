@@ -144,9 +144,10 @@ BENCH_PROFILES = {
     "sql": {
         # Scenario row counts pin the workload; gated counters are the
         # compiled pipeline's logical I/O (records per scan, probes per
-        # join), the LIMIT pushdown's scan fraction, and the number of
+        # join), the LIMIT pushdown's scan fraction, the number of
         # interpreter fallbacks (baseline 0: every benchmark expression
-        # must stay on the compiled tier).
+        # must run on a generated kernel), and the columnar kernel and
+        # block counts that pin which execution tier each scenario took.
         "shape": [
             ("num_versions",),
             ("num_records",),
@@ -155,20 +156,40 @@ BENCH_PROFILES = {
             ("scenarios", "join", "rows"),
             ("scenarios", "topk", "rows"),
             ("scenarios", "limit", "rows"),
+            ("scenarios", "window", "rows"),
+            ("scenarios", "grouped_topk", "rows"),
         ],
         "gated": [
             "fullscan_records_scanned",
             "fullscan_exprs_interpreted",
+            "fullscan_exprs_columnar",
+            "fullscan_blocks_scanned",
             "scan_project_records_scanned",
             "scan_project_exprs_interpreted",
+            "scan_project_exprs_columnar",
+            "scan_project_blocks_scanned",
             "join_records_scanned",
             "join_index_probes",
             "join_exprs_interpreted",
+            "join_exprs_columnar",
+            "join_blocks_scanned",
             "topk_records_scanned",
             "topk_exprs_interpreted",
+            "topk_exprs_columnar",
+            "topk_blocks_scanned",
             "limit_records_scanned",
             "limit_exprs_interpreted",
+            "limit_exprs_columnar",
+            "limit_blocks_scanned",
             "limit_scan_fraction",
+            "window_records_scanned",
+            "window_exprs_interpreted",
+            "window_exprs_columnar",
+            "window_blocks_scanned",
+            "grouped_topk_records_scanned",
+            "grouped_topk_exprs_interpreted",
+            "grouped_topk_exprs_columnar",
+            "grouped_topk_blocks_scanned",
         ],
     },
 }

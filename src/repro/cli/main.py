@@ -489,17 +489,19 @@ def _print_engine_status(orpheus: OrpheusDB) -> None:
     """EXPLAIN-ish view of the execution engine: which pipeline ran.
 
     The counters cover this process (for `status` that is recovery/replay
-    plus the command itself): statements' expressions lowered to compiled
-    closures vs. interpreter fallbacks, and how many row blocks the batch
-    scan kernels charged.
+    plus the command itself): statements' expressions lowered to columnar
+    vector kernels vs. fused row kernels vs. interpreter fallbacks, and
+    how many row batches / column blocks the scan kernels charged.
     """
     db = orpheus.db
     stats = db.stats
     print(
         f"engine: {db.exec_mode} mode, "
-        f"{stats.exprs_compiled} exprs compiled / "
+        f"{stats.exprs_columnar} exprs columnar / "
+        f"{stats.exprs_compiled} row-compiled / "
         f"{stats.exprs_interpreted} interpreted fallbacks, "
-        f"{stats.batches_scanned} scan batches"
+        f"{stats.batches_scanned} scan batches "
+        f"({stats.blocks_scanned} column blocks)"
     )
 
 
@@ -638,8 +640,10 @@ def _dispatch(orpheus: OrpheusDB, args: argparse.Namespace) -> bool:
             print(
                 f"({detail['rowcount']} rows in "
                 f"{detail['total_seconds'] * 1000:.2f} ms, "
-                f"{detail['exprs_compiled']} compiled / "
+                f"{detail['exprs_columnar']} columnar / "
+                f"{detail['exprs_compiled']} row-compiled / "
                 f"{detail['exprs_interpreted']} interpreted exprs, "
+                f"{detail['blocks_scanned']} column blocks, "
                 f"{detail['exec_mode']} mode)"
             )
             return False  # PROFILE is a read; nothing to persist

@@ -44,6 +44,7 @@ from repro.storage.expression import (
     IsNull,
     Like,
     Literal,
+    PosRef,
     Star,
     UnaryOp,
     like_to_regex,
@@ -132,6 +133,8 @@ def _compile(expr: Expression, env: EvalEnv) -> tuple[RowFunc, bool]:
             # interpreter; keep that behaviour by refusing to compile.
             raise _Uncompilable from None
         return itemgetter(position), False
+    if isinstance(expr, PosRef):
+        return itemgetter(expr.position), False
     if isinstance(expr, Star):
         return (lambda row: row), False
     if isinstance(expr, BinaryOp):
@@ -257,6 +260,12 @@ def _compile_binary(expr: BinaryOp, env: EvalEnv) -> tuple[RowFunc, bool]:
                 ) from exc
 
     return _fold(func, const)
+
+
+def _identity(value):
+    """Pass-through ``dynamic`` side for :func:`_compile_array_op` when the
+    dynamic value is computed by generated source rather than a closure."""
+    return value
 
 
 def _probe_set(values: tuple) -> frozenset | None:
@@ -558,6 +567,37 @@ class _SourceContext:
             return self.const(_const_value(func))
         return f"{self.bind(func)}(row)"
 
+    def column(self, position: int) -> str:
+        """Source text of one column load (the row-layout form)."""
+        return f"row[{position}]"
+
+
+class _ColumnContext(_SourceContext):
+    """Emission context for the columnar tier.
+
+    Every columnar kernel is generated in two variants sharing one
+    namespace: a *row-fused* body (``row_mode``) whose column loads read
+    the backing row tuple (``_r[N]``) — the fast path for the scan's
+    late-materializing row-backed blocks — and a *vector* body whose loads
+    index materialized column vectors (``_cN[_i]``).  Subtrees that would
+    need a full row ("islands") abort emission in both; the caller then
+    falls back to the fused row kernel, which remains the reference for
+    exotic expressions."""
+
+    def __init__(self, env: EvalEnv):
+        super().__init__(env)
+        self.used_positions: set[int] = set()
+        self.row_mode = False
+
+    def column(self, position: int) -> str:
+        if self.row_mode:
+            return f"_r[{position}]"
+        self.used_positions.add(position)
+        return f"_c{position}[_i]"
+
+    def island(self, expr: Expression) -> str:
+        raise _NoSource
+
 
 def _source_function(expr: Expression, env: EvalEnv, slow: RowFunc) -> RowFunc | None:
     """Fuse ``expr`` into one generated function, or ``None`` if the root
@@ -619,6 +659,148 @@ def compile_batch_filter(
     return namespace["_compiled_filter"]
 
 
+def _column_prelude(ctx: "_ColumnContext") -> str:
+    """Local bindings for every column vector the body references."""
+    return "".join(
+        f"    _c{position} = _cols[{position}]\n"
+        for position in sorted(ctx.used_positions)
+    )
+
+
+def compile_column_predicate(expr: Expression, env: EvalEnv):
+    """A ``block -> kept rows / selection vector`` kernel for a WHERE
+    predicate.
+
+    Row-backed blocks take the fused fast path: one listcomp over the
+    backing row list whose condition reads ``_r[N]`` directly, returning
+    the *kept rows themselves* — no selection vector, no gather.
+    Column-backed blocks run the vector variant: a listcomp over
+    ``range(block.length)`` reading column vectors, returning the list of
+    row positions (ascending) where the predicate is exactly ``True``.
+    Callers distinguish the payloads by the block's backing
+    (``block.rows is not None``).  Returns ``None`` whenever the tree
+    needs a full row (both-dynamic array operators, function islands,
+    uncompilable nodes); callers then use the fused row kernel, which
+    stays the fallback tier.  On any exception the block is replayed row-by-row
+    through the exact closure tree, reproducing the interpreter's error
+    at the offending row.
+    """
+    try:
+        slow, is_const = _compile(expr, env)
+    except _Uncompilable:
+        return None
+    if is_const:
+        return None  # constant predicates: nothing vectorizable to win
+    ctx = _ColumnContext(env)
+    try:
+        ctx.row_mode = True
+        row_body = _emit(expr, ctx)
+        ctx.row_mode = False
+        col_body = _emit(expr, ctx)
+    except (_NoSource, _Uncompilable):
+        return None
+    ctx.names["_slow"] = slow
+    source = (
+        "def _compiled_colfilter(block):\n"
+        "    _rows = block.rows\n"
+        "    if _rows is not None:\n"
+        "        try:\n"
+        f"            return [_r for _r in _rows if ({row_body}) is _TRUE]\n"
+        "        except Exception:\n"
+        "            # Replay through the exact closure tree: evaluation\n"
+        "            # is pure, so the interpreter's error surfaces\n"
+        "            # identically.\n"
+        "            return [_r for _r in _rows if _slow(_r) is _TRUE]\n"
+        "    _cols = block.columns\n"
+        f"{_column_prelude(ctx)}"
+        "    _n = block.length\n"
+        "    try:\n"
+        f"        return [_i for _i in range(_n) if ({col_body}) is _TRUE]\n"
+        "    except Exception:\n"
+        "        _row = block.row\n"
+        "        return [_i for _i in range(_n) if _slow(_row(_i)) is _TRUE]\n"
+    )
+    namespace = ctx.names
+    exec(compile(source, "<repro.storage.compile>", "exec"), namespace)
+    return namespace["_compiled_colfilter"]
+
+
+def compile_column_values(expr: Expression, env: EvalEnv):
+    """A ``(block, selection) -> value vector`` kernel for one expression.
+
+    Evaluates ``expr`` at each selected position (``selection=None`` means
+    every row of the block), returning the values in selection order —
+    the columnar form of projection, join/group/ORDER BY key extraction,
+    and aggregate input extraction.  A bare column reference hands off the
+    block's (lazily materialized) column vector — zero copy when
+    unselected; general expressions run the row-fused variant over a
+    row-backed block's backing list and the vector variant otherwise.
+    Returns ``None`` for trees outside the columnar subset; exceptions
+    replay through the closure tree exactly like
+    :func:`compile_column_predicate`.
+    """
+    if isinstance(expr, (ColumnRef, PosRef)):
+        if isinstance(expr, PosRef):
+            position = expr.position
+        else:
+            try:
+                position = env.resolve(expr.name)
+            except ExecutionError:
+                return None
+
+        def column_kernel(block, selection, _p=position):
+            if selection is None:
+                return block.column(_p)
+            rows = block.rows
+            if rows is not None:
+                return [rows[i][_p] for i in selection]
+            column = block.columns[_p]
+            return [column[i] for i in selection]
+
+        return column_kernel
+    try:
+        slow, _is_const = _compile(expr, env)
+    except _Uncompilable:
+        return None
+    ctx = _ColumnContext(env)
+    try:
+        ctx.row_mode = True
+        row_body = _emit(expr, ctx)
+        ctx.row_mode = False
+        col_body = _emit(expr, ctx)
+    except (_NoSource, _Uncompilable):
+        return None
+    ctx.names["_slow"] = slow
+    source = (
+        "def _compiled_colvalues(block, selection):\n"
+        "    _rows = block.rows\n"
+        "    if _rows is not None:\n"
+        "        _it = (\n"
+        "            _rows if selection is None\n"
+        "            else map(_rows.__getitem__, selection)\n"
+        "        )\n"
+        "        try:\n"
+        f"            return [{row_body} for _r in _it]\n"
+        "        except Exception:\n"
+        "            _it = (\n"
+        "                _rows if selection is None\n"
+        "                else map(_rows.__getitem__, selection)\n"
+        "            )\n"
+        "            return [_slow(_r) for _r in _it]\n"
+        "    _cols = block.columns\n"
+        f"{_column_prelude(ctx)}"
+        "    _sel = range(block.length) if selection is None else selection\n"
+        "    try:\n"
+        f"        return [{col_body} for _i in _sel]\n"
+        "    except Exception:\n"
+        "        _row = block.row\n"
+        "        return [_slow(_row(_i)) for _i in _sel]\n"
+    )
+    namespace = ctx.names
+    exec(compile(source, "<repro.storage.compile>", "exec"), namespace)
+    return namespace["_compiled_colvalues"]
+
+
 def _emit(expr: Expression, ctx: _SourceContext) -> str:
     """Source text of one supported node (children may become islands)."""
     if isinstance(expr, Literal):
@@ -630,7 +812,9 @@ def _emit(expr: Expression, ctx: _SourceContext) -> str:
             position = ctx.env.resolve(expr.name)
         except ExecutionError:
             raise _Uncompilable from None
-        return f"row[{position}]"
+        return ctx.column(position)
+    if isinstance(expr, PosRef):
+        return ctx.column(expr.position)
     if isinstance(expr, BinaryOp):
         return _emit_binary(expr, ctx)
     if isinstance(expr, UnaryOp):
@@ -726,7 +910,27 @@ def _emit_binary(expr: BinaryOp, ctx: _SourceContext) -> str:
             f"(None if (({left_value} := {left}) is None)"
             f" | (({right_value} := {right}) is None) else ({body}))"
         )
-    raise _NoSource  # ||, array operators: closure islands
+    if op in _ARRAY_OPS:
+        # Containment/overlap with one constant side: bind the hoisted
+        # specialization (:func:`_compile_array_op` with a pass-through
+        # dynamic side) and call it on the emitted dynamic operand.  The
+        # probe-set conversion stays once-per-statement on the columnar
+        # tier too; both-const and both-dynamic trees keep the closure
+        # island form.
+        left_func, left_const = _compile(expr.left, ctx.env)
+        right_func, right_const = _compile(expr.right, ctx.env)
+        if left_const == right_const:
+            raise _NoSource
+        if left_const:
+            helper = _compile_array_op(op, left_func, True, _identity, False)
+            dynamic = expr.right
+        else:
+            helper = _compile_array_op(op, _identity, False, right_func, True)
+            dynamic = expr.left
+        if helper is None:
+            raise _NoSource
+        return f"{ctx.bind(helper)}({_emit_child(dynamic, ctx)})"
+    raise _NoSource  # ||: closure islands
 
 
 def _emit_like(expr: Like, ctx: _SourceContext) -> str:

@@ -256,7 +256,9 @@ class Database:
                 "exec_mode": self.exec_mode,
                 "exprs_compiled": delta.exprs_compiled,
                 "exprs_interpreted": delta.exprs_interpreted,
+                "exprs_columnar": delta.exprs_columnar,
                 "batches_scanned": delta.batches_scanned,
+                "blocks_scanned": delta.blocks_scanned,
                 "records_scanned": delta.records_scanned,
             }
         )

@@ -24,13 +24,24 @@ from __future__ import annotations
 
 import heapq
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 from operator import itemgetter
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from repro.errors import ExecutionError
 from repro.storage import arrays
-from repro.storage.compile import compile_batch_filter, compile_value
+from repro.storage.columns import (
+    ColumnBlock,
+    concat_columns,
+    reduce_max,
+    reduce_min,
+)
+from repro.storage.compile import (
+    compile_batch_filter,
+    compile_column_predicate,
+    compile_column_values,
+    compile_value,
+)
 from repro.storage.expression import (
     ArrayLiteral,
     Between,
@@ -44,8 +55,12 @@ from repro.storage.expression import (
     IsNull,
     Like,
     Literal,
+    PosRef,
     Star,
     UnaryOp,
+    WindowFunc,
+    replace_windows,
+    window_calls,
 )
 from repro.storage.parser import ast_nodes as ast
 from repro.storage.parser.parser import (
@@ -159,7 +174,7 @@ class QueryProfile:
 
     #: Report ordering: the pipeline's data-flow order, regardless of
     #: which operator happened to be instantiated first.
-    _ORDER = ("scan", "filter", "project", "group", "order", "distinct")
+    _ORDER = ("scan", "filter", "window", "project", "group", "order", "distinct")
 
     def __init__(self):
         self._ops: dict[str, OpProfile] = {}
@@ -215,7 +230,7 @@ def _base_name(expr: Expression, alias: str | None, position: int) -> str:
         return alias
     if isinstance(expr, ColumnRef):
         return expr.name.split(".")[-1]
-    if isinstance(expr, FuncCall):
+    if isinstance(expr, (FuncCall, WindowFunc)):
         return expr.name
     return f"column{position + 1}"
 
@@ -249,6 +264,145 @@ class _Desc:
 
     def __eq__(self, other):
         return other.key == self.key
+
+
+_SENTINEL = object()
+
+#: The raw-value ORDER BY fast path: int/float only (bool is excluded
+#: because ``-True`` would merge with ``-1``).
+_NUMERIC_TYPES = frozenset((int, float))
+
+
+def _sort_comp(vector: list, descending: bool) -> list:
+    """One ordering key vector as a vector of comparison keys.
+
+    All-numeric vectors compare raw values (negated for DESC) — no wrapper
+    objects, so CPython's specialized compares kick in; the type probe is
+    two C passes and excludes bool and None.  Everything else uses the
+    reference ``(value is None, value)`` key — NULLs last ascending, first
+    descending — with :class:`_Desc` inverting for DESC.  Both forms give
+    identical orderings *and* identical equality classes (``-a == -b`` iff
+    ``a == b``), so rank/dense_rank peer detection works on either.
+    """
+    if not set(map(type, vector)) - _NUMERIC_TYPES:
+        return [-value for value in vector] if descending else vector
+    comp = [(value is None, value) for value in vector]
+    if descending:
+        comp = [_Desc(key) for key in comp]
+    return comp
+
+
+def _rank_window(
+    name: str,
+    n: int,
+    part_vectors: list[list],
+    order_vectors: list[list],
+    descendings: list[bool],
+    limit: int | None = None,
+) -> tuple[list, list[int] | None]:
+    """Rank ``n`` rows for one window call over pre-extracted key vectors.
+
+    Both pipelines feed this same core — they differ only in how the key
+    vectors are extracted — so window values are identical by construction.
+    NULLs sort last ascending / first descending (the engine's ORDER BY
+    convention), sorts are stable, and without ORDER BY every peer ties:
+    ``row_number`` stays positional while ``rank``/``dense_rank`` are all 1.
+
+    ``limit`` is the grouped top-k pushdown (``row_number`` only): each
+    partition keeps its ``heapq.nsmallest`` ``limit`` rows — stability makes
+    that identical to ``sorted(...)[:limit]`` — and the second return value
+    lists the surviving row indices in original scan order.
+    """
+    if order_vectors:
+        comps = [
+            _sort_comp(vector, descending)
+            for vector, descending in zip(order_vectors, descendings)
+        ]
+        keys = comps[0] if len(comps) == 1 else list(zip(*comps))
+    else:
+        keys = None
+    partitions: dict[Any, list[int]] = {}
+    if not part_vectors:
+        partitions[None] = list(range(n))
+    elif len(part_vectors) == 1:
+        vector = part_vectors[0]
+        for i in range(n):
+            partitions.setdefault(vector[i], []).append(i)
+    else:
+        for i, key in enumerate(zip(*part_vectors)):
+            partitions.setdefault(key, []).append(i)
+    values: list = [None] * n
+    if limit is not None:
+        survivors: list[int] = []
+        for indices in partitions.values():
+            if keys is not None:
+                indices = heapq.nsmallest(limit, indices, key=keys.__getitem__)
+            else:
+                indices = indices[:limit]
+            for position, i in enumerate(indices):
+                values[i] = position + 1
+            survivors.extend(indices)
+        survivors.sort()
+        return values, survivors
+    for indices in partitions.values():
+        if keys is not None:
+            indices = sorted(indices, key=keys.__getitem__)
+        if name == "row_number":
+            for position, i in enumerate(indices):
+                values[i] = position + 1
+        elif keys is None:
+            for i in indices:
+                values[i] = 1  # no ORDER BY: every row is a peer
+        elif name == "rank":
+            previous = _SENTINEL
+            rank = 1
+            for position, i in enumerate(indices):
+                current = keys[i]
+                if previous is _SENTINEL or not (current == previous):
+                    rank = position + 1
+                    previous = current
+                values[i] = rank
+        else:  # dense_rank
+            previous = _SENTINEL
+            rank = 0
+            for i in indices:
+                current = keys[i]
+                if previous is _SENTINEL or not (current == previous):
+                    rank += 1
+                    previous = current
+                values[i] = rank
+    return values, None
+
+
+def _order_vectors(
+    specs: list[tuple[list, bool]], n: int, top: int | None
+) -> list[int]:
+    """Sort (or heap top-k) row indices by pre-extracted key vectors.
+
+    Key vectors become comparison keys via :func:`_sort_comp` (raw-value
+    fast path for all-numeric vectors, reference tuple keys otherwise).
+    """
+    comps = [_sort_comp(vector, descending) for vector, descending in specs]
+    keys = comps[0] if len(comps) == 1 else list(zip(*comps))
+    if top is not None and top < n:
+        return heapq.nsmallest(top, range(n), key=keys.__getitem__)
+    return sorted(range(n), key=keys.__getitem__)
+
+
+def _collect_aggregates(expr: Expression, out: dict[int, FuncCall]) -> None:
+    """Collect aggregate calls exactly where ``_replace_aggregates`` would
+    rewrite them (it does not descend into Between/InList/IsNull/Like)."""
+    if isinstance(expr, FuncCall) and expr.is_aggregate:
+        out[id(expr)] = expr
+        return
+    if isinstance(expr, BinaryOp):
+        _collect_aggregates(expr.left, out)
+        _collect_aggregates(expr.right, out)
+    elif isinstance(expr, UnaryOp):
+        _collect_aggregates(expr.operand, out)
+    elif isinstance(expr, FuncCall):
+        for arg in expr.args:
+            _collect_aggregates(arg, out)
 
 
 class SelectExecutor:
@@ -290,8 +444,10 @@ class SelectExecutor:
 
     # ------------------------------------------------------------- top level
 
-    def execute(self, select: ast.Select) -> Relation:
-        relation = self._execute_single(select)
+    def execute(
+        self, select: ast.Select, topk_hint: int | None = None
+    ) -> Relation:
+        relation = self._execute_single(select, topk_hint)
         if select.union_all_with is not None:
             other = self.execute(select.union_all_with)
             if len(other.names) != len(relation.names):
@@ -303,7 +459,9 @@ class SelectExecutor:
             )
         return relation
 
-    def _execute_single(self, select: ast.Select) -> Relation:
+    def _execute_single(
+        self, select: ast.Select, topk_hint: int | None = None
+    ) -> Relation:
         from repro.storage.planner import resolve_from
 
         select = self._resolve_subqueries_in_select(select)
@@ -317,44 +475,82 @@ class SelectExecutor:
             source.materialize()
         relation = source.relation
         env = relation.env()
-        predicate = (
-            self._batch_filter(residual_where, env)
-            if residual_where is not None
-            else None
-        )
-        if predicate is not None and self._profile is not None:
-            predicate = self._profiled_kernel("filter", predicate)
-        if select.group_by or any(
+        has_windows = any(window_calls(item.expr) for item in select.items)
+        grouped_query = bool(select.group_by) or any(
             item.expr.contains_aggregate() for item in select.items
-        ):
-            rows = self._filtered_rows(source, predicate)
-            if self._profile is not None:
-                with self._profiled_step("group") as step:
-                    output, ordered_pairs = self._grouped(select, relation, rows)
-                step.rows += len(output.rows)
-            else:
-                output, ordered_pairs = self._grouped(select, relation, rows)
-        else:
-            stop_after = None
-            if (
-                compiled_mode
-                and select.limit is not None
-                and select.limit >= 0
-                and (select.offset or 0) >= 0
-                and not select.order_by
-                and not select.distinct
-            ):
-                # Bare LIMIT: stop feeding the pipeline once enough output
-                # rows exist; unread scan blocks are never charged.
-                # Negative limit/offset values (reachable via parameters)
-                # keep the reference's Python-slice semantics, so they are
-                # never pushed down.
-                stop_after = select.limit + (select.offset or 0)
-            output, ordered_pairs = self._projected(
-                select, source, predicate, stop_after
+        )
+        if has_windows and grouped_query:
+            raise ExecutionError(
+                "window functions cannot be combined with GROUP BY or aggregates"
             )
+        output: Relation | None = None
+        ordered_pairs: list[tuple[Row, Row]] = []
+        order_done = False
+        #: env the ORDER BY source-row fallback resolves against; the
+        #: window step extends it with the synthetic __win columns.
+        order_env = env
+        if compiled_mode:
+            # Columnar pipeline: all-or-nothing per statement.  Every
+            # kernel must compile before a single block is pulled, so a
+            # bail-out to the row pipeline never double-charges the scan.
+            if grouped_query:
+                got = self._try_grouped_columnar(select, source, residual_where)
+                if got is not None:
+                    output, ordered_pairs = got
+            else:
+                got = self._try_columnar(select, source, residual_where, topk_hint)
+                if got is not None:
+                    output, ordered_pairs, order_done, order_env = got
+        if output is None:
+            predicate = (
+                self._batch_filter(residual_where, env)
+                if residual_where is not None
+                else None
+            )
+            if predicate is not None and self._profile is not None:
+                predicate = self._profiled_kernel("filter", predicate)
+            if grouped_query:
+                rows = self._filtered_rows(source, predicate)
+                if self._profile is not None:
+                    with self._profiled_step("group") as step:
+                        output, ordered_pairs = self._grouped(select, relation, rows)
+                    step.rows += len(output.rows)
+                else:
+                    output, ordered_pairs = self._grouped(select, relation, rows)
+            elif has_windows:
+                # Window functions need whole partitions: materialize the
+                # filtered input, rank it, and project over the extended
+                # relation (both modes share this step, so parity holds by
+                # construction).
+                rows = self._filtered_rows(source, predicate)
+                wsource, wselect = self._windowed_source(
+                    select, relation, rows, topk_hint
+                )
+                order_env = wsource.relation.env()
+                output, ordered_pairs = self._projected(
+                    wselect, wsource, None, None, profile_scan=False
+                )
+            else:
+                stop_after = None
+                if (
+                    compiled_mode
+                    and select.limit is not None
+                    and select.limit >= 0
+                    and (select.offset or 0) >= 0
+                    and not select.order_by
+                    and not select.distinct
+                ):
+                    # Bare LIMIT: stop feeding the pipeline once enough output
+                    # rows exist; unread scan blocks are never charged.
+                    # Negative limit/offset values (reachable via parameters)
+                    # keep the reference's Python-slice semantics, so they are
+                    # never pushed down.
+                    stop_after = select.limit + (select.offset or 0)
+                output, ordered_pairs = self._projected(
+                    select, source, predicate, stop_after
+                )
         output_env = output.env()
-        if select.order_by:
+        if select.order_by and not order_done:
             top = None
             if (
                 compiled_mode
@@ -371,12 +567,12 @@ class SelectExecutor:
             if self._profile is not None:
                 with self._profiled_step("order") as step:
                     ordered_pairs = self._order(
-                        select.order_by, ordered_pairs, env, output_env, top
+                        select.order_by, ordered_pairs, order_env, output_env, top
                     )
                 step.rows += len(ordered_pairs)
             else:
                 ordered_pairs = self._order(
-                    select.order_by, ordered_pairs, env, output_env, top
+                    select.order_by, ordered_pairs, order_env, output_env, top
                 )
             output = Relation(
                 output.names, [pair[1] for pair in ordered_pairs], output.types
@@ -401,18 +597,23 @@ class SelectExecutor:
 
     # ------------------------------------------------------------- batching
 
-    def _source_batches(self, source: "_Source") -> Iterator[list]:
+    def _source_batches(
+        self, source: "_Source", profile_scan: bool = True
+    ) -> Iterator[list]:
         """Row blocks of one FROM source.
 
         Lazy base-table scans stream :meth:`Table.scan_batches` blocks (one
         stats charge per block, and unread blocks cost nothing); already-
         materialized relations are a single block with no copy.
+        ``profile_scan=False`` skips the profile's scan charge — used when
+        the caller already charged the real scan (the window step re-reads
+        its own materialized output, which is not a second scan).
         """
         if source.lazy:
             batches = source.table.scan_batches()
         else:
             batches = iter((source.relation.rows,))
-        if self._profile is None:
+        if self._profile is None or not profile_scan:
             return batches
         return self._profiled_batches(batches)
 
@@ -468,6 +669,672 @@ class SelectExecutor:
             rows.extend(batch)
         return rows
 
+    # ------------------------------------------------------- columnar spine
+
+    def _source_column_blocks(self, source: "_Source") -> Iterator[ColumnBlock]:
+        """Column blocks of one FROM source.
+
+        Lazy base tables stream :meth:`Table.scan_column_blocks` (which
+        charges records/batches exactly like ``scan_batches``, plus one
+        ``blocks_scanned`` each); materialized relations transpose into a
+        single block with no extra stats charge — the rows were charged
+        when they were produced.
+        """
+        if source.lazy:
+            blocks = source.table.scan_column_blocks()
+        else:
+            width = len(source.relation.names)
+            blocks = iter((ColumnBlock.from_rows(source.relation.rows, width),))
+        if self._profile is None:
+            return blocks
+        return self._profiled_blocks(blocks)
+
+    def _profiled_blocks(
+        self, blocks: Iterator[ColumnBlock]
+    ) -> Iterator[ColumnBlock]:
+        entry = self._profile.op("scan")
+        while True:
+            started = time.perf_counter()
+            block = next(blocks, None)
+            entry.seconds += time.perf_counter() - started
+            if block is None:
+                return
+            entry.batches += 1
+            entry.rows += block.length
+            yield block
+
+    def _filtered_block(
+        self,
+        source: "_Source",
+        col_filter,
+        stop_after: int | None,
+    ) -> ColumnBlock:
+        """Scan + columnar filter, concatenated into one block.
+
+        Mirrors the row pipeline's block boundaries and stop-early logic
+        exactly, so ``records_scanned`` is identical in both pipelines.
+        Row-backed blocks get the kept rows straight from the kernel (no
+        selection vector, no gather); column-backed blocks go through the
+        selection-vector form.
+        """
+        profile = self._profile
+        width = len(source.relation.names)
+        fblocks: list[ColumnBlock] = []
+        collected = 0
+        for block in self._source_column_blocks(source):
+            if col_filter is not None:
+                started = time.perf_counter() if profile is not None else 0.0
+                payload = col_filter(block)
+                if len(payload) != block.length:
+                    if block.rows is not None:
+                        # Dual-variant kernel: the payload IS the kept rows.
+                        block = ColumnBlock.from_rows(payload, width)
+                    else:
+                        block = block.take(payload)
+                if profile is not None:
+                    entry = profile.op("filter")
+                    entry.seconds += time.perf_counter() - started
+                    entry.batches += 1
+                    entry.rows += len(payload)
+            fblocks.append(block)
+            collected += block.length
+            if stop_after is not None and collected >= stop_after:
+                break
+        fblock = fblocks[0] if len(fblocks) == 1 else concat_columns(fblocks, width)
+        if stop_after is not None and fblock.length > stop_after:
+            rows = fblock.rows
+            if rows is not None:
+                fblock = ColumnBlock.from_rows(rows[:stop_after], width)
+            else:
+                fblock = ColumnBlock(
+                    [column[:stop_after] for column in fblock.columns], stop_after
+                )
+        return fblock
+
+    def _try_columnar(
+        self,
+        select: ast.Select,
+        source: "_Source",
+        residual_where: Expression | None,
+        topk_hint: int | None,
+    ) -> tuple[Relation, list[tuple[Row, Row]], bool, EvalEnv] | None:
+        """Run a non-grouped SELECT on the block pipeline, or ``None``.
+
+        Filter, window, projection, and (when every ORDER BY item is a
+        plain column) ordering all run as per-column vector kernels.  The
+        decision is all-or-nothing: if any expression is outside the
+        columnar subset the whole statement stays on the row pipeline,
+        whose fused row kernels remain the fallback tier.
+        """
+        relation = source.relation
+        env = relation.env()
+        for item in select.items:
+            if isinstance(item.expr, FuncCall) and item.expr.name in (
+                "unnest",
+                "unnest_ranges",
+            ):
+                return None  # set-returning items stay on the row pipeline
+        col_filter = None
+        if residual_where is not None:
+            col_filter = compile_column_predicate(residual_where, env)
+            if col_filter is None:
+                return None
+        calls: list[WindowFunc] = []
+        items = select.items
+        win_key_kernels: list[tuple[list, list]] = []
+        ext_env = env
+        if any(window_calls(item.expr) for item in select.items):
+            calls, items = self._window_rewrite(select, relation)
+            for call in calls:
+                part = [compile_column_values(e, env) for e in call.partition_by]
+                order = [
+                    compile_column_values(e, env) for e, _descending in call.order_by
+                ]
+                if any(kernel is None for kernel in part + order):
+                    return None
+                win_key_kernels.append((part, order))
+            ext_env = EvalEnv(
+                relation.names + [f"__win{k}" for k in range(len(calls))]
+            )
+        names: list[str] = []
+        types: list[DataType | None] = []
+        plan: list = []  # None marks Star (copy all source columns)
+        #: Source position per item when EVERY item is a bare column ref —
+        #: the itemgetter projection fast path; None once anything else
+        #: (Star, computed expression) shows up.
+        simple_positions: list[int] | None = []
+        for item in items:
+            if isinstance(item.expr, Star):
+                names.extend(relation.base_names())
+                types.extend(relation.types)
+                plan.append(None)
+                simple_positions = None
+                continue
+            kernel = compile_column_values(item.expr, ext_env)
+            if kernel is None:
+                return None
+            if simple_positions is not None:
+                position = None
+                if isinstance(item.expr, PosRef):
+                    position = item.expr.position
+                elif isinstance(item.expr, ColumnRef):
+                    try:
+                        position = ext_env.resolve(item.expr.name)
+                    except ExecutionError:
+                        position = None
+                if position is None:
+                    simple_positions = None
+                else:
+                    simple_positions.append(position)
+            names.append(_base_name(item.expr, item.alias, len(names)))
+            types.append(None)
+            plan.append(kernel)
+        # ORDER BY plan: bare column references sort as vectors (resolved
+        # against the output first, then the source — the same per-row
+        # fallback rule _order applies); anything else drops to the
+        # reference pair sort after projection.
+        output_env = EvalEnv(names)
+        order_plan: list[tuple[tuple[str, int], bool]] | None = None
+        if select.order_by:
+            order_plan = []
+            for oitem in select.order_by:
+                spec = None
+                if isinstance(oitem.expr, ColumnRef):
+                    try:
+                        spec = ("out", output_env.resolve(oitem.expr.name))
+                    except ExecutionError:
+                        try:
+                            spec = ("src", ext_env.resolve(oitem.expr.name))
+                        except ExecutionError:
+                            spec = None
+                if spec is None:
+                    order_plan = None
+                    break
+                order_plan.append((spec, oitem.descending))
+        # Committed: charge the kernel census, then pull blocks.
+        self._db.stats.exprs_columnar += (
+            (1 if col_filter is not None else 0)
+            + sum(len(part) + len(order) for part, order in win_key_kernels)
+            + sum(1 for step in plan if step is not None)
+        )
+        stop_after = None
+        if (
+            not calls
+            and select.limit is not None
+            and select.limit >= 0
+            and (select.offset or 0) >= 0
+            and not select.order_by
+            and not select.distinct
+        ):
+            stop_after = select.limit + (select.offset or 0)
+        profile = self._profile
+        fblock = self._filtered_block(source, col_filter, stop_after)
+        if calls:
+            started = time.perf_counter() if profile is not None else 0.0
+            limit_k = None
+            if (
+                topk_hint is not None
+                and len(calls) == 1
+                and calls[0].name == "row_number"
+            ):
+                limit_k = topk_hint
+            vectors: list[list] = []
+            keep: list[int] | None = None
+            for call, (part_kernels, order_kernels) in zip(calls, win_key_kernels):
+                part_vectors = [kernel(fblock, None) for kernel in part_kernels]
+                order_vectors = [kernel(fblock, None) for kernel in order_kernels]
+                descendings = [descending for _e, descending in call.order_by]
+                values, survivors = _rank_window(
+                    call.name,
+                    fblock.length,
+                    part_vectors,
+                    order_vectors,
+                    descendings,
+                    limit_k,
+                )
+                vectors.append(values)
+                keep = survivors
+            if keep is not None:
+                fblock = fblock.take(keep)
+                vectors = [[vector[i] for i in keep] for vector in vectors]
+            rows = fblock.rows
+            if rows is not None:
+                # Stay row-backed: append the window values to each row
+                # tuple instead of transposing the whole block, so the
+                # projection below keeps its row-layout fast paths.
+                if len(vectors) == 1:
+                    vector = vectors[0]
+                    ext_rows = [row + (value,) for row, value in zip(rows, vector)]
+                else:
+                    ext_rows = [
+                        row + extra for row, extra in zip(rows, zip(*vectors))
+                    ]
+                ext_block = ColumnBlock.from_rows(
+                    ext_rows, fblock.width + len(vectors)
+                )
+            else:
+                ext_block = ColumnBlock(fblock.columns + vectors, fblock.length)
+            if profile is not None:
+                entry = profile.op("window")
+                entry.seconds += time.perf_counter() - started
+                entry.batches += 1
+                entry.rows += ext_block.length
+        else:
+            ext_block = fblock
+        if (
+            simple_positions is not None
+            and ext_block.rows is not None
+            and profile is None
+        ):
+            # All-bare-columns projection of a row-backed block (window
+            # outputs included): one itemgetter pass over the row tuples
+            # replaces per-column materialization plus the final re-zip,
+            # and ORDER BY+LIMIT projects only the surviving rows.
+            return self._project_simple(
+                select, ext_block, simple_positions, names, types, order_plan, ext_env
+            )
+        started = time.perf_counter() if profile is not None else 0.0
+        out_columns: list[list] = []
+        for step in plan:
+            if step is None:
+                out_columns.extend(fblock.columns)
+            else:
+                out_columns.append(step(ext_block, None))
+        n_out = ext_block.length
+        if profile is not None:
+            entry = profile.op("project")
+            entry.seconds += time.perf_counter() - started
+            entry.batches += 1
+            entry.rows += n_out
+        order_done = False
+        pairs: list[tuple[Row, Row]] = []
+        if select.order_by:
+            if order_plan is not None:
+                top = None
+                if (
+                    select.limit is not None
+                    and select.limit >= 0
+                    and (select.offset or 0) >= 0
+                    and not select.distinct
+                ):
+                    top = select.limit + (select.offset or 0)
+                started = time.perf_counter() if profile is not None else 0.0
+                order_index = _order_vectors(
+                    [
+                        (
+                            out_columns[pos]
+                            if kind == "out"
+                            else ext_block.column(pos),
+                            descending,
+                        )
+                        for (kind, pos), descending in order_plan
+                    ],
+                    n_out,
+                    top,
+                )
+                out_columns = [
+                    [column[i] for i in order_index] for column in out_columns
+                ]
+                n_out = len(order_index)
+                if profile is not None:
+                    entry = profile.op("order")
+                    entry.seconds += time.perf_counter() - started
+                    entry.rows += n_out
+                order_done = True
+            else:
+                out_rows = list(zip(*out_columns)) if out_columns else [()] * n_out
+                pairs = list(zip(ext_block.to_rows(), out_rows))
+        if order_done or not select.order_by:
+            out_rows = list(zip(*out_columns)) if out_columns else [()] * n_out
+        else:
+            out_rows = [pair[1] for pair in pairs]
+        output = Relation(names, out_rows, types)
+        self._infer_missing_types(output)
+        return output, pairs, order_done, ext_env
+
+    def _project_simple(
+        self,
+        select: ast.Select,
+        fblock: ColumnBlock,
+        positions: list[int],
+        names: list[str],
+        types: list[DataType | None],
+        order_plan: list[tuple[tuple[str, int], bool]] | None,
+        ext_env: EvalEnv,
+    ) -> tuple[Relation, list[tuple[Row, Row]], bool, EvalEnv]:
+        """Bare-columns projection straight off a row-backed block.
+
+        Because every output item is a source column, ORDER BY keys (both
+        the ``out`` and ``src`` kinds) are source columns too, so sorting
+        happens on lazily materialized key vectors and only the surviving
+        rows are projected.  Semantics are identical to the generic path —
+        this is pure layout work.
+        """
+        rows = fblock.rows
+        if len(positions) == 1:
+            p0 = positions[0]
+
+            def project(src: list) -> list:
+                return [(row[p0],) for row in src]
+
+        else:
+            getter = itemgetter(*positions)
+
+            def project(src: list) -> list:
+                return list(map(getter, src))
+
+        order_done = False
+        pairs: list[tuple[Row, Row]] = []
+        if select.order_by and order_plan is not None:
+            top = None
+            if (
+                select.limit is not None
+                and select.limit >= 0
+                and (select.offset or 0) >= 0
+                and not select.distinct
+            ):
+                top = select.limit + (select.offset or 0)
+            order_index = _order_vectors(
+                [
+                    (
+                        fblock.column(positions[pos] if kind == "out" else pos),
+                        descending,
+                    )
+                    for (kind, pos), descending in order_plan
+                ],
+                fblock.length,
+                top,
+            )
+            out_rows = project(list(map(rows.__getitem__, order_index)))
+            order_done = True
+        else:
+            out_rows = project(rows)
+            if select.order_by:
+                pairs = list(zip(rows, out_rows))
+        output = Relation(names, out_rows, types)
+        self._infer_missing_types(output)
+        return output, pairs, order_done, ext_env
+
+    def _try_grouped_columnar(
+        self,
+        select: ast.Select,
+        source: "_Source",
+        residual_where: Expression | None,
+    ) -> tuple[Relation, list[tuple[Row, Row]]] | None:
+        """Vectorized GROUP BY/aggregation, or ``None`` for the row path.
+
+        Group keys and aggregate inputs are extracted once as column
+        vectors over the filtered block; per-group work is then pure
+        gathering.  Any runtime error during the vectorized pass falls
+        back wholesale to :meth:`_grouped` over the same filtered rows,
+        which reproduces the reference's first-error semantics (HAVING may
+        legally skip a group whose aggregate input would raise).
+        """
+        relation = source.relation
+        env = relation.env()
+        if any(isinstance(item.expr, Star) for item in select.items):
+            return None  # the reference raises; keep the error path there
+        col_filter = None
+        if residual_where is not None:
+            col_filter = compile_column_predicate(residual_where, env)
+            if col_filter is None:
+                return None
+        key_kernels = []
+        for expr in select.group_by:
+            kernel = compile_column_values(expr, env)
+            if kernel is None:
+                return None
+            key_kernels.append(kernel)
+        agg_calls: dict[int, FuncCall] = {}
+        roots = [item.expr for item in select.items]
+        if select.having is not None:
+            roots.append(select.having)
+        for root in roots:
+            _collect_aggregates(root, agg_calls)
+        agg_kernels: dict[int, Any] = {}
+        for key, call in agg_calls.items():
+            if call.name == "count" and (
+                not call.args or isinstance(call.args[0], Star)
+            ):
+                continue
+            if not call.args:
+                return None  # the reference raises per group; keep it there
+            kernel = compile_column_values(call.args[0], env)
+            if kernel is None:
+                return None
+            agg_kernels[key] = kernel
+        self._db.stats.exprs_columnar += (
+            (1 if col_filter is not None else 0)
+            + len(key_kernels)
+            + len(agg_kernels)
+        )
+        fblock = self._filtered_block(source, col_filter, None)
+
+        def run() -> tuple[Relation, list[tuple[Row, Row]]]:
+            try:
+                return self._grouped_columnar(
+                    select, relation, fblock, key_kernels, agg_kernels
+                )
+            except Exception:
+                return self._grouped(select, relation, fblock.to_rows())
+
+        if self._profile is not None:
+            with self._profiled_step("group") as step:
+                output, pairs = run()
+            step.rows += len(output.rows)
+        else:
+            output, pairs = run()
+        return output, pairs
+
+    def _grouped_columnar(
+        self,
+        select: ast.Select,
+        relation: Relation,
+        fblock: ColumnBlock,
+        key_kernels: list,
+        agg_kernels: dict[int, Any],
+    ) -> tuple[Relation, list[tuple[Row, Row]]]:
+        env = relation.env()
+        n = fblock.length
+        groups: dict[tuple, list[int] | None] = {}
+        if select.group_by:
+            key_vectors = [kernel(fblock, None) for kernel in key_kernels]
+            if len(key_vectors) == 1:
+                for i, value in enumerate(key_vectors[0]):
+                    groups.setdefault((value,), []).append(i)
+            else:
+                for i, key in enumerate(zip(*key_vectors)):
+                    groups.setdefault(key, []).append(i)
+        elif n:
+            groups[()] = None  # sentinel: every row, in order
+        else:
+            groups[()] = []  # global aggregate over an empty input
+        agg_vectors = {
+            key: kernel(fblock, None) for key, kernel in agg_kernels.items()
+        }
+        names: list[str] = []
+        types: list[DataType | None] = []
+        for position, item in enumerate(select.items):
+            names.append(_base_name(item.expr, item.alias, position))
+            types.append(None)
+        width = len(relation.names)
+        pairs: list[tuple[Row, Row]] = []
+        for indices in groups.values():
+            if indices is None:
+                representative = fblock.row(0)
+            elif indices:
+                representative = fblock.row(indices[0])
+            else:
+                representative = tuple([None] * width)
+
+            def compute(call, indices=indices):
+                return self._vector_aggregate(call, indices, agg_vectors, n)
+
+            if select.having is not None:
+                having_value = self._replace_aggregates(
+                    select.having, compute
+                ).evaluate(representative, env)
+                if having_value is not True:
+                    continue
+            out = tuple(
+                self._replace_aggregates(item.expr, compute).evaluate(
+                    representative, env
+                )
+                for item in select.items
+            )
+            pairs.append((representative, out))
+        output = Relation(names, [pair[1] for pair in pairs], types)
+        self._infer_missing_types(output)
+        return output, pairs
+
+    def _vector_aggregate(
+        self,
+        call: FuncCall,
+        indices: list[int] | None,
+        agg_vectors: dict[int, list],
+        length: int,
+    ) -> Any:
+        """One aggregate over a group, fed from a pre-extracted vector.
+
+        ``indices=None`` is the global-aggregate group (every row, in
+        order): the vector is consumed directly instead of through an
+        index gather.  Mirrors :meth:`_compute_aggregate` value-for-value:
+        the NULL filter, DISTINCT dedup order, and summation order are
+        identical, so results (including float rounding) match
+        bit-for-bit.
+        """
+        name = call.name
+        if name == "count" and (not call.args or isinstance(call.args[0], Star)):
+            return length if indices is None else len(indices)
+        vector = agg_vectors[id(call)]
+        if indices is None:
+            values = [value for value in vector if value is not None]
+        else:
+            values = [
+                value
+                for value in map(vector.__getitem__, indices)
+                if value is not None
+            ]
+        if call.distinct:
+            values = list(dict.fromkeys(values))
+        if name == "count":
+            return len(values)
+        if name == "array_agg":
+            return arrays.make_array(values)
+        if not values:
+            return None
+        if name == "sum":
+            return sum(values)
+        if name == "avg":
+            return sum(values) / len(values)
+        if name == "min":
+            return reduce_min(values)
+        if name == "max":
+            return reduce_max(values)
+        if name == "bool_and":
+            return all(values)
+        if name == "bool_or":
+            return any(values)
+        raise ExecutionError(f"unknown aggregate {name!r}")
+
+    # --------------------------------------------------------------- windows
+
+    def _window_rewrite(
+        self, select: ast.Select, relation: Relation
+    ) -> tuple[list[WindowFunc], list[ast.SelectItem]]:
+        """Collect the select list's window calls and rewrite the items to
+        reference the synthetic ``__winK`` columns the window step appends.
+
+        ``*`` is expanded into explicit positional references so it never
+        picks up the appended window columns.  Output names are pinned
+        here (aliases filled with what the plain pipeline would derive),
+        keeping both execution modes' results identical.
+        """
+        calls: list[WindowFunc] = []
+        for item in select.items:
+            calls.extend(window_calls(item.expr))
+        resolved = {
+            id(call): ColumnRef(f"__win{k}") for k, call in enumerate(calls)
+        }
+        new_items: list[ast.SelectItem] = []
+        position = 0
+        for item in select.items:
+            if isinstance(item.expr, Star):
+                for offset, base in enumerate(relation.base_names()):
+                    new_items.append(ast.SelectItem(PosRef(offset), base))
+                position += len(relation.names)
+                continue
+            alias = item.alias or _base_name(item.expr, None, position)
+            new_items.append(
+                ast.SelectItem(replace_windows(item.expr, resolved), alias)
+            )
+            position += 1
+        return calls, new_items
+
+    def _windowed_source(
+        self,
+        select: ast.Select,
+        relation: Relation,
+        rows: list[Row],
+        topk_hint: int | None,
+    ) -> tuple["_Source", ast.Select]:
+        """Window step for the row pipeline: rank the filtered rows, append
+        each window's value vector as a synthetic column, and hand back a
+        materialized source plus the rewritten select."""
+        from repro.storage.planner import _Source
+
+        env = relation.env()
+        calls, items = self._window_rewrite(select, relation)
+        n = len(rows)
+        limit_k = None
+        if (
+            topk_hint is not None
+            and len(calls) == 1
+            and calls[0].name == "row_number"
+        ):
+            limit_k = topk_hint
+        started = time.perf_counter() if self._profile is not None else 0.0
+        vectors: list[list] = []
+        keep: list[int] | None = None
+        for call in calls:
+            part_vectors = [
+                self._key_vector(expr, env, rows) for expr in call.partition_by
+            ]
+            order_vectors = [
+                self._key_vector(expr, env, rows)
+                for expr, _descending in call.order_by
+            ]
+            descendings = [descending for _e, descending in call.order_by]
+            values, survivors = _rank_window(
+                call.name, n, part_vectors, order_vectors, descendings, limit_k
+            )
+            vectors.append(values)
+            keep = survivors
+        if keep is not None:
+            rows = [rows[i] for i in keep]
+            vectors = [[vector[i] for i in keep] for vector in vectors]
+        if len(vectors) == 1:
+            v0 = vectors[0]
+            new_rows = [row + (v0[i],) for i, row in enumerate(rows)]
+        else:
+            new_rows = [
+                row + tuple(vector[i] for vector in vectors)
+                for i, row in enumerate(rows)
+            ]
+        if self._profile is not None:
+            entry = self._profile.op("window")
+            entry.seconds += time.perf_counter() - started
+            entry.batches += 1
+            entry.rows += len(new_rows)
+        names = relation.names + [f"__win{k}" for k in range(len(calls))]
+        types = relation.types + [None] * len(calls)
+        wselect = _dc_replace(select, items=items)
+        return _Source(Relation(names, new_rows, types), ""), wselect
+
+    def _key_vector(self, expr: Expression, env: EvalEnv, rows: list[Row]) -> list:
+        func = self._evaluator(expr, env)
+        return list(map(func, rows))
+
     # ------------------------------------------------------------ projection
 
     def _projected(
@@ -476,6 +1343,7 @@ class SelectExecutor:
         source: "_Source",
         predicate: Callable[[list], list] | None,
         stop_after: int | None = None,
+        profile_scan: bool = True,
     ) -> tuple[Relation, list[tuple[Row, Row]]]:
         relation = source.relation
         env = relation.env()
@@ -512,13 +1380,24 @@ class SelectExecutor:
         project = self._projection_kernel(select, plan, env)
         if self._profile is not None:
             project = self._profiled_kernel("project", project)
+        expand = self._expand_unnest
+        if (
+            unnest_positions
+            and self._db.exec_mode == "compiled"
+            and len(plan) == 1
+            and unnest_positions.get(0) == "unnest"
+        ):
+            # Compiled-only: the lone ``SELECT unnest(arr)`` shape expands
+            # with one listcomp per source row.  The interpreted pipeline
+            # keeps the general per-element path — it is the reference.
+            expand = self._expand_single_unnest
         pairs: list[tuple[Row, Row]] = []
-        for batch in self._source_batches(source):
+        for batch in self._source_batches(source, profile_scan):
             if predicate is not None:
                 batch = predicate(batch)
             new_pairs = project(batch)
             if unnest_positions:
-                new_pairs = self._expand_unnest(new_pairs, unnest_positions)
+                new_pairs = expand(new_pairs, unnest_positions)
             pairs.extend(new_pairs)
             if stop_after is not None and len(pairs) >= stop_after:
                 del pairs[stop_after:]
@@ -606,6 +1485,25 @@ class SelectExecutor:
                 expanded.append((source_row, tuple(values)))
         return expanded
 
+    @staticmethod
+    def _expand_single_unnest(
+        pairs: list[tuple[Row, Row]], positions: dict[int, str]
+    ) -> list[tuple[Row, Row]]:
+        """One-column ``unnest`` expansion: a listcomp per source row.
+
+        Value-identical to :meth:`_expand_unnest` for the width-1 plan it
+        is gated to — NULL arrays expand to nothing, and the ``len`` probe
+        keeps the reference's TypeError for unsized operands.
+        """
+        expanded: list[tuple[Row, Row]] = []
+        extend = expanded.extend
+        for source_row, out_row in pairs:
+            array = out_row[0]
+            if array is None or not len(array):
+                continue
+            extend([(source_row, (element,)) for element in array])
+        return expanded
+
     # -------------------------------------------------------------- grouping
 
     def _grouped(
@@ -663,30 +1561,32 @@ class SelectExecutor:
         group_rows: list[Row],
         env: EvalEnv,
     ) -> Any:
-        rewritten = self._replace_aggregates(expr, group_rows, env)
+        def compute(call: FuncCall) -> Any:
+            return self._compute_aggregate(call, group_rows, env)
+
+        rewritten = self._replace_aggregates(expr, compute)
         return rewritten.evaluate(representative, env)
 
     def _replace_aggregates(
-        self, expr: Expression, group_rows: list[Row], env: EvalEnv
+        self, expr: Expression, compute: Callable[[FuncCall], Any]
     ) -> Expression:
         if isinstance(expr, FuncCall) and expr.is_aggregate:
-            return Literal(self._compute_aggregate(expr, group_rows, env))
+            return Literal(compute(expr))
         if isinstance(expr, BinaryOp):
             return BinaryOp(
                 expr.op,
-                self._replace_aggregates(expr.left, group_rows, env),
-                self._replace_aggregates(expr.right, group_rows, env),
+                self._replace_aggregates(expr.left, compute),
+                self._replace_aggregates(expr.right, compute),
             )
         if isinstance(expr, UnaryOp):
             return UnaryOp(
-                expr.op, self._replace_aggregates(expr.operand, group_rows, env)
+                expr.op, self._replace_aggregates(expr.operand, compute)
             )
         if isinstance(expr, FuncCall):
             return FuncCall(
                 expr.name,
                 tuple(
-                    self._replace_aggregates(arg, group_rows, env)
-                    for arg in expr.args
+                    self._replace_aggregates(arg, compute) for arg in expr.args
                 ),
                 expr.distinct,
             )
@@ -882,6 +1782,15 @@ class SelectExecutor:
                 expr.name,
                 tuple(self._resolve_subqueries(arg) for arg in expr.args),
                 expr.distinct,
+            )
+        if isinstance(expr, WindowFunc):
+            return WindowFunc(
+                expr.name,
+                tuple(self._resolve_subqueries(e) for e in expr.partition_by),
+                tuple(
+                    (self._resolve_subqueries(e), descending)
+                    for e, descending in expr.order_by
+                ),
             )
         if isinstance(expr, ArrayLiteral):
             return ArrayLiteral(

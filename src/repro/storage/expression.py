@@ -101,6 +101,21 @@ class Star(Expression):
 
 
 @dataclass(frozen=True)
+class PosRef(Expression):
+    """Positional column reference (internal).
+
+    The executor's window rewrite uses it to expand ``*`` into explicit
+    per-position items, sidestepping name ambiguity entirely.  Never
+    produced by the parser.
+    """
+
+    position: int
+
+    def evaluate(self, row: Sequence[Any], env: EvalEnv) -> Any:
+        return row[self.position]
+
+
+@dataclass(frozen=True)
 class ArrayLiteral(Expression):
     items: tuple[Expression, ...]
 
@@ -404,6 +419,136 @@ class FuncCall(Expression):
 
     def contains_aggregate(self) -> bool:
         return self.is_aggregate or any(arg.contains_aggregate() for arg in self.args)
+
+
+WINDOW_FUNCTIONS = frozenset({"row_number", "rank", "dense_rank"})
+
+
+@dataclass(frozen=True)
+class WindowFunc(Expression):
+    """``row_number() OVER (PARTITION BY ... ORDER BY ...)``.
+
+    Window functions are computed by a dedicated executor step over whole
+    partitions; direct row-at-a-time evaluation is a semantic error, which
+    is how a window reference in WHERE/GROUP BY/HAVING gets rejected
+    identically in every execution mode.
+    """
+
+    name: str  # 'row_number' | 'rank' | 'dense_rank'
+    partition_by: tuple[Expression, ...] = ()
+    #: (key expression, descending) pairs, like ORDER BY items.
+    order_by: tuple[tuple[Expression, bool], ...] = ()
+
+    def evaluate(self, row: Sequence[Any], env: EvalEnv) -> Any:
+        raise ExecutionError(
+            f"window function {self.name}() is only allowed in the SELECT list"
+        )
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for expr in self.partition_by:
+            out |= expr.columns()
+        for expr, _descending in self.order_by:
+            out |= expr.columns()
+        return out
+
+
+def window_calls(expr: Expression) -> list["WindowFunc"]:
+    """All WindowFunc nodes in a tree, left-to-right.
+
+    Does not descend into a window's own PARTITION BY / ORDER BY keys;
+    the parser rejects nested windows, so there is nothing to find there.
+    """
+    out: list[WindowFunc] = []
+    _collect_windows(expr, out)
+    return out
+
+
+def _collect_windows(node: Expression, out: list["WindowFunc"]) -> None:
+    if isinstance(node, WindowFunc):
+        out.append(node)
+    elif isinstance(node, BinaryOp):
+        _collect_windows(node.left, out)
+        _collect_windows(node.right, out)
+    elif isinstance(node, UnaryOp):
+        _collect_windows(node.operand, out)
+    elif isinstance(node, IsNull):
+        _collect_windows(node.operand, out)
+    elif isinstance(node, Between):
+        _collect_windows(node.operand, out)
+        _collect_windows(node.low, out)
+        _collect_windows(node.high, out)
+    elif isinstance(node, InList):
+        _collect_windows(node.operand, out)
+        for item in node.items:
+            _collect_windows(item, out)
+    elif isinstance(node, InSet):
+        _collect_windows(node.operand, out)
+    elif isinstance(node, Like):
+        _collect_windows(node.operand, out)
+        _collect_windows(node.pattern, out)
+    elif isinstance(node, ArrayLiteral):
+        for item in node.items:
+            _collect_windows(item, out)
+    elif isinstance(node, FuncCall):
+        for arg in node.args:
+            _collect_windows(arg, out)
+
+
+def replace_windows(
+    expr: Expression, resolved: dict[int, Expression]
+) -> Expression:
+    """Rebuild a tree with each WindowFunc (keyed by ``id``) substituted.
+
+    The executor computes window vectors as synthetic appended columns and
+    uses this to rewrite select items into plain column references.
+    """
+    if isinstance(expr, WindowFunc):
+        return resolved[id(expr)]
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            replace_windows(expr.left, resolved),
+            replace_windows(expr.right, resolved),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, replace_windows(expr.operand, resolved))
+    if isinstance(expr, IsNull):
+        return IsNull(replace_windows(expr.operand, resolved), expr.negated)
+    if isinstance(expr, Between):
+        return Between(
+            replace_windows(expr.operand, resolved),
+            replace_windows(expr.low, resolved),
+            replace_windows(expr.high, resolved),
+            expr.negated,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            replace_windows(expr.operand, resolved),
+            tuple(replace_windows(item, resolved) for item in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, InSet):
+        return InSet(
+            replace_windows(expr.operand, resolved), expr.values, expr.negated
+        )
+    if isinstance(expr, Like):
+        return Like(
+            replace_windows(expr.operand, resolved),
+            replace_windows(expr.pattern, resolved),
+            expr.negated,
+        )
+    if isinstance(expr, ArrayLiteral):
+        return ArrayLiteral(
+            tuple(replace_windows(item, resolved) for item in expr.items)
+        )
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name,
+            tuple(replace_windows(arg, resolved) for arg in expr.args),
+            expr.distinct,
+        )
+    return expr
 
 
 def conjuncts(expr: Expression | None) -> list[Expression]:

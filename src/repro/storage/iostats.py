@@ -32,6 +32,14 @@ class IOStats:
     batches_scanned: int = 0
     exprs_compiled: int = 0
     exprs_interpreted: int = 0
+    #: Columnar-pipeline counters: column blocks handed out by
+    #: :meth:`Table.scan_column_blocks` (each also charges one
+    #: ``batches_scanned``, keeping the row-pipeline books unchanged), and
+    #: expressions served by per-column vector kernels instead of row
+    #: closures.  ``exprs_compiled + exprs_columnar + exprs_interpreted``
+    #: is the full per-statement expression census.
+    blocks_scanned: int = 0
+    exprs_columnar: int = 0
 
     def snapshot(self) -> "IOStats":
         return IOStats(**vars(self))

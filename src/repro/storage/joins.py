@@ -105,6 +105,64 @@ def hash_join(
     return out
 
 
+def hash_join_vectors(
+    build_rows: Sequence[Row],
+    build_positions: Sequence[int],
+    probe_rows: Sequence[Row],
+    probe_positions: Sequence[int],
+    stats: IOStats | None = None,
+    build_side_first: bool = True,
+) -> list[Row]:
+    """Vectorized build+probe for the common unique-build-key join.
+
+    When every build key is distinct the bucket lists of :func:`hash_join`
+    are pure overhead: the table maps key -> row directly, the probe keys
+    are extracted with one C-level ``map(itemgetter)``, matched with
+    ``map(table.get)``, and the output is a single list comprehension.
+    A duplicate build key falls back to :func:`hash_join` wholesale —
+    before any stats are charged, so the charge happens exactly once.
+
+    Both inputs must be materialized sequences (the fallback re-iterates).
+    Output order, NULL-key behaviour, and ``hash_build_rows`` accounting
+    are identical to :func:`hash_join`.
+    """
+    build_key, build_scalar = scalar_or_tuple_key(build_positions)
+    probe_key, probe_scalar = scalar_or_tuple_key(probe_positions)
+    table: dict[Any, Row] = {}
+    build_count = 0
+    for row in build_rows:
+        key = build_key(row)
+        if (key is None) if build_scalar else (None in key):
+            continue
+        if key in table:
+            return hash_join(
+                build_rows,
+                build_positions,
+                probe_rows,
+                probe_positions,
+                stats,
+                build_side_first,
+            )
+        table[key] = row
+        build_count += 1
+    if stats is not None:
+        stats.hash_build_rows += build_count
+    # NULL probe keys need no pre-filter: the build loop never stored one,
+    # so ``get`` misses and the comprehension drops the row.
+    matches = map(table.get, map(probe_key, probe_rows))
+    if build_side_first:
+        return [
+            build_row + probe_row
+            for build_row, probe_row in zip(matches, probe_rows)
+            if build_row is not None
+        ]
+    return [
+        probe_row + build_row
+        for build_row, probe_row in zip(matches, probe_rows)
+        if build_row is not None
+    ]
+
+
 def merge_join(
     left_rows: Sequence[Row],
     left_positions: Sequence[int],

@@ -13,6 +13,7 @@ KEYWORDS = frozenset(
     insert values update set delete create drop table index unique primary
     key not null and or in is between like exists union all join inner left
     on array true false if asc desc alter add column default cluster using
+    over partition
     """.split()
 )
 

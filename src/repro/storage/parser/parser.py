@@ -30,6 +30,9 @@ from repro.storage.expression import (
     Literal,
     Star,
     UnaryOp,
+    WINDOW_FUNCTIONS,
+    WindowFunc,
+    window_calls,
 )
 from repro.storage.parser import ast_nodes as ast
 from repro.storage.parser.lexer import Token, TokenType, tokenize
@@ -116,7 +119,9 @@ class _Parser:
     # Keywords that may double as identifiers (they only matter in positions
     # an identifier can never occupy), mirroring PostgreSQL's non-reserved
     # words: "key" in particular is a common column name.
-    _NONRESERVED = frozenset({"key", "column", "cluster", "index", "default"})
+    _NONRESERVED = frozenset(
+        {"key", "column", "cluster", "index", "default", "over", "partition"}
+    )
 
     def _expect_ident(self) -> str:
         token = self._peek()
@@ -670,7 +675,12 @@ class _Parser:
                 while self._accept_op(","):
                     args.append(self._expression())
             self._expect_op(")")
-            return FuncCall(name, tuple(args), distinct)
+            call = FuncCall(name, tuple(args), distinct)
+            # OVER only opens a window clause when followed by "(" — else it
+            # stays usable as an alias/identifier (it is non-reserved).
+            if self._peek().is_keyword("over") and self._peek(1).is_op("("):
+                return self._window_spec(call)
+            return call
         if self._accept_op("."):
             if self._peek().is_op("*"):
                 self._advance()
@@ -678,6 +688,34 @@ class _Parser:
             column = self._expect_ident()
             return ColumnRef(f"{name}.{column}")
         return ColumnRef(name)
+
+    def _window_spec(self, call: FuncCall) -> Expression:
+        self._expect_keyword("over")
+        self._expect_op("(")
+        if call.name not in WINDOW_FUNCTIONS:
+            raise self._error(f"{call.name}() does not support OVER")
+        if call.args or call.distinct:
+            raise self._error(f"window function {call.name}() takes no arguments")
+        partition: list[Expression] = []
+        if self._peek().is_keyword("partition"):
+            self._advance()
+            self._expect_keyword("by")
+            partition.append(self._expression())
+            while self._accept_op(","):
+                partition.append(self._expression())
+        order: list[tuple[Expression, bool]] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            item = self._order_item()
+            order.append((item.expr, item.descending))
+            while self._accept_op(","):
+                item = self._order_item()
+                order.append((item.expr, item.descending))
+        self._expect_op(")")
+        keys = partition + [expr for expr, _descending in order]
+        if any(window_calls(key) for key in keys):
+            raise self._error("window functions cannot be nested")
+        return WindowFunc(call.name, tuple(partition), tuple(order))
 
 
 def parse_sql(sql: str, params: Sequence[Any] = ()) -> list[ast.Statement]:

@@ -27,11 +27,20 @@ from repro.storage.expression import (
     ColumnRef,
     EvalEnv,
     Expression,
+    InSet,
     Literal,
+    Star,
+    WindowFunc,
     combine_and,
     conjuncts,
+    window_calls,
 )
-from repro.storage.joins import hash_join, index_nested_loop_join, merge_join
+from repro.storage.joins import (
+    hash_join,
+    hash_join_vectors,
+    index_nested_loop_join,
+    merge_join,
+)
 from repro.storage.parser import ast_nodes as ast
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -98,7 +107,9 @@ def resolve_from(
         best_index, join_keys = _find_joinable(current, remaining, where_parts)
         nxt = remaining.pop(best_index)
         if join_keys:
-            current, where_parts = _equi_join(db, current, nxt, where_parts, join_keys)
+            current, where_parts = _equi_join(
+                db, current, nxt, where_parts, join_keys, select=select
+            )
         else:
             current = _cross_join(current, nxt)
     for join_clause in select.joins:
@@ -117,7 +128,8 @@ def _scan_item(
     executor: SelectExecutor,
 ) -> tuple[_Source, list[Expression]]:
     if isinstance(item, ast.SubqueryRef):
-        inner = executor.execute(item.query)
+        hint = _subquery_topk_hint(db, item, where_parts)
+        inner = executor.execute(item.query, topk_hint=hint)
         names = [f"{item.alias}.{name.split('.')[-1]}" for name in inner.names]
         return _Source(Relation(names, inner.rows, inner.types), item.alias), (
             where_parts
@@ -142,6 +154,88 @@ def _scan_item(
         _Source(Relation(names, [], types), binding, table=table, lazy=True),
         where_parts,
     )
+
+
+def _subquery_topk_hint(
+    db: "Database", item: ast.SubqueryRef, where_parts: list[Expression]
+) -> int | None:
+    """Grouped top-k bound for a derived table, or ``None``.
+
+    Detects the paper-bench idiom ``SELECT ... FROM (SELECT ...,
+    row_number() OVER (PARTITION BY ... ORDER BY ...) AS rn FROM ...) t
+    WHERE rn <= k``: the inner window step may then keep only each
+    partition's top ``k`` rows (a per-partition heap, O(n log k)) instead
+    of ranking everything the outer filter will discard.  The outer
+    conjunct is NOT consumed — it still runs, so the pushdown can only
+    ever drop rows that filter would drop anyway, and the hint is safe to
+    ignore.  Compiled mode only; the interpreted engine stays the
+    reference implementation.
+    """
+    if db.exec_mode != "compiled":
+        return None
+    query = item.query
+    if (
+        query.union_all_with is not None
+        or query.order_by
+        or query.limit is not None
+        or query.offset is not None
+        or query.distinct
+        or query.group_by
+        or query.having is not None
+        or query.joins
+    ):
+        return None
+    window_name = None
+    seen = 0
+    for sel_item in query.items:
+        calls = window_calls(sel_item.expr)
+        if not calls:
+            continue
+        seen += len(calls)
+        if seen > 1:
+            return None  # a second window would need full ranking
+        if (
+            not isinstance(sel_item.expr, WindowFunc)
+            or sel_item.expr.name != "row_number"
+        ):
+            return None  # only a bare row_number maps 1:1 to the bound
+        window_name = sel_item.alias or "row_number"
+    if window_name is None:
+        return None
+    best = None
+    for part in where_parts:
+        bound = _topk_bound(part, item.alias, window_name)
+        if bound is not None and (best is None or bound < best):
+            best = bound
+    return best
+
+
+_TOPK_FLIP = {"<=": ">=", "<": ">", ">=": "<=", ">": "<"}
+
+
+def _topk_bound(expr: Expression, alias: str, column: str) -> int | None:
+    """``k`` if ``expr`` is ``<alias>.<column> <= k`` (or ``< k+1``)."""
+    if not (isinstance(expr, BinaryOp) and expr.op in _TOPK_FLIP):
+        return None
+    left, right, op = expr.left, expr.right, expr.op
+    if isinstance(left, Literal) and isinstance(right, ColumnRef):
+        left, right, op = right, left, _TOPK_FLIP[op]
+    if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+        return None
+    if op not in ("<=", "<"):
+        return None
+    name = left.name
+    if "." in name:
+        qualifier, name = name.split(".", 1)
+        if qualifier != alias:
+            return None
+    if name != column:
+        return None
+    value = right.value
+    if type(value) is not int:  # bools and floats keep the full ranking
+        return None
+    bound = value if op == "<=" else value - 1
+    return bound if bound >= 1 else None
 
 
 def _extract_eq_literals(
@@ -235,6 +329,7 @@ def _equi_join(
     right: _Source,
     where_parts: list[Expression],
     keys: list[tuple[str, str, Expression]],
+    select: "ast.Select | None" = None,
 ) -> tuple[_Source, list[Expression]]:
     for _l, _r, used in keys:
         where_parts = [part for part in where_parts if part is not used]
@@ -287,12 +382,24 @@ def _equi_join(
             rows = [row[right_width:] + row[:right_width] for row in flipped]
     else:
         # Hash join, building on the smaller side (Section 3.2's plan).
-        # Key extraction is precompiled inside hash_join, which returns
-        # the materialized output list directly.
+        # Compiled mode first tries to eliminate the join outright (the
+        # semi-join rewrite below); failing that, key extraction is
+        # precompiled inside the join, which returns the materialized
+        # output list directly.  Compiled mode uses the vectorized
+        # unique-build-key form (it falls back to the reference hash_join
+        # itself on duplicate keys); interpreted mode always runs the
+        # reference.
+        semi = _semi_join_rewrite(
+            db, select, left, right, keys, left_positions, right_positions,
+            where_parts,
+        )
+        if semi is not None:
+            return semi
+        join = hash_join_vectors if db.exec_mode == "compiled" else hash_join
         left.materialize()
         right.materialize()
         if len(left.relation.rows) <= len(right.relation.rows):
-            rows = hash_join(
+            rows = join(
                 left.relation.rows,
                 left_positions,
                 right.relation.rows,
@@ -301,7 +408,7 @@ def _equi_join(
                 build_side_first=True,
             )
         else:
-            rows = hash_join(
+            rows = join(
                 right.relation.rows,
                 right_positions,
                 left.relation.rows,
@@ -311,6 +418,90 @@ def _equi_join(
             )
     merged = _Source(Relation(names, rows, types), left.binding)
     return merged, where_parts
+
+
+def _semi_join_rewrite(
+    db: "Database",
+    select: "ast.Select | None",
+    left: _Source,
+    right: _Source,
+    keys: list[tuple[str, str, Expression]],
+    left_positions: list[int],
+    right_positions: list[int],
+    where_parts: list[Expression],
+) -> tuple[_Source, list[Expression]] | None:
+    """Collapse a hash join whose build side is only a key filter.
+
+    When every column the rest of the query references lives on the probe
+    side, the join's sole effect is *filtering* probe rows by key
+    membership — the paper's checkout idiom ``FROM data d, (SELECT
+    unnest(rlist) ...) tmp WHERE d.rid = tmp.rid_tmp`` is exactly this
+    shape.  If the build keys are also unique (so the join cannot multiply
+    probe rows), the whole join collapses into an ``IN <set>`` conjunct on
+    the probe source: the probe table stays lazy and streams through the
+    columnar scan with the key-membership test fused into the same
+    generated predicate as every other pushed-down filter.
+
+    Equivalence with the reference hash join, case by case: the output
+    row set is identical (unique non-NULL build keys ⇒ each probe row
+    survives exactly when its key is in the set, exactly once; NULL probe
+    keys are dropped by both ``IN`` and the hash lookup); the output
+    *order* is identical (the reference emits rows in probe iteration
+    order, which is the probe scan order the filter preserves); and the
+    logical-I/O charge is identical (the probe scan charges the same
+    records either way, and the build side charges the same
+    ``hash_build_rows``).  Every bail-out below simply falls back to the
+    reference join — including unhashable build keys, whose TypeError the
+    reference path raises itself.  Compiled mode only; the interpreted
+    engine keeps the textbook plan.
+    """
+    if db.exec_mode != "compiled" or select is None or len(keys) != 1:
+        return None
+    # Mirror the reference's build-side choice: the smaller input.  The
+    # *probe* side survives, so only the build side may be eliminated.
+    if left.known_row_count <= right.known_row_count:
+        build, probe = left, right
+        build_position = left_positions[0]
+        probe_key = keys[0][1]
+    else:
+        build, probe = right, left
+        build_position = right_positions[0]
+        probe_key = keys[0][0]
+    # Everything the statement still needs must resolve on the probe side
+    # alone.  Star projections (which would expand build columns) and
+    # window functions bail outright; for the rest, any referenced name
+    # the build side can resolve — qualified, bare, or ambiguously —
+    # disqualifies the rewrite, which also preserves ambiguous-name
+    # errors the merged relation would have raised.
+    exprs: list[Expression] = [item.expr for item in select.items]
+    exprs.extend(select.group_by)
+    if select.having is not None:
+        exprs.append(select.having)
+    exprs.extend(oitem.expr for oitem in select.order_by)
+    exprs.extend(where_parts)
+    exprs.extend(clause.condition for clause in select.joins)
+    referenced: set[str] = set()
+    for expr in exprs:
+        if isinstance(expr, Star) or window_calls(expr):
+            return None
+        referenced |= expr.columns()
+    build_env = build.relation.env()
+    if any(build_env.positions.get(name) is not None for name in referenced):
+        return None
+    build.materialize()
+    column = [
+        key
+        for key in (row[build_position] for row in build.relation.rows)
+        if key is not None
+    ]
+    try:
+        key_set = frozenset(column)
+    except TypeError:
+        return None  # unhashable keys: let the reference join raise
+    if len(key_set) != len(column):
+        return None  # duplicate build keys would multiply probe rows
+    db.stats.hash_build_rows += len(column)
+    return probe, where_parts + [InSet(ColumnRef(probe_key), key_set)]
 
 
 def _inl_inner(source: _Source, positions) -> list[str] | None:

@@ -110,6 +110,27 @@ class TestConversionHoisting:
         # One statement-level hoist at most — never one per evaluated row.
         assert arrays.conversion_count - before == 0
 
+    def test_columnar_multi_block_scan_keeps_the_hoist(self):
+        # The columnar pipeline compiles its predicate once per statement,
+        # so a scan spanning several blocks must still pay zero per-row
+        # (or per-block) probe-set conversions.
+        from repro.storage.engine import Database
+
+        db = Database(exec_mode="compiled")
+        db.execute("CREATE TABLE big (id int, arr int[])")
+        values = ", ".join(
+            f"({i}, ARRAY[{self.BIG + i}, {self.BIG + i + 1}, "
+            f"{self.BIG + i + 2}])"
+            for i in range(2500)
+        )
+        db.execute(f"INSERT INTO big VALUES {values}")
+        db.reset_stats()
+        before = arrays.conversion_count
+        rows = db.query(self.SQL.replace("FROM t", "FROM big"))
+        assert rows == [(2,)]
+        assert db.stats.blocks_scanned >= 2  # really a multi-block scan
+        assert arrays.conversion_count - before == 0
+
     def test_counter_increments_on_direct_generic_calls(self):
         before = arrays.conversion_count
         assert arrays.contains((1, 2, 3, 4), (1, 2, 3))

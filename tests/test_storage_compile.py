@@ -275,6 +275,97 @@ class TestSelectParity:
         assert results["compiled"] == results["interpreted"]
 
 
+# -------------------------------------------------- three-tier equivalence
+
+
+WINDOW_QUERIES = [
+    "SELECT a, row_number() OVER (PARTITION BY c ORDER BY b DESC, a) FROM t",
+    "SELECT c, rank() OVER (ORDER BY b) AS r FROM t WHERE a IS NOT NULL "
+    "ORDER BY c, r",
+    "SELECT s, dense_rank() OVER (PARTITION BY c ORDER BY s DESC) FROM t "
+    "ORDER BY c, s",
+    "SELECT w.a, w.rn FROM (SELECT a, c, row_number() OVER "
+    "(PARTITION BY c ORDER BY b DESC, a) AS rn FROM t) AS w "
+    "WHERE w.rn <= 2 ORDER BY w.a",
+]
+
+
+def _force_row_tier(monkeypatch) -> None:
+    """Disable the columnar kernel compilers so compiled mode runs on the
+    fused row-kernel tier — the middle of the three execution tiers."""
+    from repro.storage import executor as executor_module
+
+    monkeypatch.setattr(
+        executor_module, "compile_column_predicate", lambda expr, env: None
+    )
+    monkeypatch.setattr(
+        executor_module, "compile_column_values", lambda expr, env: None
+    )
+
+
+class TestThreeTierParity:
+    """columnar-compiled ≡ row-compiled ≡ interpreted, per statement."""
+
+    @pytest.mark.parametrize("sql", QUERIES + WINDOW_QUERIES)
+    def test_three_tiers_agree(self, sql, monkeypatch):
+        columnar = outcome(lambda: _build_db("compiled").query(sql))
+        interpreted = outcome(lambda: _build_db("interpreted").query(sql))
+        _force_row_tier(monkeypatch)
+        row_tier = outcome(lambda: _build_db("compiled").query(sql))
+        assert columnar == interpreted
+        assert row_tier == interpreted
+
+    def test_forced_row_tier_really_is_the_row_tier(self, monkeypatch):
+        _force_row_tier(monkeypatch)
+        db = _build_db("compiled")
+        db.reset_stats()
+        db.query("SELECT a FROM t WHERE b > 0")
+        assert db.stats.exprs_columnar == 0
+        assert db.stats.exprs_compiled > 0
+
+    @given(
+        func=st.sampled_from(["row_number", "rank", "dense_rank"]),
+        partition=st.booleans(),
+        order_cols=st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c", "s"]), st.booleans()),
+            max_size=2,
+        ),
+        bound=st.one_of(st.none(), st.integers(min_value=1, max_value=3)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_generated_window_queries_agree(
+        self, func, partition, order_cols, bound
+    ):
+        """Windows over NULLs, ties, and DESC keys agree across all three
+        tiers, with and without the grouped top-k outer filter."""
+        over = []
+        if partition:
+            over.append("PARTITION BY c")
+        if order_cols:
+            over.append(
+                "ORDER BY "
+                + ", ".join(
+                    f"{col} DESC" if descending else col
+                    for col, descending in order_cols
+                )
+            )
+        inner = f"SELECT a, b, {func}() OVER ({' '.join(over)}) AS rn FROM t"
+        if bound is None:
+            sql = inner
+        else:
+            sql = (
+                f"SELECT w.a, w.rn FROM ({inner}) AS w "
+                f"WHERE w.rn <= {bound} ORDER BY w.a, w.rn"
+            )
+        columnar = outcome(lambda: _build_db("compiled").query(sql))
+        interpreted = outcome(lambda: _build_db("interpreted").query(sql))
+        assert columnar == interpreted
+        with pytest.MonkeyPatch.context() as mp:
+            _force_row_tier(mp)
+            row_tier = outcome(lambda: _build_db("compiled").query(sql))
+        assert row_tier == interpreted
+
+
 # ----------------------------------------------------- engine-mode basics
 
 
@@ -287,8 +378,20 @@ class TestExecModeKnob:
         db = _build_db("compiled")
         db.reset_stats()
         db.query("SELECT a FROM t WHERE b > 0")
-        assert db.stats.exprs_compiled > 0
+        # A plain column/comparison statement runs on the columnar tier;
+        # either way the compiled engine must charge kernel counters.
+        assert db.stats.exprs_columnar > 0
+        assert db.stats.exprs_compiled == 0
         assert db.stats.batches_scanned > 0
+        assert db.stats.blocks_scanned > 0
+
+    def test_compiled_row_fallback_charges_exprs_compiled(self):
+        db = _build_db("compiled")
+        db.reset_stats()
+        # abs() is not in the columnar subset -> fused row kernels.
+        db.query("SELECT abs(a) FROM t WHERE b > 0")
+        assert db.stats.exprs_compiled > 0
+        assert db.stats.exprs_columnar == 0
 
     def test_interpreted_mode_never_compiles(self):
         db = _build_db("interpreted")
@@ -296,6 +399,8 @@ class TestExecModeKnob:
         db.query("SELECT a FROM t WHERE b > 0")
         assert db.stats.exprs_compiled == 0
         assert db.stats.exprs_interpreted == 0
+        assert db.stats.exprs_columnar == 0
+        assert db.stats.blocks_scanned == 0
 
 
 class TestReviewRegressions:

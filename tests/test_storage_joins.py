@@ -140,3 +140,101 @@ class TestJoinEquivalence:
         )
         got = sorted(index_nested_loop_join(left, [0], inner, ["k"]))
         assert got == reference
+
+
+class TestSemiJoinRewrite:
+    """The planner's compiled-only semi-join elimination: when nothing
+    downstream references the hash join's build side and the build keys
+    are unique, the join collapses into an IN-set filter on the (still
+    lazy) probe scan.  Results, output order, and the gated counters
+    (``records_scanned``, ``hash_build_rows``) must be indistinguishable
+    from the reference join; ``blocks_scanned > 0`` is the tell that the
+    probe scan stayed lazy (the reference join materializes it first)."""
+
+    N = 300
+
+    def _db(self, mode):
+        from repro.storage.engine import Database
+
+        db = Database(exec_mode=mode)
+        db.execute("CREATE TABLE d (rid int, a1 int, a2 text)")
+        for rid in range(self.N):
+            db.execute(
+                "INSERT INTO d VALUES (%s, %s, %s)",
+                (rid, (rid * 13) % 50, f"t{rid % 7}"),
+            )
+        db.execute("CREATE TABLE v (vid int, rlist int[])")
+        db.execute("CREATE INDEX v_vid ON v (vid)")
+        rlist = tuple(rid for rid in range(self.N) if rid % 3 != 0)
+        db.execute("INSERT INTO v VALUES (%s, %s)", (1, rlist))
+        db.execute("CREATE TABLE dup (k int, z int)")
+        for row in [(1, 10), (1, 11), (2, 20)]:
+            db.execute("INSERT INTO dup VALUES (%s, %s)", row)
+        return db
+
+    IDIOM = (
+        "SELECT d.rid, d.a1 FROM d, (SELECT unnest(rlist) AS rt FROM v "
+        "WHERE vid = 1) AS tmp WHERE d.rid = tmp.rt AND d.a1 > 10"
+    )
+
+    def test_rewrite_matches_reference_rows_and_order(self):
+        compiled = self._db("compiled")
+        interpreted = self._db("interpreted")
+        assert compiled.query(self.IDIOM) == interpreted.query(self.IDIOM)
+
+    def test_rewrite_keeps_gated_counters_identical(self):
+        observed = {}
+        for mode in ("compiled", "interpreted"):
+            db = self._db(mode)
+            db.reset_stats()
+            db.query(self.IDIOM)
+            observed[mode] = (
+                db.stats.records_scanned,
+                db.stats.index_probes,
+                db.stats.hash_build_rows,
+            )
+        assert observed["compiled"] == observed["interpreted"]
+
+    def test_rewrite_keeps_the_probe_scan_lazy(self):
+        db = self._db("compiled")
+        db.reset_stats()
+        db.query(self.IDIOM)
+        assert db.stats.blocks_scanned > 0
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # Build side projected: the join must survive.
+            "SELECT d.rid, tmp.rt FROM d, (SELECT unnest(rlist) AS rt "
+            "FROM v WHERE vid = 1) AS tmp WHERE d.rid = tmp.rt "
+            "ORDER BY d.rid LIMIT 9",
+            # Star projection expands both sides.
+            "SELECT * FROM d, (SELECT unnest(rlist) AS rt FROM v "
+            "WHERE vid = 1) AS tmp WHERE d.rid = tmp.rt LIMIT 9",
+            # Build side referenced from ORDER BY only.
+            "SELECT d.rid FROM d, (SELECT unnest(rlist) AS rt FROM v "
+            "WHERE vid = 1) AS tmp WHERE d.rid = tmp.rt "
+            "ORDER BY tmp.rt DESC LIMIT 9",
+            # Duplicate build keys multiply probe rows.
+            "SELECT d.rid, d.a1 FROM d, dup WHERE d.rid = dup.k "
+            "ORDER BY d.rid, d.a1",
+            # Aggregates over the surviving rows.
+            "SELECT count(*), sum(d.a1) FROM d, (SELECT unnest(rlist) "
+            "AS rt FROM v WHERE vid = 1) AS tmp WHERE d.rid = tmp.rt",
+        ],
+    )
+    def test_bail_outs_and_aggregates_match_reference(self, sql):
+        compiled = self._db("compiled")
+        interpreted = self._db("interpreted")
+        assert compiled.query(sql) == interpreted.query(sql)
+
+    def test_bail_out_keeps_the_reference_join(self):
+        db = self._db("compiled")
+        db.reset_stats()
+        db.query(
+            "SELECT d.rid, tmp.rt FROM d, (SELECT unnest(rlist) AS rt "
+            "FROM v WHERE vid = 1) AS tmp WHERE d.rid = tmp.rt"
+        )
+        # The reference join materializes the probe side up front, so the
+        # lazy columnar scan never runs.
+        assert db.stats.blocks_scanned == 0
