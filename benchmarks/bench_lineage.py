@@ -1,0 +1,345 @@
+"""Lineage benchmark: interval-index probes vs graph walks on the version DAG.
+
+The lineage tentpole gives the version graph an XPath-accelerator-style
+interval index (``repro.core.lineage``): pre/post labels over the
+first-parent spanning tree plus a pruned extra-ancestor closure for merge
+edges, so ``ancestors``/``descendants`` become bitmap probes instead of
+O(V+E) walks.  This benchmark builds a chaos-generated branch/merge-heavy
+DAG (the same deterministic ``build_writer_plan`` the HTAP harness uses),
+probes every version on both axes through the index and through the walk
+reference, asserts the results identical, and records wall-clock plus the
+deterministic ``lineage.*`` counters CI gates ``--exact``
+(``check_regression.py`` with ``BENCH_lineage_smoke.json``).
+
+Acceptance (full mode): >= 10x wall-clock on ancestor probes over a
+1000+-version DAG, and ``lineage.nodes_visited`` per ancestor probe
+bounded by 4*log2(V) — the O(log n) claim, held as a counter so it cannot
+quietly rot.  The counter ratio ``walk_nodes_touched /
+ancestor_nodes_visited`` is the machine-independent twin of the wall-clock
+speedup and is what the pytest acceptance class checks in CI.
+
+Run directly for the full sweep::
+
+    PYTHONPATH=src python benchmarks/bench_lineage.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import print_header
+from repro.chaos.trace import TraceConfig, build_writer_plan
+from repro.core.version import Version
+from repro.core.version_graph import VersionGraph
+from repro.obs import metrics
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_lineage.json"
+
+FULL = {
+    "versions": 1500,
+    "seed": 11,
+    "branch_prob": 0.01,
+    "merge_prob": 0.03,
+    "appended": 60,
+    "repeats": 3,
+}
+SMOKE = {
+    "versions": 200,
+    "seed": 11,
+    "branch_prob": 0.01,
+    "merge_prob": 0.03,
+    "appended": 12,
+    "repeats": 2,
+}
+
+
+# ----------------------------------------------------------------- workload
+
+
+def build_graph(config: dict) -> tuple[VersionGraph, dict]:
+    """The chaos writer plan's version DAG, as a bare graph.
+
+    Only the derivation structure matters here, so the plan's edit
+    scripts are dropped; the DAG shape (branch bursts, two-parent
+    merges) is byte-identical to what the HTAP harness would commit.
+    """
+    trace = TraceConfig(
+        seed=config["seed"],
+        versions=config["versions"],
+        branch_prob=config["branch_prob"],
+        merge_prob=config["merge_prob"],
+        evolutions=0,
+        checkpoints=0,
+    )
+    plan, meta = build_writer_plan(trace)
+    graph = VersionGraph()
+    for op in plan:
+        if op["kind"] == "init":
+            add_version(graph, 1, [])
+        elif op["kind"] == "commit":
+            add_version(graph, op["vid"], op["parents"])
+    return graph, meta
+
+
+def add_version(graph: VersionGraph, vid: int, parents) -> None:
+    parents = tuple(parents)
+    graph.add_version(
+        Version(
+            vid=vid,
+            parents=parents,
+            num_records=0,
+            checkout_time=None,
+            commit_time=None,
+            message="",
+            attribute_ids=(),
+        ),
+        {p: 1 for p in parents},
+    )
+
+
+# -------------------------------------------------------------- measurement
+
+
+def lineage_totals() -> dict:
+    return dict(metrics.registry().snapshot().get("lineage", {}))
+
+
+def counted(fn) -> dict:
+    """Run ``fn`` and return the lineage counter delta it charged."""
+    before = lineage_totals()
+    fn()
+    after = lineage_totals()
+    return {
+        key: after.get(key, 0) - before.get(key, 0)
+        for key in ("probes", "nodes_visited", "rebuilds")
+    }
+
+
+def best_of(repeats: int, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def probe_pass(graph: VersionGraph, vids: list[int], axis: str, mode: str):
+    probe = graph.ancestors if axis == "ancestor" else graph.descendants
+    for vid in vids:
+        probe(vid, mode=mode)
+
+
+def measure(config: dict) -> dict:
+    graph, meta = build_graph(config)
+    vids = graph.version_ids()
+    out: dict = {
+        "bench": "lineage",
+        "config": dict(config),
+        "num_versions": len(graph),
+        "merges": meta["merges"],
+        "branches": meta["branches"],
+        "max_depth": graph.max_depth(),
+        "appended": config["appended"],
+    }
+    counters: dict = {}
+
+    # Counted cold passes first (nothing has probed the index yet): these
+    # are the deterministic figures CI gates --exact.  The ancestor axis
+    # is bitmap-only (no labels, 0 rebuilds); the first descendant probe
+    # builds the interval labels lazily, exactly once.
+    anc_cold = counted(lambda: probe_pass(graph, vids, "ancestor", "index"))
+    desc_cold = counted(lambda: probe_pass(graph, vids, "descendant", "index"))
+    anc_warm = counted(lambda: probe_pass(graph, vids, "ancestor", "index"))
+    counters["ancestor_probes"] = anc_cold["probes"]
+    counters["ancestor_nodes_visited_cold"] = anc_cold["nodes_visited"]
+    counters["nodes_per_ancestor_probe_cold"] = round(
+        anc_cold["nodes_visited"] / anc_cold["probes"], 6
+    )
+    counters["nodes_per_ancestor_probe_warm"] = round(
+        anc_warm["nodes_visited"] / anc_warm["probes"], 6
+    )
+    counters["descendant_probes"] = desc_cold["probes"]
+    counters["descendant_nodes_visited_cold"] = desc_cold["nodes_visited"]
+    counters["rebuilds_ancestor_pass"] = anc_cold["rebuilds"]
+    counters["rebuilds_first_interval_probe"] = desc_cold["rebuilds"]
+
+    # Parity: the index is only fast if it is also right.
+    walk_nodes = 0
+    for axis in ("ancestor", "descendant"):
+        for vid in vids:
+            probe = graph.ancestors if axis == "ancestor" else graph.descendants
+            index_result = set(probe(vid, mode="index"))
+            walk_result = probe(vid, mode="walk")
+            assert index_result == walk_result, (axis, vid)
+            if axis == "ancestor":
+                # What the walk inherently touches: every result node plus
+                # the probe origin (a deterministic lower bound on its work).
+                walk_nodes += len(walk_result) + 1
+    counters["walk_nodes_touched"] = walk_nodes
+    counters["visit_reduction_x"] = round(
+        walk_nodes / anc_cold["nodes_visited"], 6
+    )
+
+    # Incremental maintenance: a live index tracks appended commits with
+    # in-place label inserts (default slack absorbs a chain this short).
+    def append_and_probe():
+        base = len(graph)
+        for i in range(config["appended"]):
+            vid = base + i + 1
+            parents = [vid - 1] if i % 4 else [vid - 1, max(1, vid - 7)]
+            add_version(graph, vid, parents)
+            graph.descendants(vid)
+    counters["rebuilds_incremental_appends"] = counted(append_and_probe)["rebuilds"]
+    for vid in graph.version_ids()[-config["appended"] :]:
+        assert set(graph.ancestors(vid)) == graph.ancestors(vid, mode="walk")
+
+    # Wall clock (advisory in smoke; acceptance-gated in full mode).
+    repeats = config["repeats"]
+    timing = {}
+    for axis in ("ancestor", "descendant"):
+        timing[f"{axis}_index_s"] = best_of(
+            repeats, lambda axis=axis: probe_pass(graph, vids, axis, "index")
+        )
+        timing[f"{axis}_walk_s"] = best_of(
+            repeats, lambda axis=axis: probe_pass(graph, vids, axis, "walk")
+        )
+        timing[f"{axis}_speedup"] = (
+            timing[f"{axis}_walk_s"] / timing[f"{axis}_index_s"]
+            if timing[f"{axis}_index_s"] > 0
+            else float("inf")
+        )
+    out["timing"] = timing
+    out["counters"] = counters
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small configuration for CI; emits JSON, skips ratio asserts",
+    )
+    args = parser.parse_args(argv)
+    config = SMOKE if args.smoke else FULL
+    print_header(
+        f"Lineage interval-index benchmark ({config['versions']} versions, "
+        f"chaos branch/merge DAG, seed {config['seed']})"
+    )
+    result = measure(config)
+    result["mode"] = "smoke" if args.smoke else "full"
+    timing = result["timing"]
+    counters = result["counters"]
+    print(
+        f"  DAG: {result['num_versions']} versions, {result['merges']} merges, "
+        f"{result['branches']} branches, max depth {result['max_depth']}"
+    )
+    for axis in ("ancestor", "descendant"):
+        print(
+            f"  {axis + 's':<12} index {timing[f'{axis}_index_s'] * 1e3:9.2f} ms   "
+            f"walk {timing[f'{axis}_walk_s'] * 1e3:9.2f} ms   "
+            f"speedup {timing[f'{axis}_speedup']:7.1f}x"
+        )
+    walk_per_probe = counters["walk_nodes_touched"] / max(
+        1, counters["ancestor_probes"]
+    )
+    print(
+        f"  visits: {counters['nodes_per_ancestor_probe_cold']:.2f} cold / "
+        f"{counters['nodes_per_ancestor_probe_warm']:.2f} warm index nodes per "
+        f"ancestor probe vs {walk_per_probe:.1f} "
+        f"walk nodes ({counters['visit_reduction_x']:.1f}x fewer)"
+    )
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {OUTPUT}")
+    if not args.smoke:
+        failed = False
+        speedup = timing["ancestor_speedup"]
+        if speedup < 10.0:
+            print(f"ACCEPTANCE FAILED: ancestor speedup {speedup:.1f}x < 10x")
+            failed = True
+        else:
+            print(f"acceptance: ancestor probes {speedup:.1f}x >= 10x over the walk")
+        bound = 4 * math.log2(result["num_versions"])
+        per_probe = counters["nodes_per_ancestor_probe_cold"]
+        if per_probe > bound:
+            print(
+                f"ACCEPTANCE FAILED: {per_probe:.2f} nodes/probe exceeds "
+                f"4*log2(V) = {bound:.2f}"
+            )
+            failed = True
+        else:
+            print(
+                f"acceptance: {per_probe:.2f} index nodes per ancestor probe "
+                f"<= 4*log2(V) = {bound:.2f} (O(log n), counter-asserted)"
+            )
+        if failed:
+            return 1
+    return 0
+
+
+# ------------------------------------------------------- pytest acceptance
+
+
+class TestLineageAcceptance:
+    """Deterministic probe-vs-walk checks (timing-free, CI-safe)."""
+
+    def test_probe_matches_walk_on_chaos_dag(self):
+        graph, _ = build_graph(SMOKE)
+        for vid in graph.version_ids():
+            assert set(graph.ancestors(vid)) == graph.ancestors(vid, mode="walk")
+            assert set(graph.descendants(vid)) == graph.descendants(
+                vid, mode="walk"
+            )
+
+    def test_nodes_per_probe_is_logarithmic(self):
+        graph, _ = build_graph(SMOKE)
+        vids = graph.version_ids()
+        delta = counted(lambda: probe_pass(graph, vids, "ancestor", "index"))
+        per_probe = delta["nodes_visited"] / delta["probes"]
+        assert per_probe <= 4 * math.log2(len(graph))
+
+    def test_visit_reduction_beats_10x(self):
+        graph, _ = build_graph(SMOKE)
+        vids = graph.version_ids()
+        walk_nodes = sum(
+            len(graph.ancestors(vid, mode="walk")) + 1 for vid in vids
+        )
+        delta = counted(lambda: probe_pass(graph, vids, "ancestor", "index"))
+        # The machine-independent twin of the wall-clock acceptance.
+        assert walk_nodes >= 10 * delta["nodes_visited"]
+
+    def test_labels_build_lazily_exactly_once(self):
+        graph, _ = build_graph(SMOKE)
+        vids = graph.version_ids()
+        assert (
+            counted(lambda: probe_pass(graph, vids, "ancestor", "index"))[
+                "rebuilds"
+            ]
+            == 0
+        )
+        assert (
+            counted(lambda: probe_pass(graph, vids, "descendant", "index"))[
+                "rebuilds"
+            ]
+            == 1
+        )
+        assert (
+            counted(lambda: probe_pass(graph, vids, "descendant", "index"))[
+                "rebuilds"
+            ]
+            == 0
+        )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -192,6 +192,38 @@ BENCH_PROFILES = {
             "grouped_topk_blocks_scanned",
         ],
     },
+    "lineage": {
+        # The chaos trace seed and probabilities pin the DAG; gated
+        # counters are the lineage index's deterministic probe economics
+        # (lineage.probes / lineage.nodes_visited deltas per pass, the
+        # walk's node-touch lower bound, and the lazy-rebuild counts) —
+        # a drift in any of them means the closure pruning, memoization,
+        # or label lifecycle changed behaviour.  CI holds this family to
+        # --exact.
+        "shape": [
+            ("num_versions",),
+            ("merges",),
+            ("branches",),
+            ("max_depth",),
+            ("appended",),
+            ("config", "seed"),
+            ("config", "branch_prob"),
+            ("config", "merge_prob"),
+        ],
+        "gated": [
+            "ancestor_probes",
+            "ancestor_nodes_visited_cold",
+            "nodes_per_ancestor_probe_cold",
+            "nodes_per_ancestor_probe_warm",
+            "descendant_probes",
+            "descendant_nodes_visited_cold",
+            "rebuilds_ancestor_pass",
+            "rebuilds_first_interval_probe",
+            "rebuilds_incremental_appends",
+            "walk_nodes_touched",
+            "visit_reduction_x",
+        ],
+    },
 }
 
 

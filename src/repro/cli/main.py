@@ -466,6 +466,7 @@ def _status_dict(store: Store) -> dict:
                 "versions": orpheus.cvd(name).version_count,
                 "records": orpheus.cvd(name).record_count,
                 "model": orpheus.cvd(name).model.model_name,
+                "dag": _dag_shape(orpheus.cvd(name)),
             }
             for name in orpheus.ls()
         ],
@@ -505,6 +506,18 @@ def _print_engine_status(orpheus: OrpheusDB) -> None:
     )
 
 
+def _dag_shape(cvd) -> dict:
+    """Version-DAG shape for one CVD — reported without forcing an
+    interval-label build (a never-probed store stays "stale")."""
+    graph = cvd.graph
+    return {
+        "versions": len(graph),
+        "merges": graph.merge_count(),
+        "max_depth": graph.max_depth(),
+        "lineage_index": graph.lineage_status(),
+    }
+
+
 def _print_optimizer_status(orpheus: OrpheusDB) -> None:
     if not orpheus.ls():
         print("no CVDs")
@@ -514,6 +527,12 @@ def _print_optimizer_status(orpheus: OrpheusDB) -> None:
         print(
             f"cvd {name}: {cvd.version_count} versions, "
             f"{cvd.record_count} records ({cvd.model.model_name})"
+        )
+        shape = _dag_shape(cvd)
+        print(
+            f"  dag: {shape['versions']} versions, {shape['merges']} merges, "
+            f"max depth {shape['max_depth']}, "
+            f"lineage index {shape['lineage_index']}"
         )
         if cvd.model.model_name != "partitioned_rlist":
             continue

@@ -1,0 +1,409 @@
+"""Interval-indexed version lineage (XPath-accelerator style).
+
+Lineage predicates over the version DAG — "all ancestors of v", "is a an
+ancestor of b", "versions on the path a..b" — are graph walks in the naive
+implementation: O(V+E) per query, which is exactly the cost OrpheusDB's
+versioned checkout is supposed to avoid.  This module applies the interval
+trick XPath accelerators use for ancestor/descendant axes over trees:
+
+* A **spanning tree** over the DAG, rooted at the first parent of every
+  version (merge edges — second and later parents — are the non-tree
+  remainder).  The first parent never changes, so the spanning tree is an
+  append-only fact of the graph.
+* **Pre/post interval labels** on the spanning tree: ``u`` is a tree
+  ancestor of ``v`` iff ``pre[u] < pre[v] < post[u]``, and the tree
+  descendants of ``v`` are exactly the contiguous pre-order slice
+  ``(pre[v], post[v])`` — two binary searches over the sorted pre list.
+* A per-node **extra-ancestor closure** ``E*[v]`` covering merge edges:
+  the (pruned) set of entry points such that the full DAG ancestor set is
+  ``treeanc(v) ∪ ⋃_{e∈E*[v]} ({e} ∪ treeanc(e))``.  The closure is
+  inherited down the tree (``E*`` of a child starts from its tree
+  parent's), so it is maintained in O(|E*|²) bit tests per commit, and
+  pruned laminarly: an entry that is a tree ancestor of ``v`` or of
+  another kept entry contributes nothing and is dropped.
+* Per entry point, a **carrier bitmap** — every node whose closure holds
+  that entry.  Descendant probes union the pre-order slice with the
+  carriers of entry points falling inside the slice.
+
+Labels are assigned with slack (``2**spacing_bits`` between consecutive
+label events) so a commit under a fresh parent takes a sub-interval in
+place; when a parent's interval runs out of room the labels are dropped
+and rebuilt lazily on the next interval probe (``lineage.rebuilds``).
+The structural state (tree parents, closures, ancestor bitmaps) is always
+maintained incrementally and never rebuilt.
+
+Probes return :class:`~repro.storage.ridset.RidSet` vid sets, so lineage
+results intersect directly with the bitmap machinery used everywhere
+else.  Deterministic counters: ``lineage.probes`` (probe calls),
+``lineage.nodes_visited`` (index nodes examined: binary-search steps plus
+closure entries — deliberately *not* answer emission, which is bitmap
+work), ``lineage.rebuilds`` (lazy label rebuilds).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING
+
+from repro.obs import metrics
+from repro.storage.ridset import EMPTY_RIDSET, RidSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.version import Version
+    from repro.core.version_graph import VersionGraph
+
+_PROBES = metrics.counter("lineage.probes")
+_NODES_VISITED = metrics.counter("lineage.nodes_visited")
+_REBUILDS = metrics.counter("lineage.rebuilds")
+
+#: Label slack: 2**40 between consecutive label events after a rebuild.
+#: An in-place insert takes the middle half of the remaining gap, so a
+#: straight commit chain survives ~20 generations under one parent before
+#: the labels go stale and rebuild lazily.
+DEFAULT_SPACING_BITS = 40
+
+
+class LineageIndex:
+    """Interval labels + merge closure over one :class:`VersionGraph`.
+
+    The index observes the graph: construct it over the current state and
+    feed every later :meth:`VersionGraph.add_version` through
+    :meth:`on_add_version` (the graph does this automatically once its
+    lazy ``lineage`` property has been touched).
+    """
+
+    def __init__(
+        self, graph: "VersionGraph", *, spacing_bits: int = DEFAULT_SPACING_BITS
+    ) -> None:
+        self._graph = graph
+        self._spacing = 1 << spacing_bits
+        # Structural state — incremental, never rebuilt.
+        self._tree_parent: dict[int, int | None] = {}
+        self._tree_children: dict[int, list[int]] = {}
+        self._level: dict[int, int] = {}
+        self._anc_bits: dict[int, int] = {}  # tree-ancestor bitmaps
+        self._extra: dict[int, tuple[int, ...]] = {}
+        self._carriers: dict[int, int] = {}  # entry vid -> carrier bitmap
+        # Probe memos.  An admitted version's ancestor set is immutable in
+        # an append-only DAG, so ancestor bitmaps never invalidate; the
+        # descendant memo is dropped wholesale on every admit (each new
+        # version joins every ancestor's descendant set).
+        self._anc_cache: dict[int, int] = {}
+        self._desc_cache: dict[int, int] = {}
+        # Label state — dropped on gap exhaustion, rebuilt lazily.
+        self._pre: dict[int, int] = {}
+        self._post: dict[int, int] = {}
+        self._order: list[int] = []  # vids in pre order
+        self._pre_keys: list[int] = []  # parallel sorted pre values
+        self._entry_keys: list[int] = []  # entry-point pres, sorted
+        self._entry_vids: list[int] = []
+        self._max_label = 0
+        self._labels_fresh = False
+        # Insertion order is topological (parents must exist at insert).
+        for version in graph.versions():
+            self._admit(version)
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def labels_fresh(self) -> bool:
+        """True when interval probes can run without a rebuild."""
+        return self._labels_fresh
+
+    def level(self, vid: int) -> int:
+        """Spanning-tree level of ``vid`` (roots are level 1)."""
+        return self._level[vid]
+
+    # ------------------------------------------------------------ maintenance
+
+    def on_add_version(self, version: "Version") -> None:
+        """Incremental hook: ``version`` was just inserted into the graph."""
+        self._desc_cache.clear()
+        self._admit(version)
+        if self._labels_fresh:
+            self._place_label(version.vid)
+
+    def _admit(self, version: "Version") -> None:
+        """Maintain the structural state for one new version."""
+        vid = version.vid
+        parents = version.parents
+        tree_parent = parents[0] if parents else None
+        self._tree_parent[vid] = tree_parent
+        self._tree_children.setdefault(vid, [])
+        if tree_parent is None:
+            self._level[vid] = 1
+            self._anc_bits[vid] = 0
+        else:
+            self._tree_children[tree_parent].append(vid)
+            self._level[vid] = self._level[tree_parent] + 1
+            self._anc_bits[vid] = self._anc_bits[tree_parent] | (1 << tree_parent)
+        # Extra-ancestor closure: inherit the tree parent's, add each merge
+        # parent and its closure, then prune laminarly.
+        candidates: set[int] = set()
+        if tree_parent is not None:
+            candidates.update(self._extra[tree_parent])
+        for parent in parents[1:]:
+            candidates.add(parent)
+            candidates.update(self._extra[parent])
+        anc = self._anc_bits[vid]
+        kept = [e for e in candidates if not (anc >> e) & 1]
+        pruned = tuple(
+            sorted(
+                e
+                for e in kept
+                if not any((self._anc_bits[o] >> e) & 1 for o in kept if o != e)
+            )
+        )
+        self._extra[vid] = pruned
+        bit = 1 << vid
+        for entry in pruned:
+            known = entry in self._carriers
+            self._carriers[entry] = self._carriers.get(entry, 0) | bit
+            if not known and self._labels_fresh:
+                # A brand-new entry point; its label already exists (it is
+                # an ancestor, admitted and labeled before vid).
+                self._register_entry(entry)
+
+    def _register_entry(self, entry: int) -> None:
+        pre = self._pre[entry]
+        at = bisect_left(self._entry_keys, pre)
+        self._entry_keys.insert(at, pre)
+        self._entry_vids.insert(at, entry)
+
+    def _place_label(self, vid: int) -> None:
+        """Give a fresh node a label inside its parent's gap, or go stale."""
+        tree_parent = self._tree_parent[vid]
+        if tree_parent is None:
+            pre = self._max_label + self._spacing
+            post = pre + self._spacing
+        else:
+            siblings = self._tree_children[tree_parent]
+            low = self._pre[tree_parent]
+            if len(siblings) > 1:
+                low = self._post[siblings[-2]]
+            room = self._post[tree_parent] - low
+            if room < 4:
+                self._drop_labels()
+                return
+            pre = low + room // 4
+            post = low + room // 2
+        self._pre[vid] = pre
+        self._post[vid] = post
+        at = bisect_left(self._pre_keys, pre)
+        self._pre_keys.insert(at, pre)
+        self._order.insert(at, vid)
+        self._max_label = max(self._max_label, post)
+
+    def _drop_labels(self) -> None:
+        self._labels_fresh = False
+        self._pre.clear()
+        self._post.clear()
+        self._order.clear()
+        self._pre_keys.clear()
+        self._entry_keys.clear()
+        self._entry_vids.clear()
+        self._max_label = 0
+
+    def _ensure_labels(self) -> None:
+        if not self._labels_fresh:
+            self._rebuild_labels()
+
+    def _rebuild_labels(self) -> None:
+        """Relabel the spanning forest with full slack (lazy, counted)."""
+        self._drop_labels()
+        counter = 0
+        order = self._order
+        pre_keys = self._pre_keys
+        roots = [v for v, parent in self._tree_parent.items() if parent is None]
+        for root in roots:
+            # Iterative DFS; commit chains run deeper than the recursion limit.
+            stack: list[tuple[int, bool]] = [(root, False)]
+            while stack:
+                vid, closing = stack.pop()
+                counter += self._spacing
+                if closing:
+                    self._post[vid] = counter
+                    continue
+                self._pre[vid] = counter
+                order.append(vid)
+                pre_keys.append(counter)
+                stack.append((vid, True))
+                for child in reversed(self._tree_children[vid]):
+                    stack.append((child, False))
+        self._max_label = counter
+        for entry in sorted(self._carriers, key=self._pre.__getitem__):
+            self._entry_keys.append(self._pre[entry])
+            self._entry_vids.append(entry)
+        self._labels_fresh = True
+        _REBUILDS.inc()
+
+    # ----------------------------------------------------------------- probes
+
+    def _full_anc_bits(self, vid: int) -> tuple[int, int]:
+        """``(ancestor bitmap, index nodes consulted)`` for ``vid``.
+
+        Cold: the tree-ancestor bitmap (the materialized interval
+        containment set) ORed with each closure entry's — O(1 + |E*[vid]|)
+        index nodes, no label rebuild needed.  The result is memoized:
+        ancestor sets are immutable once a version is admitted, so warm
+        probes consult a single index node.
+        """
+        cached = self._anc_cache.get(vid)
+        if cached is not None:
+            return cached, 1
+        bits = self._anc_bits[vid]
+        extras = self._extra[vid]
+        for entry in extras:
+            bits |= self._anc_bits[entry] | (1 << entry)
+        self._anc_cache[vid] = bits
+        return bits, 1 + len(extras)
+
+    def ancestors(self, vid: int) -> RidSet:
+        """All transitive ancestors of ``vid`` as a vid bitmap."""
+        bits, visited = self._full_anc_bits(vid)
+        _PROBES.inc()
+        _NODES_VISITED.inc(visited)
+        return RidSet._from_bits(bits)
+
+    def on_branch(self, vid: int) -> RidSet:
+        """Versions whose edits are visible at ``vid``: ancestors ∪ {vid}."""
+        bits, visited = self._full_anc_bits(vid)
+        _PROBES.inc()
+        _NODES_VISITED.inc(visited)
+        return RidSet._from_bits(bits | (1 << vid))
+
+    def descendants(self, vid: int) -> RidSet:
+        """All transitive descendants of ``vid`` as a vid bitmap.
+
+        The pre-order slice ``(pre, post)`` is the tree subtree; carriers
+        of entry points inside ``[pre, post)`` add everything reachable
+        over merge edges.  Index nodes visited: four binary searches plus
+        one per matched entry point (one on a warm memo hit; the memo is
+        dropped on every admit, since each new version joins all of its
+        ancestors' descendant sets).
+        """
+        self._ensure_labels()
+        cached = self._desc_cache.get(vid)
+        if cached is not None:
+            _PROBES.inc()
+            _NODES_VISITED.inc(1)
+            return RidSet._from_bits(cached)
+        pre, post = self._pre[vid], self._post[vid]
+        visited = 2 * _search_cost(len(self._order))
+        bits = 0
+        low = bisect_right(self._pre_keys, pre)
+        high = bisect_left(self._pre_keys, post)
+        for node in self._order[low:high]:
+            bits |= 1 << node
+        visited += 2 * _search_cost(len(self._entry_keys))
+        entry_low = bisect_left(self._entry_keys, pre)
+        entry_high = bisect_left(self._entry_keys, post)
+        for entry in self._entry_vids[entry_low:entry_high]:
+            bits |= self._carriers[entry]
+            visited += 1
+        self._desc_cache[vid] = bits
+        _PROBES.inc()
+        _NODES_VISITED.inc(visited)
+        return RidSet._from_bits(bits)
+
+    def is_ancestor(self, ancestor: int, descendant: int) -> bool:
+        """Interval containment plus a closure scan — O(1 + |E*|)."""
+        self._ensure_labels()
+        pre, post = self._pre[ancestor], self._post[ancestor]
+        visited = 1
+        found = pre < self._pre[descendant] < post
+        if not found:
+            for entry in self._extra[descendant]:
+                visited += 1
+                if entry == ancestor or pre < self._pre[entry] < post:
+                    found = True
+                    break
+        _PROBES.inc()
+        _NODES_VISITED.inc(visited)
+        return found
+
+    def path_between(self, source: int, target: int) -> RidSet:
+        """Versions on derivation paths ``source .. target``, inclusive.
+
+        Empty when ``source`` is not an ancestor of ``target``.  A
+        composite probe: containment check, descendant slice, ancestor
+        closure, intersected as bitmaps.
+        """
+        if source == target:
+            _PROBES.inc()
+            _NODES_VISITED.inc(1)
+            return RidSet((source,))
+        if not self.is_ancestor(source, target):
+            return EMPTY_RIDSET
+        between = self.descendants(source) & self.ancestors(target)
+        return RidSet._from_bits(
+            between._bits | (1 << source) | (1 << target)
+        )
+
+    # ---------------------------------------------------------- label state
+
+    def export_labels(self) -> dict | None:
+        """Serializable label state, or None when stale (nothing to keep)."""
+        if not self._labels_fresh:
+            return None
+        return {
+            "format": 1,
+            "labels": [
+                [vid, self._pre[vid], self._post[vid]] for vid in self._order
+            ],
+        }
+
+    def adopt_labels(self, state: dict) -> bool:
+        """Install journaled labels; False (and stay stale) on any mismatch.
+
+        Validation is a single laminar sweep: pres strictly increasing,
+        every interval properly nested in exactly its tree parent's.  A
+        manifest that disagrees with the graph is ignored, not fatal —
+        the index simply rebuilds lazily, the documented old-store path.
+        """
+        if not isinstance(state, dict) or state.get("format") != 1:
+            return False
+        labels = state.get("labels")
+        if not isinstance(labels, list):
+            return False
+        if len(labels) != len(self._tree_parent):
+            return False
+        pre: dict[int, int] = {}
+        post: dict[int, int] = {}
+        stack: list[int] = []
+        last_pre = -1
+        for item in labels:
+            if not (isinstance(item, list) and len(item) == 3):
+                return False
+            vid, node_pre, node_post = item
+            if vid in pre or vid not in self._tree_parent:
+                return False
+            if not (last_pre < node_pre < node_post):
+                return False
+            last_pre = node_pre
+            while stack and post[stack[-1]] < node_pre:
+                stack.pop()
+            parent = stack[-1] if stack else None
+            if parent is not None and node_post >= post[parent]:
+                return False
+            if self._tree_parent[vid] != parent:
+                return False
+            pre[vid] = node_pre
+            post[vid] = node_post
+            stack.append(vid)
+        self._drop_labels()
+        self._pre = pre
+        self._post = post
+        self._order = [item[0] for item in labels]
+        self._pre_keys = [item[1] for item in labels]
+        self._max_label = max(post.values(), default=0)
+        for entry in sorted(self._carriers, key=pre.__getitem__):
+            self._entry_keys.append(pre[entry])
+            self._entry_vids.append(entry)
+        self._labels_fresh = True
+        return True
+
+
+def _search_cost(length: int) -> int:
+    """Deterministic charge for one binary search over ``length`` keys."""
+    return max(1, length.bit_length())

@@ -612,6 +612,20 @@ class OrpheusDB:
         """All transitive descendants of a version."""
         return sorted(self.cvd(cvd_name).graph.descendants(vid))
 
+    def on_branch(self, cvd_name: str, vid: int) -> list[int]:
+        """Versions whose edits are visible at ``vid`` (ancestors + itself)."""
+        return sorted(self.cvd(cvd_name).graph.on_branch(vid))
+
+    def is_ancestor(self, cvd_name: str, ancestor: int, descendant: int) -> bool:
+        """True when ``descendant`` derives (transitively) from ``ancestor``."""
+        return self.cvd(cvd_name).graph.is_ancestor(ancestor, descendant)
+
+    def version_path(self, cvd_name: str, source: int, target: int) -> list[int]:
+        """Versions on derivation paths ``source .. target`` inclusive —
+        the spine a multi-version diff walks; empty when ``source`` is not
+        an ancestor of ``target``."""
+        return sorted(self.cvd(cvd_name).graph.path_between(source, target))
+
     def parents_of(self, cvd_name: str, vid: int) -> tuple[int, ...]:
         return self.cvd(cvd_name).version(vid).parents
 

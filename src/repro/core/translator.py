@@ -8,6 +8,15 @@ Supports the demo paper's constructs on top of standard SQL:
 * ``ALL VERSIONS OF CVD <name>`` — a relation of ``(vid, <data attrs>)``
   with one row per (version, record) membership pair, enabling aggregates
   grouped by version and version-predicate queries.
+* ``VERSIONS ANCESTOR OF <vid> OF CVD <name>`` and
+  ``VERSIONS DESCENDANT OF <vid> OF CVD <name>`` — lineage predicates: a
+  relation of ``(vid, num_records, commit_t, msg)`` rows for every
+  version on the requested axis, answered by the version graph's
+  interval index (O(log n) probes, see :mod:`repro.core.lineage`) rather
+  than a graph walk.  Like ``OVER`` in window functions, the words are
+  non-reserved: ``versions``/``ancestor``/``descendant`` only open the
+  construct when the full ``VERSIONS ANCESTOR OF <number>`` prefix is
+  present, so they remain usable as ordinary identifiers.
 
 Translation is purely textual-at-the-token-level: the construct's source
 span is replaced with a derived-table subquery produced by the CVD's data
@@ -63,6 +72,20 @@ class QueryTranslator:
                     i = span[1]
                     continue
             if (
+                token.type is TokenType.IDENT
+                and token.value == "versions"
+                and i + 3 < len(tokens)
+                and tokens[i + 1].type is TokenType.IDENT
+                and tokens[i + 1].value in ("ancestor", "descendant")
+                and tokens[i + 2].type is TokenType.IDENT
+                and tokens[i + 2].value == "of"
+                and tokens[i + 3].type is TokenType.NUMBER
+            ):
+                span = self._lineage_span(tokens, i, sql)
+                spans.append(span[0])
+                i = span[1]
+                continue
+            if (
                 token.is_keyword("all")
                 and tokens[i + 1].type is TokenType.IDENT
                 and tokens[i + 1].value == "versions"
@@ -115,6 +138,44 @@ class QueryTranslator:
         end = tokens[j].position + len(cvd_name)
         cvd = self._cvd_lookup(cvd_name)
         replacement = cvd.model.all_versions_subquery_sql()
+        replacement += self._maybe_alias(tokens, j + 1)
+        return (tokens[i].position, end, replacement), j + 1
+
+    def _lineage_span(self, tokens: list[Token], i: int, sql: str):
+        """``VERSIONS ANCESTOR|DESCENDANT OF <vid> OF CVD <name>``.
+
+        The caller only dispatches here on the full
+        ``versions ancestor|descendant of <number>`` prefix — beyond that
+        point the construct is committed and malformed tails are syntax
+        errors (identical in both parse modes: rewriting happens before
+        the parser ever runs).
+        """
+        axis = tokens[i + 1].value
+        vid = int(tokens[i + 3].value)
+        construct = f"VERSIONS {axis.upper()} OF {vid}"
+        j = i + 4
+        if not (tokens[j].type is TokenType.IDENT and tokens[j].value == "of"):
+            raise SQLSyntaxError(f"expected OF CVD after {construct}")
+        j += 1
+        if not (tokens[j].type is TokenType.IDENT and tokens[j].value == "cvd"):
+            raise SQLSyntaxError(f"expected CVD after {construct} OF")
+        j += 1
+        if tokens[j].type is not TokenType.IDENT:
+            raise SQLSyntaxError("expected a CVD name after CVD")
+        cvd_name = tokens[j].value
+        end = tokens[j].position + len(cvd_name)
+        cvd = self._cvd_lookup(cvd_name)
+        cvd.graph.version(vid)  # raises VersionNotFoundError
+        if axis == "ancestor":
+            vids = sorted(cvd.graph.ancestors(vid))
+        else:
+            vids = sorted(cvd.graph.descendants(vid))
+        # An empty axis keeps the same IN-list plan: vid 0 never exists.
+        in_list = ", ".join(str(v) for v in vids) if vids else "0"
+        replacement = (
+            f"(SELECT vid, num_records, commit_t, msg FROM "
+            f"{cvd.metadata_table} WHERE vid IN ({in_list}))"
+        )
         replacement += self._maybe_alias(tokens, j + 1)
         return (tokens[i].position, end, replacement), j + 1
 

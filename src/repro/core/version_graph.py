@@ -11,15 +11,41 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.errors import VersionNotFoundError, VersioningError
+from repro.core.lineage import LineageIndex
 from repro.core.version import Version
 
 
 class VersionGraph:
-    """Mutable DAG of :class:`Version` nodes with weighted derivation edges."""
+    """Mutable DAG of :class:`Version` nodes with weighted derivation edges.
+
+    Lineage predicates (``ancestors``/``descendants``/``on_branch``/
+    ``path_between``/``is_ancestor``) are served by the interval index
+    (:mod:`repro.core.lineage`) by default; the original O(V+E) graph
+    walks are kept as the bit-identical reference, selectable per call
+    (``mode="walk"``) or per graph (``lineage_mode = "walk"``) — the same
+    two-tier contract the SQL engine uses for ``exec_mode``.
+    """
+
+    #: Class-level defaults double as legacy-pickle fallbacks: graphs
+    #: serialized before the lineage index existed unpickle without these
+    #: slots and pick the defaults up from the class.
+    lineage_mode = "index"
+    _lineage: LineageIndex | None = None
+    _depth_cache: dict[int, int] | None = None
 
     def __init__(self) -> None:
         self._versions: dict[int, Version] = {}
         self._edge_weights: dict[tuple[int, int], int] = {}
+        self._lineage = None
+        self._depth_cache = None
+
+    @property
+    def lineage(self) -> LineageIndex:
+        """The interval index, built over the current graph on first touch
+        and maintained incrementally from then on."""
+        if self._lineage is None:
+            self._lineage = LineageIndex(self)
+        return self._lineage
 
     # ----------------------------------------------------------- inspection
 
@@ -87,6 +113,14 @@ class VersionGraph:
         for parent, weight in edge_weights.items():
             self._versions[parent].children.append(version.vid)
             self._edge_weights[(parent, version.vid)] = weight
+        if self._depth_cache is not None:
+            self._depth_cache[version.vid] = (
+                1 + max(self._depth_cache[p] for p in version.parents)
+                if version.parents
+                else 1
+            )
+        if self._lineage is not None:
+            self._lineage.on_add_version(version)
 
     # ------------------------------------------------------------ traversal
 
@@ -108,20 +142,60 @@ class VersionGraph:
         return order
 
     def depth(self, vid: int) -> int:
-        """Level ``l(v)`` in a topological sort; roots have depth 1."""
-        depths: dict[int, int] = {}
-        for node in self.topological_order():
-            version = self._versions[node]
-            if version.is_root:
-                depths[node] = 1
-            else:
-                depths[node] = 1 + max(depths[p] for p in version.parents)
-        if vid not in depths:
-            raise VersionNotFoundError(f"no version {vid}")
-        return depths[vid]
+        """Level ``l(v)`` in a topological sort; roots have depth 1.
 
-    def ancestors(self, vid: int) -> set[int]:
-        """All transitive ancestors (excluding ``vid`` itself)."""
+        Served from a cache computed once and extended incrementally by
+        ``add_version`` — repeated calls no longer recompute the graph.
+        """
+        if self._depth_cache is None:
+            depths: dict[int, int] = {}
+            for node in self.topological_order():
+                version = self._versions[node]
+                if version.is_root:
+                    depths[node] = 1
+                else:
+                    depths[node] = 1 + max(depths[p] for p in version.parents)
+            self._depth_cache = depths
+        if vid not in self._depth_cache:
+            raise VersionNotFoundError(f"no version {vid}")
+        return self._depth_cache[vid]
+
+    def max_depth(self) -> int:
+        """Deepest level in the DAG (0 for an empty graph)."""
+        if not self._versions:
+            return 0
+        self.depth(next(iter(self._versions)))  # fill the cache
+        return max(self._depth_cache.values())
+
+    def merge_count(self) -> int:
+        """Number of merge versions (two or more parents)."""
+        return sum(1 for v in self._versions.values() if v.is_merge)
+
+    def lineage_status(self) -> str:
+        """``"fresh"`` when interval probes can run without a rebuild."""
+        if self._lineage is not None and self._lineage.labels_fresh:
+            return "fresh"
+        return "stale"
+
+    def _mode(self, mode: str | None) -> str:
+        mode = mode or self.lineage_mode
+        if mode not in ("index", "walk"):
+            raise ValueError(f"unknown lineage mode {mode!r}")
+        return mode
+
+    def ancestors(self, vid: int, mode: str | None = None):
+        """All transitive ancestors (excluding ``vid`` itself).
+
+        Index mode returns a :class:`RidSet` of vids (set-comparable and
+        bitmap-intersectable); walk mode is the O(V+E) reference and
+        returns a plain set with identical membership.
+        """
+        self.version(vid)  # raises if missing
+        if self._mode(mode) == "index":
+            return self.lineage.ancestors(vid)
+        return self._ancestors_walk(vid)
+
+    def _ancestors_walk(self, vid: int) -> set[int]:
         seen: set[int] = set()
         stack = list(self.version(vid).parents)
         while stack:
@@ -131,8 +205,14 @@ class VersionGraph:
                 stack.extend(self._versions[node].parents)
         return seen
 
-    def descendants(self, vid: int) -> set[int]:
+    def descendants(self, vid: int, mode: str | None = None):
         """All transitive descendants (excluding ``vid`` itself)."""
+        self.version(vid)
+        if self._mode(mode) == "index":
+            return self.lineage.descendants(vid)
+        return self._descendants_walk(vid)
+
+    def _descendants_walk(self, vid: int) -> set[int]:
         seen: set[int] = set()
         stack = list(self.version(vid).children)
         while stack:
@@ -141,6 +221,53 @@ class VersionGraph:
                 seen.add(node)
                 stack.extend(self._versions[node].children)
         return seen
+
+    def on_branch(self, vid: int, mode: str | None = None):
+        """Versions whose edits are visible at ``vid``: ancestors ∪ {vid}."""
+        self.version(vid)
+        if self._mode(mode) == "index":
+            return self.lineage.on_branch(vid)
+        return self._ancestors_walk(vid) | {vid}
+
+    def is_ancestor(
+        self, ancestor: int, descendant: int, mode: str | None = None
+    ) -> bool:
+        """True when ``descendant`` derives (transitively) from ``ancestor``."""
+        self.version(ancestor)
+        self.version(descendant)
+        if self._mode(mode) == "index":
+            return self.lineage.is_ancestor(ancestor, descendant)
+        return ancestor in self._ancestors_walk(descendant)
+
+    def path_between(self, source: int, target: int, mode: str | None = None):
+        """Versions on derivation paths ``source .. target`` inclusive;
+        empty when ``source`` is not an ancestor of ``target``."""
+        self.version(source)
+        self.version(target)
+        if self._mode(mode) == "index":
+            return self.lineage.path_between(source, target)
+        if source == target:
+            return {source}
+        if source not in self._ancestors_walk(target):
+            return set()
+        between = self._descendants_walk(source) & self._ancestors_walk(target)
+        return between | {source, target}
+
+    # --------------------------------------------------------- label state
+
+    def lineage_export(self) -> dict | None:
+        """Interval label state for snapshots; None when there is nothing
+        fresh to persist (never forces a build)."""
+        if self._lineage is None:
+            return None
+        return self._lineage.export_labels()
+
+    def lineage_import(self, state: dict | None) -> bool:
+        """Adopt journaled label state; on any mismatch the index simply
+        stays stale and rebuilds lazily (the old-manifest path)."""
+        if state is None:
+            return False
+        return self.lineage.adopt_labels(state)
 
     def is_tree(self) -> bool:
         """True when no version has more than one parent (no merges)."""

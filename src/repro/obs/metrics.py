@@ -191,6 +191,9 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._metrics: dict[str, Metric] = {}
         self._collectors: dict[str, Callable[[], dict]] = {}
+        #: Bumped by :meth:`reset` so :class:`_LazyMetric` handles drop any
+        #: cached metric object that no longer lives in ``_metrics``.
+        self._generation = 0
 
     # ------------------------------------------------------------- creation
 
@@ -289,6 +292,7 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
             self._collectors.clear()
+            self._generation += 1
 
 
 def _assign(out: dict, dotted: str, value: Any) -> None:
@@ -414,24 +418,36 @@ class _LazyMetric:
 
     Layers cache metric objects at import time (``_APPENDS = counter(...)``);
     a direct object would pin the *parent's* registry inside a forked
-    worker.  The proxy re-resolves through :func:`registry` on every
-    charge — one dict lookup under the registry lock, noise next to the
-    fsyncs and merges these paths do — so the same module global charges
-    the right process's registry before and after a fork.
+    worker.  The proxy resolves through :func:`registry` and memoizes the
+    metric object keyed on registry identity and generation, so the steady
+    state charge is a pid check plus two attribute compares — cheap enough
+    for microsecond paths like lineage probes.  A fork (new registry
+    object) or :meth:`MetricsRegistry.reset` (generation bump) invalidates
+    the cache and the next charge re-resolves against the live registry.
     """
 
-    __slots__ = ("_kind", "_name", "_buckets")
+    __slots__ = ("_kind", "_name", "_buckets", "_cached", "_cached_reg", "_cached_gen")
 
     def __init__(self, kind: str, name: str, buckets: Iterable[float] | None = None):
         self._kind = kind
         self._name = name
         self._buckets = buckets
+        self._cached: Metric | None = None
+        self._cached_reg: MetricsRegistry | None = None
+        self._cached_gen = -1
 
     def _resolve(self) -> Metric:
         reg = registry()
+        if reg is self._cached_reg and reg._generation == self._cached_gen:
+            return self._cached  # type: ignore[return-value]
         if self._kind == "histogram":
-            return reg.histogram(self._name, self._buckets or DURATION_BUCKETS)
-        return getattr(reg, self._kind)(self._name)
+            metric = reg.histogram(self._name, self._buckets or DURATION_BUCKETS)
+        else:
+            metric = getattr(reg, self._kind)(self._name)
+        self._cached = metric
+        self._cached_reg = reg
+        self._cached_gen = reg._generation
+        return metric
 
     def inc(self, amount: float = 1) -> None:
         self._resolve().inc(amount)

@@ -56,12 +56,17 @@ from repro.persist.fsutil import fsync_dir as _fsync_dir
 #: 2 — adds optimizer decision state (delta*, budget knobs, trace, pending
 #:     migration plans) under the partitioned model's extra_state
 #:     ``"optimizer"`` key, restored by :meth:`DataModel.bind_cvd`.
+#: 3 — adds the version graph's lineage interval-label state under a
+#:     per-CVD ``"lineage"`` key (``None`` when the store never built the
+#:     index).  Older manifests simply lack the key and the index
+#:     rebuilds lazily on the first interval probe — the same
+#:     closest-parent-style fallback format 1 uses for optimizer state.
 #:
 #: The writer always emits the current version; the reader accepts every
 #: version listed here — a format-1 manifest simply has no optimizer key
 #: and restores with the documented fallback.
-FORMAT_VERSION = 2
-SUPPORTED_FORMATS = (1, 2)
+FORMAT_VERSION = 3
+SUPPORTED_FORMATS = (1, 2, 3)
 MANIFEST_NAME = "manifest.json"
 
 # Pid-aware handles: a pre-fork serve worker charges its own registry.
@@ -224,6 +229,10 @@ def _cvd_state(cvd: CVD) -> dict:
         "attributes": [
             [e.attr_id, e.name, e.dtype.value] for e in cvd.attributes.entries()
         ],
+        # Advisory, derivable state: fresh interval labels survive the
+        # round-trip so a reopened store probes without a rebuild; None
+        # (index never built, or labels stale) costs one lazy rebuild.
+        "lineage": graph.lineage_export(),
     }
 
 
@@ -339,6 +348,10 @@ def _restore_cvd(db: Database, state: dict) -> CVD:
     cvd.model = model_cls(db, cvd.name, cvd.data_schema)
     cvd.model.restore_extra_state(state["model_state"])
     cvd.graph = _restore_graph(state["versions"], state["edges"])
+    # Format >= 3: adopt the journaled interval labels.  A missing key
+    # (older manifest) or a state that fails validation leaves the index
+    # stale; the first probe rebuilds it lazily.
+    cvd.graph.lineage_import(state.get("lineage"))
     # Boundary conversion: the manifest keeps the sorted int-array wire
     # encoding; in memory membership lives as packed bitmaps.
     cvd.membership = {

@@ -1,5 +1,7 @@
 """End-to-end tests of the git-style command line."""
 
+import json
+
 import pytest
 
 from repro.cli.main import main
@@ -245,6 +247,23 @@ class TestStatusCommand:
     def test_status_on_empty_store(self, store, capsys):
         assert run(store, "status") == 0
         assert "no CVDs" in capsys.readouterr().out
+
+    def test_status_reports_dag_shape(self, initialized, capsys):
+        assert run(initialized, "status") == 0
+        out = capsys.readouterr().out
+        # A fresh one-version CVD: no merges, depth 1, index not yet built.
+        assert "dag: 1 versions, 0 merges, max depth 1, lineage index stale" in out
+
+    def test_status_json_includes_dag_shape(self, initialized, capsys):
+        assert run(initialized, "status", "--json") == 0
+        doc = json.loads(capsys.readouterr().out)
+        shape = doc["cvds"][0]["dag"]
+        assert shape == {
+            "versions": 1,
+            "merges": 0,
+            "max_depth": 1,
+            "lineage_index": "stale",
+        }
 
 
 class TestReadOnlyCLI:

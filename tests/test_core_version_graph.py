@@ -84,6 +84,35 @@ class TestTraversal:
         assert graph.ancestors(1) == set()
         assert graph.descendants(4) == set()
 
+    def test_depth_is_cached_not_recomputed(self, monkeypatch):
+        graph = figure4_graph()
+        calls = {"n": 0}
+        original = VersionGraph.topological_order
+
+        def counted(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(VersionGraph, "topological_order", counted)
+        assert graph.depth(4) == 3
+        assert graph.depth(2) == 2
+        assert graph.depth(1) == 1
+        # One topological pass fills the cache; repeat calls are dict hits.
+        assert calls["n"] == 1
+        # Mutation extends the cache incrementally — still no recompute.
+        graph.add_version(Version(5, (4,), num_records=6), {4: 6})
+        assert graph.depth(5) == 4
+        assert calls["n"] == 1
+        assert graph.max_depth() == 4
+
+    def test_dag_shape_helpers(self):
+        graph = figure4_graph()
+        assert graph.merge_count() == 1
+        assert graph.max_depth() == 3
+        assert graph.lineage_status() == "stale"  # index never probed
+        graph.descendants(1)
+        assert graph.lineage_status() == "fresh"
+
     def test_subtree_nodes_blocked_edge(self):
         graph = figure4_graph()
         # Block 1->3: reachable set from 1 through tree edges avoids 3 but
